@@ -1,0 +1,35 @@
+"""Benchmark fixtures.
+
+Benchmarks run the experiment harness at smoke scale.  The session-scoped
+``warm_caches`` fixture trains (or loads) all 15 zoo models up front so
+the timed region measures the experiment itself, not one-time training.
+
+Each benchmark prints the reproduced table, so the benchmark log doubles
+as the paper-table output (tee it to bench_output.txt).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import dataset_names, load_dataset
+from repro.models import get_trio
+
+SCALE = "smoke"
+SEED = 0
+
+
+@pytest.fixture(scope="session", autouse=True)
+def warm_caches():
+    for name in dataset_names():
+        dataset = load_dataset(name, scale=SCALE, seed=SEED)
+        get_trio(name, scale=SCALE, seed=SEED, dataset=dataset)
+
+
+def run_once(benchmark, fn, **kwargs):
+    """Run an experiment exactly once under the benchmark timer and
+    print its rendered table."""
+    result = benchmark.pedantic(lambda: fn(**kwargs), rounds=1, iterations=1)
+    print()
+    print(result.render())
+    return result

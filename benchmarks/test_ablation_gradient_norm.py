@@ -1,0 +1,53 @@
+"""Ablation: gradient RMS-normalization (present in the original
+DeepXplore code, implicit in the paper).
+
+Without normalization, raw probability gradients are tiny (1e-2..1e-4
+RMS) and the fixed step size s barely moves the input; with it, s means
+"pixels per iteration".  This bench quantifies that design choice.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import SCALE, SEED
+from repro.core import DeepXplore, PAPER_HYPERPARAMS, LightingConstraint
+from repro.core.generator import normalize_gradient
+from repro.datasets import load_dataset
+from repro.models import get_trio
+from repro.utils.tables import render_table
+
+
+class _NoNormDeepXplore(DeepXplore):
+    """Generator variant with normalization disabled (raw gradients)."""
+
+    def generate_from_seed(self, seed_x, seed_index=0):
+        import repro.core.generator as gen
+        original = gen.normalize_gradient
+        gen.normalize_gradient = lambda g: g
+        try:
+            return super().generate_from_seed(seed_x, seed_index)
+        finally:
+            gen.normalize_gradient = original
+
+
+@pytest.mark.parametrize("normalized", [True, False])
+def test_ablation_gradient_norm(benchmark, normalized):
+    dataset = load_dataset("mnist", scale=SCALE, seed=SEED)
+    models = get_trio("mnist", scale=SCALE, seed=SEED, dataset=dataset)
+    seeds, _ = dataset.sample_seeds(15, np.random.default_rng(61))
+    hp = PAPER_HYPERPARAMS["mnist"]
+    engine_cls = DeepXplore if normalized else _NoNormDeepXplore
+
+    def run():
+        engine = engine_cls(models, hp, LightingConstraint(), rng=67)
+        return engine.run(seeds)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    ascent = sum(1 for t in result.tests if t.iterations > 0)
+    print()
+    print(render_table(
+        ["normalized", "# diffs (ascent)", "pre-disagreed"],
+        [[normalized, ascent, result.seeds_disagreed]],
+        title="[ablation] gradient RMS normalization"))
+    if normalized:
+        assert ascent > 0

@@ -1,0 +1,10 @@
+"""Benchmark: Figure 10 — retraining accuracy with augmented data."""
+
+from benchmarks.conftest import SCALE, SEED, run_once
+from repro.experiments import run_retraining_accuracy
+
+
+def test_figure10_retraining(benchmark):
+    result = run_once(benchmark, run_retraining_accuracy, scale=SCALE,
+                      seed=SEED, n_augment=30, epochs=3)
+    assert result.rows

@@ -1,0 +1,10 @@
+"""Benchmark: Figure 8 — constraint gallery over the vision datasets."""
+
+from benchmarks.conftest import SCALE, SEED, run_once
+from repro.experiments import run_gallery
+
+
+def test_figure8_gallery(benchmark, tmp_path):
+    result = run_once(benchmark, run_gallery, scale=SCALE, seed=SEED,
+                      per_cell=1, output_dir=str(tmp_path))
+    assert result.rows

@@ -1,0 +1,10 @@
+"""Benchmark: Figure 9 — coverage of DeepXplore vs adversarial vs random."""
+
+from benchmarks.conftest import SCALE, SEED, run_once
+from repro.experiments import run_coverage_comparison
+
+
+def test_figure9_coverage(benchmark):
+    result = run_once(benchmark, run_coverage_comparison, scale=SCALE,
+                      seed=SEED)
+    assert len(result.rows) == 5 * 4  # datasets x thresholds

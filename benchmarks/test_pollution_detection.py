@@ -1,0 +1,10 @@
+"""Benchmark: §7.3 — training-data pollution detection."""
+
+from benchmarks.conftest import SCALE, SEED, run_once
+from repro.experiments import run_pollution_detection
+
+
+def test_pollution_detection(benchmark):
+    result = run_once(benchmark, run_pollution_detection, scale=SCALE,
+                      seed=SEED)
+    assert result.rows

@@ -1,0 +1,10 @@
+"""Benchmark: Table 10 — first-difference runtime vs lambda1."""
+
+from benchmarks.conftest import SCALE, SEED, run_once
+from repro.experiments import run_lambda1_sweep
+
+
+def test_table10_lambda1(benchmark):
+    result = run_once(benchmark, run_lambda1_sweep, scale=SCALE, seed=SEED,
+                      repetitions=1)
+    assert len(result.rows) == 5

@@ -1,0 +1,10 @@
+"""Benchmark: Table 11 — first-difference runtime vs lambda2."""
+
+from benchmarks.conftest import SCALE, SEED, run_once
+from repro.experiments import run_lambda2_sweep
+
+
+def test_table11_lambda2(benchmark):
+    result = run_once(benchmark, run_lambda2_sweep, scale=SCALE, seed=SEED,
+                      repetitions=1)
+    assert len(result.rows) == 5

@@ -1,0 +1,15 @@
+"""Benchmark: Table 12 — iterations to first difference vs model
+similarity (trains LeNet-1 variant pairs inside the timed region)."""
+
+from benchmarks.conftest import SCALE, SEED, run_once
+from repro.experiments import run_model_similarity
+
+
+def test_table12_similarity(benchmark):
+    result = run_once(benchmark, run_model_similarity, scale=SCALE,
+                      seed=SEED, n_seeds=10)
+    assert len(result.rows) == 15
+    # Identical twins (amount == 0) must never find a difference.
+    for row in result.rows:
+        if row[1] == 0 or row[1] == 0.0:
+            assert row[2] == "-"

@@ -1,0 +1,9 @@
+"""Benchmark: Table 1 — model zoo summary (training cached)."""
+
+from benchmarks.conftest import SCALE, SEED, run_once
+from repro.experiments import run_model_zoo
+
+
+def test_table1_model_zoo(benchmark):
+    result = run_once(benchmark, run_model_zoo, scale=SCALE, seed=SEED)
+    assert len(result.rows) == 15

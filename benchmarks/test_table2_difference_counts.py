@@ -1,0 +1,11 @@
+"""Benchmark: Table 2 — difference-inducing inputs per tested DNN."""
+
+from benchmarks.conftest import SCALE, SEED, run_once
+from repro.experiments import run_difference_counts
+
+
+def test_table2_difference_counts(benchmark):
+    result = run_once(benchmark, run_difference_counts, scale=SCALE,
+                      seed=SEED)
+    assert len(result.rows) == 15
+    assert sum(row[-1] for row in result.rows) > 0

@@ -1,0 +1,10 @@
+"""Benchmark: Table 3 — manifest features added for Drebin evasions."""
+
+from benchmarks.conftest import SCALE, SEED, run_once
+from repro.experiments import run_drebin_samples
+
+
+def test_table3_drebin_samples(benchmark):
+    result = run_once(benchmark, run_drebin_samples, scale=SCALE, seed=SEED)
+    for row in result.rows:
+        assert row[2] == "0" and row[3] == "1"

@@ -1,0 +1,10 @@
+"""Benchmark: Table 4 — top in(de)cremented features for PDF evasions."""
+
+from benchmarks.conftest import SCALE, SEED, run_once
+from repro.experiments import run_pdf_samples
+
+
+def test_table4_pdf_samples(benchmark):
+    result = run_once(benchmark, run_pdf_samples, scale=SCALE, seed=SEED)
+    for row in result.rows:
+        assert float(row[2]) != float(row[3])

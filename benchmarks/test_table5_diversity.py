@@ -1,0 +1,10 @@
+"""Benchmark: Table 5 — diversity with vs without the coverage objective."""
+
+from benchmarks.conftest import SCALE, SEED, run_once
+from repro.experiments import run_coverage_diversity
+
+
+def test_table5_diversity(benchmark):
+    result = run_once(benchmark, run_coverage_diversity, scale=SCALE,
+                      seed=SEED, repetitions=2)
+    assert len(result.rows) == 2

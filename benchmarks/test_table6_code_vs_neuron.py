@@ -1,0 +1,10 @@
+"""Benchmark: Table 6 — code coverage vs neuron coverage."""
+
+from benchmarks.conftest import SCALE, SEED, run_once
+from repro.experiments import run_code_vs_neuron
+
+
+def test_table6_code_vs_neuron(benchmark):
+    result = run_once(benchmark, run_code_vs_neuron, scale=SCALE, seed=SEED)
+    for row in result.rows:
+        assert row[1] == "100%"  # code coverage saturates

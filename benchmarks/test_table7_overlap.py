@@ -1,0 +1,10 @@
+"""Benchmark: Table 7 — same-class vs different-class activation overlap."""
+
+from benchmarks.conftest import SCALE, SEED, run_once
+from repro.experiments import run_class_overlap
+
+
+def test_table7_overlap(benchmark):
+    result = run_once(benchmark, run_class_overlap, scale=SCALE, seed=SEED)
+    diff_row, same_row = result.rows
+    assert same_row[3] > diff_row[3]

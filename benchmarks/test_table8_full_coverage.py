@@ -1,0 +1,10 @@
+"""Benchmark: Table 8 — time and seeds to reach full neuron coverage."""
+
+from benchmarks.conftest import SCALE, SEED, run_once
+from repro.experiments import run_coverage_runtime
+
+
+def test_table8_full_coverage(benchmark):
+    result = run_once(benchmark, run_coverage_runtime, scale=SCALE,
+                      seed=SEED)
+    assert len(result.rows) == 5

@@ -1,0 +1,10 @@
+"""Benchmark: Table 9 — first-difference runtime vs step size s."""
+
+from benchmarks.conftest import SCALE, SEED, run_once
+from repro.experiments import run_step_size_sweep
+
+
+def test_table9_step_size(benchmark):
+    result = run_once(benchmark, run_step_size_sweep, scale=SCALE,
+                      seed=SEED, repetitions=1)
+    assert len(result.rows) == 5

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment is offline and has no ``wheel`` package, so PEP
+660 editable installs fail; keeping a ``setup.py`` (and no
+``[build-system]`` table) lets ``pip install -e .`` use the legacy
+``setup.py develop`` path.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

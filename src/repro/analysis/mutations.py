@@ -1,0 +1,59 @@
+"""Human-readable feature-mutation reports (paper Tables 3-4 rendering).
+
+Shared by the experiment harness and the malware-evasion example: given a
+seed/mutated pair over a named feature space, list the most-changed
+features with before/after values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = ["FeatureMutation", "mutation_report"]
+
+
+@dataclass(frozen=True)
+class FeatureMutation:
+    """One changed feature."""
+
+    name: str
+    index: int
+    before: float
+    after: float
+
+    @property
+    def delta(self):
+        return self.after - self.before
+
+
+def mutation_report(before, after, feature_names, top_k=3):
+    """Top-``top_k`` changed features between two feature vectors.
+
+    Returns :class:`FeatureMutation` entries sorted by |delta| descending;
+    unchanged features never appear, so fewer than ``top_k`` entries may
+    be returned.
+    """
+    before = np.asarray(before, dtype=np.float64).reshape(-1)
+    after = np.asarray(after, dtype=np.float64).reshape(-1)
+    if before.shape != after.shape:
+        raise ConfigError(
+            f"vector lengths differ: {before.shape} vs {after.shape}")
+    if len(feature_names) != before.size:
+        raise ConfigError(
+            f"{len(feature_names)} names for {before.size} features")
+    if top_k < 1:
+        raise ConfigError(f"top_k must be >= 1, got {top_k}")
+    delta = np.abs(after - before)
+    order = np.argsort(delta)[::-1]
+    report = []
+    for index in order[:top_k]:
+        if delta[index] == 0.0:
+            break
+        report.append(FeatureMutation(
+            name=feature_names[index], index=int(index),
+            before=float(before[index]), after=float(after[index])))
+    return report

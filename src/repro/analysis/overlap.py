@@ -1,0 +1,86 @@
+"""Activation-overlap statistics (paper Table 7).
+
+Inputs from the same class should activate largely the same neurons;
+inputs from different classes should overlap less.  This is the empirical
+argument that neuron coverage tracks the number of distinct "rules" a
+test set exercises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.coverage.neuron import scale_layerwise
+from repro.errors import ConfigError
+from repro.utils.rng import as_rng
+
+__all__ = ["OverlapStats", "activation_overlap", "class_pair_overlap"]
+
+
+@dataclass
+class OverlapStats:
+    """Aggregate overlap numbers for a set of input pairs."""
+
+    total_neurons: int
+    avg_activated: float      # mean #active neurons per input
+    avg_overlap: float        # mean #active neurons shared by a pair
+
+
+def _active_sets(network, x, threshold, scaled):
+    acts = network.neuron_activations(np.asarray(x, dtype=np.float64))
+    if scaled:
+        acts = scale_layerwise(acts, network.neuron_layers)
+    return acts > threshold
+
+
+def activation_overlap(network, pairs_a, pairs_b, threshold=0.25,
+                       scaled=True):
+    """Overlap stats for input pairs ``(pairs_a[i], pairs_b[i])``."""
+    if pairs_a.shape != pairs_b.shape:
+        raise ConfigError("pair arrays must have identical shapes")
+    active_a = _active_sets(network, pairs_a, threshold, scaled)
+    active_b = _active_sets(network, pairs_b, threshold, scaled)
+    activated = np.concatenate([active_a.sum(axis=1), active_b.sum(axis=1)])
+    overlap = (active_a & active_b).sum(axis=1)
+    return OverlapStats(
+        total_neurons=network.total_neurons,
+        avg_activated=float(activated.mean()),
+        avg_overlap=float(overlap.mean()),
+    )
+
+
+def class_pair_overlap(network, dataset, n_pairs=100, threshold=0.25,
+                       rng=None, scaled=True):
+    """The Table 7 experiment: same-class vs different-class pair overlap.
+
+    Returns ``(same_class_stats, diff_class_stats)`` over ``n_pairs``
+    random pairs each, drawn from the dataset's test split.
+    """
+    rng = as_rng(rng)
+    x = dataset.x_test
+    y = np.asarray(dataset.y_test)
+    classes = np.unique(y)
+    if classes.size < 2:
+        raise ConfigError("need >= 2 classes for overlap comparison")
+
+    same_a, same_b, diff_a, diff_b = [], [], [], []
+    for _ in range(n_pairs):
+        cls = classes[rng.integers(0, classes.size)]
+        members = np.flatnonzero(y == cls)
+        i, j = rng.choice(members, size=2, replace=False)
+        same_a.append(x[i])
+        same_b.append(x[j])
+
+        cls_a, cls_b = rng.choice(classes, size=2, replace=False)
+        i = rng.choice(np.flatnonzero(y == cls_a))
+        j = rng.choice(np.flatnonzero(y == cls_b))
+        diff_a.append(x[i])
+        diff_b.append(x[j])
+
+    same = activation_overlap(network, np.stack(same_a), np.stack(same_b),
+                              threshold=threshold, scaled=scaled)
+    diff = activation_overlap(network, np.stack(diff_a), np.stack(diff_b),
+                              threshold=threshold, scaled=scaled)
+    return same, diff

@@ -1,0 +1,9 @@
+"""Comparison baselines: random test selection and adversarial testing."""
+
+from repro.baselines.adversarial import (adversarial_inputs, fgsm,
+                                         iterative_fgsm,
+                                         regression_adversarial)
+from repro.baselines.random_testing import random_inputs
+
+__all__ = ["adversarial_inputs", "fgsm", "iterative_fgsm",
+           "regression_adversarial", "random_inputs"]

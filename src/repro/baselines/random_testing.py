@@ -1,0 +1,23 @@
+"""Random test selection — the paper's first comparison baseline.
+
+"Random" in Figures 9-10 means randomly picked inputs from the original
+test set (not random noise): the standard ML testing practice DeepXplore
+is measured against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.utils.rng import as_rng
+
+__all__ = ["random_inputs"]
+
+
+def random_inputs(dataset, count, rng=None, from_train=False):
+    """Pick ``count`` random inputs (and labels) from a dataset split."""
+    if count < 1:
+        raise ConfigError(f"count must be >= 1, got {count}")
+    rng = as_rng(rng)
+    return dataset.sample_seeds(count, rng, from_train=from_train)

@@ -1,0 +1,149 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``datasets``
+    Summarize the five synthetic datasets at a scale.
+``zoo``
+    Train/load the 15-model zoo and print the Table 1 summary.
+``generate``
+    Run DeepXplore on one dataset and report differences + coverage.
+``experiment``
+    Run one named experiment (table1..table12, figure8..figure10,
+    pollution) and print its table.
+``report``
+    Run every experiment and write a markdown report (EXPERIMENTS.md
+    format).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.core import DeepXplore, PAPER_HYPERPARAMS, constraint_for_dataset
+from repro.datasets import dataset_names, load_dataset
+from repro.experiments import EXPERIMENTS
+from repro.models import TRIOS, get_trio, model_accuracy
+from repro.utils.ascii_art import side_by_side
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser():
+    """Construct the argparse parser for the ``repro`` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DeepXplore reproduction (Pei et al., SOSP 2017)")
+    parser.add_argument("--scale", default="smoke",
+                        choices=["smoke", "small", "full"],
+                        help="experiment scale (default: smoke)")
+    parser.add_argument("--seed", type=int, default=0)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="summarize the synthetic datasets")
+    sub.add_parser("zoo", help="train/load all 15 models (Table 1)")
+
+    gen = sub.add_parser("generate", help="run DeepXplore on one dataset")
+    gen.add_argument("dataset", choices=dataset_names())
+    gen.add_argument("--constraint", default="default",
+                     help="image constraint: light | occl | blackout")
+    gen.add_argument("--seeds", type=int, default=40,
+                     help="number of seed inputs")
+    gen.add_argument("--show", action="store_true",
+                     help="render a seed/generated pair as ASCII art")
+
+    exp = sub.add_parser("experiment", help="run one paper experiment")
+    exp.add_argument("experiment_id", choices=sorted(EXPERIMENTS))
+
+    rep = sub.add_parser("report", help="write the full markdown report")
+    rep.add_argument("--output", default="EXPERIMENTS.md")
+    rep.add_argument("--only", nargs="*", choices=sorted(EXPERIMENTS),
+                     help="run only these experiments")
+    return parser
+
+
+def _cmd_datasets(args):
+    for name in dataset_names():
+        dataset = load_dataset(name, scale=args.scale, seed=args.seed)
+        print(dataset.describe())
+    return 0
+
+
+def _cmd_zoo(args):
+    for dataset_name, trio in TRIOS.items():
+        dataset = load_dataset(dataset_name, scale=args.scale,
+                               seed=args.seed)
+        models = get_trio(dataset_name, scale=args.scale, seed=args.seed,
+                          dataset=dataset)
+        for model in models:
+            acc = model_accuracy(model, dataset)
+            print(f"{model.name:<8} {dataset_name:<9} "
+                  f"neurons={model.total_neurons:<6} "
+                  f"params={model.parameter_count():<8} acc={acc:.2%}")
+    return 0
+
+
+def _cmd_generate(args):
+    dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    models = get_trio(args.dataset, scale=args.scale, seed=args.seed,
+                      dataset=dataset)
+    seeds, _ = dataset.sample_seeds(
+        min(args.seeds, dataset.x_test.shape[0]),
+        np.random.default_rng(args.seed + 1))
+    engine = DeepXplore(
+        models, PAPER_HYPERPARAMS[args.dataset],
+        constraint_for_dataset(dataset, kind=args.constraint),
+        task=dataset.task, rng=args.seed + 2)
+    result = engine.run(seeds)
+    print(f"seeds processed      : {result.seeds_processed}")
+    print(f"differences found    : {result.difference_count}")
+    print(f"  via gradient ascent: "
+          f"{result.difference_count - result.seeds_disagreed}")
+    print(f"  seeds pre-disagreed: {result.seeds_disagreed}")
+    print(f"mean neuron coverage : {engine.mean_coverage():.1%}")
+    print(f"elapsed              : {result.elapsed:.1f}s")
+    ascent = [t for t in result.tests if t.iterations > 0]
+    if args.show and ascent and dataset.metadata.get("domain") == "image":
+        test = ascent[0]
+        print()
+        print(side_by_side(seeds[test.seed_index], test.x,
+                           labels=("seed", "generated")))
+        print("predictions:", test.predictions.tolist())
+    return 0
+
+
+def _cmd_experiment(args):
+    result = EXPERIMENTS[args.experiment_id](scale=args.scale,
+                                             seed=args.seed)
+    print(result.render())
+    return 0
+
+
+def _cmd_report(args):
+    from repro.reporting import write_report
+    path = write_report(args.output, scale=args.scale, seed=args.seed,
+                        experiment_ids=args.only, verbose=True)
+    print(f"wrote {path}")
+    return 0
+
+
+_COMMANDS = {
+    "datasets": _cmd_datasets,
+    "zoo": _cmd_zoo,
+    "generate": _cmd_generate,
+    "experiment": _cmd_experiment,
+    "report": _cmd_report,
+}
+
+
+def main(argv=None):
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""DeepXplore core: joint-optimization test generation (paper §3-§4)."""
+
+from repro.core.batch import BatchDeepXplore
+from repro.core.config import Hyperparams, PAPER_HYPERPARAMS
+from repro.core.constraints import (Constraint, DrebinConstraint,
+                                    LightingConstraint, MultiRectOcclusion,
+                                    PdfFeatureConstraint, SingleRectOcclusion,
+                                    Unconstrained, constraint_for_dataset)
+from repro.core.generator import DeepXplore, GeneratedTest, GenerationResult
+from repro.core.objectives import (CoverageObjective, DifferentialObjective,
+                                   JointObjective,
+                                   RegressionDifferentialObjective)
+from repro.core.oracle import (ClassificationOracle, RegressionOracle,
+                               majority_label, make_oracle)
+
+__all__ = [
+    "BatchDeepXplore",
+    "Hyperparams", "PAPER_HYPERPARAMS",
+    "Constraint", "DrebinConstraint", "LightingConstraint",
+    "MultiRectOcclusion", "PdfFeatureConstraint", "SingleRectOcclusion",
+    "Unconstrained", "constraint_for_dataset",
+    "DeepXplore", "GeneratedTest", "GenerationResult",
+    "CoverageObjective", "DifferentialObjective", "JointObjective",
+    "RegressionDifferentialObjective",
+    "ClassificationOracle", "RegressionOracle", "majority_label",
+    "make_oracle",
+]

@@ -1,0 +1,250 @@
+"""Domain-specific constraints (paper §6.2).
+
+Constraints keep generated tests physically realistic.  They hook into
+Algorithm 1 at two points:
+
+* :meth:`Constraint.apply` rewrites the gradient before the ascent step
+  (line 13: ``grad = DOMAIN_CONSTRNTS(grad)``);
+* :meth:`Constraint.project` repairs the updated input so it stays in the
+  valid domain (pixels in [0, 1], integer counts, binary bits).
+
+Image constraints implemented, as in the paper: **lighting** (single
+global brightness direction), **single-rectangle occlusion** (a camera
+blocked by one patch), and **multi-rectangle black occlusion** (dirt
+specks that may only darken pixels).  Feature constraints: Drebin's
+add-only manifest bits and the PDF count/length feature rules.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConstraintError
+from repro.utils.rng import as_rng
+
+__all__ = [
+    "Constraint", "Unconstrained", "LightingConstraint",
+    "SingleRectOcclusion", "MultiRectOcclusion", "DrebinConstraint",
+    "PdfFeatureConstraint", "constraint_for_dataset",
+]
+
+
+class Constraint:
+    """Base class; stateless unless :meth:`setup` stores per-seed state."""
+
+    name = "constraint"
+
+    def setup(self, x0, rng):
+        """Called once per seed before ascent starts (e.g. pick patches)."""
+
+    def apply(self, grad, x):
+        """Rewrite the raw input-gradient; must not modify ``grad``."""
+        return grad
+
+    def project(self, x_new, x_prev):
+        """Repair the post-step input into the valid domain."""
+        return x_new
+
+
+class Unconstrained(Constraint):
+    """No gradient rewriting; pixels clipped to [0, 1]."""
+
+    name = "none"
+
+    def project(self, x_new, x_prev):
+        return np.clip(x_new, 0.0, 1.0)
+
+
+class LightingConstraint(Constraint):
+    """Uniform brightness change: all pixels move by the same amount.
+
+    The direction (lighten vs. darken) follows the sign of ``mean(G)``
+    per sample, exactly as §6.2 describes.
+    """
+
+    name = "light"
+
+    def apply(self, grad, x):
+        batch = grad.shape[0]
+        means = grad.reshape(batch, -1).mean(axis=1)
+        shape = (batch,) + (1,) * (grad.ndim - 1)
+        return np.broadcast_to(means.reshape(shape), grad.shape).copy()
+
+    def project(self, x_new, x_prev):
+        return np.clip(x_new, 0.0, 1.0)
+
+
+class SingleRectOcclusion(Constraint):
+    """Only an ``m x n`` rectangle of the image may change.
+
+    DeepXplore is free to place the rectangle anywhere; this
+    implementation draws the position uniformly per seed in
+    :meth:`setup`, after which ascent modifies only that patch.
+    """
+
+    name = "occl"
+
+    def __init__(self, height=6, width=6):
+        if height < 1 or width < 1:
+            raise ConstraintError("rectangle dimensions must be >= 1")
+        self.height = int(height)
+        self.width = int(width)
+        self._pos = None
+
+    def setup(self, x0, rng):
+        rng = as_rng(rng)
+        img_h, img_w = x0.shape[-2], x0.shape[-1]
+        if self.height > img_h or self.width > img_w:
+            raise ConstraintError(
+                f"rectangle {(self.height, self.width)} larger than image "
+                f"{(img_h, img_w)}")
+        top = int(rng.integers(0, img_h - self.height + 1))
+        left = int(rng.integers(0, img_w - self.width + 1))
+        self._pos = (top, left)
+
+    def apply(self, grad, x):
+        if self._pos is None:
+            raise ConstraintError("setup() must run before apply()")
+        top, left = self._pos
+        masked = np.zeros_like(grad)
+        masked[..., top:top + self.height, left:left + self.width] = \
+            grad[..., top:top + self.height, left:left + self.width]
+        return masked
+
+    def project(self, x_new, x_prev):
+        return np.clip(x_new, 0.0, 1.0)
+
+
+class MultiRectOcclusion(Constraint):
+    """Several tiny ``m x m`` patches that may only darken (dirt on lens).
+
+    Per §6.2: for each selected patch, if the mean patch gradient is
+    positive (would brighten), it is zeroed — only pixel decreases are
+    allowed — producing small black specks.
+    """
+
+    name = "blackout"
+
+    def __init__(self, size=3, count=4):
+        if size < 1 or count < 1:
+            raise ConstraintError("patch size/count must be >= 1")
+        self.size = int(size)
+        self.count = int(count)
+        self._positions = None
+
+    def setup(self, x0, rng):
+        rng = as_rng(rng)
+        img_h, img_w = x0.shape[-2], x0.shape[-1]
+        if self.size > min(img_h, img_w):
+            raise ConstraintError(
+                f"patch size {self.size} larger than image {(img_h, img_w)}")
+        self._positions = [
+            (int(rng.integers(0, img_h - self.size + 1)),
+             int(rng.integers(0, img_w - self.size + 1)))
+            for _ in range(self.count)]
+
+    def apply(self, grad, x):
+        if self._positions is None:
+            raise ConstraintError("setup() must run before apply()")
+        masked = np.zeros_like(grad)
+        for top, left in self._positions:
+            patch = grad[..., top:top + self.size, left:left + self.size]
+            batch = patch.reshape(patch.shape[0], -1)
+            keep = batch.mean(axis=1) <= 0.0  # only darkening allowed
+            shaped = keep.reshape((-1,) + (1,) * (patch.ndim - 1))
+            masked[..., top:top + self.size, left:left + self.size] = \
+                np.where(shaped, patch, 0.0)
+        return masked
+
+    def project(self, x_new, x_prev):
+        return np.clip(x_new, 0.0, 1.0)
+
+
+class DrebinConstraint(Constraint):
+    """Add-only manifest features (paper §6.2, Drebin).
+
+    Only features extracted from the Android manifest may change, and only
+    from 0 to 1 (adding a permission never breaks functionality; removing
+    one can).  Each ascent iteration sets the ``per_step`` highest-gradient
+    eligible bits to 1, mirroring the original implementation's
+    pick-the-max-gradient-feature rule.
+    """
+
+    name = "drebin"
+
+    def __init__(self, manifest_mask, per_step=1):
+        self.manifest_mask = np.asarray(manifest_mask, dtype=bool)
+        if per_step < 1:
+            raise ConstraintError("per_step must be >= 1")
+        self.per_step = int(per_step)
+
+    def apply(self, grad, x):
+        eligible = self.manifest_mask[None, :] & (x < 0.5) & (grad > 0.0)
+        return np.where(eligible, grad, 0.0)
+
+    def project(self, x_new, x_prev):
+        """Binarize: flip the strongest-moving eligible bits to 1."""
+        out = x_prev.copy()
+        delta = x_new - x_prev
+        for row in range(out.shape[0]):
+            moved = np.flatnonzero(delta[row] > 0.0)
+            if moved.size == 0:
+                continue
+            ranked = moved[np.argsort(delta[row][moved])[::-1]]
+            out[row, ranked[:self.per_step]] = 1.0
+        return out
+
+
+class PdfFeatureConstraint(Constraint):
+    """PDF count/length feature rules (paper §6.2, Contagio/VirusTotal).
+
+    Following the Šrndic & Laskov restrictions: only count and length
+    features are adjustable (boolean flags and derived ratios are fixed
+    document properties), updates are rounded to whole counts, and counts
+    stay within ``[0, max_value]``.
+    """
+
+    name = "pdf"
+
+    def __init__(self, mutable_mask, max_value=5000.0):
+        self.mutable_mask = np.asarray(mutable_mask, dtype=bool)
+        self.max_value = float(max_value)
+
+    def apply(self, grad, x):
+        return np.where(self.mutable_mask[None, :], grad, 0.0)
+
+    def project(self, x_new, x_prev):
+        out = x_prev.copy()
+        mutable = self.mutable_mask[None, :]
+        # Round the *update* so mutated counts remain integers.
+        delta = np.where(mutable, np.round(x_new - x_prev), 0.0)
+        out = np.clip(out + delta, 0.0, self.max_value)
+        return out
+
+
+def constraint_for_dataset(dataset, kind="default"):
+    """Default constraint for one of the five datasets.
+
+    ``kind`` selects among the image constraints: ``"light"``, ``"occl"``,
+    ``"blackout"``; feature datasets ignore it and use their §6.2 rules.
+    ``"default"`` is lighting for images (the paper's choice for all
+    non-gallery vision experiments).
+    """
+    if dataset.metadata.get("domain") == "features":
+        if "manifest_mask" in dataset.metadata:
+            return DrebinConstraint(dataset.metadata["manifest_mask"])
+        if "mutable_mask" in dataset.metadata:
+            return PdfFeatureConstraint(dataset.metadata["mutable_mask"])
+        raise ConstraintError(
+            f"feature dataset {dataset.name!r} has no constraint metadata")
+    kinds = {
+        "default": LightingConstraint,
+        "light": LightingConstraint,
+        "occl": SingleRectOcclusion,
+        "blackout": MultiRectOcclusion,
+        "none": Unconstrained,
+    }
+    if kind not in kinds:
+        raise ConstraintError(
+            f"unknown image constraint {kind!r}; known: {sorted(kinds)}")
+    return kinds[kind]()

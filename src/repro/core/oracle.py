@@ -1,0 +1,102 @@
+"""Differential oracles and majority-vote labelling (paper §1, §7.3).
+
+Multiple independently trained DNNs for the same task cross-reference each
+other: if at least one disagrees with the rest on an input, that input
+exposes an erroneous corner case in at least one model, with no manual
+labelling.  For the driving (regression) task the oracle is a steering
+*direction* disagreement, matching the paper's left/right framing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = ["ClassificationOracle", "RegressionOracle", "make_oracle",
+           "majority_label"]
+
+#: Steering angles with magnitude below this are "straight" (radians).
+STRAIGHT_EPSILON = 0.05
+
+
+class ClassificationOracle:
+    """Difference = not all models predict the same class."""
+
+    task = "classification"
+
+    def __init__(self, models):
+        if len(models) < 2:
+            raise ConfigError("differential testing needs >= 2 models")
+        self.models = list(models)
+
+    def predictions(self, x):
+        """Predicted class per model, shape ``(models, batch)``."""
+        return np.stack([m.predict(x).argmax(axis=1) for m in self.models])
+
+    def differs(self, x):
+        """Bool per batch element: do models disagree on this input?"""
+        preds = self.predictions(x)
+        return (preds != preds[0]).any(axis=0)
+
+
+class RegressionOracle:
+    """Difference = the predicted steering directions disagree.
+
+    An angle is binned into left / straight / right with a small dead
+    zone; models differ when their bins differ, or when the angle spread
+    exceeds ``angle_spread`` radians (a gross magnitude disagreement is an
+    erroneous behaviour even within one direction bin).
+    """
+
+    task = "regression"
+
+    def __init__(self, models, angle_spread=0.6):
+        if len(models) < 2:
+            raise ConfigError("differential testing needs >= 2 models")
+        self.models = list(models)
+        self.angle_spread = float(angle_spread)
+
+    def predictions(self, x):
+        """Predicted angle per model, shape ``(models, batch)``."""
+        return np.stack([m.predict(x).reshape(-1) for m in self.models])
+
+    @staticmethod
+    def direction(angles):
+        """-1 (left), 0 (straight), +1 (right) with a dead zone."""
+        return np.where(np.abs(angles) <= STRAIGHT_EPSILON, 0,
+                        np.sign(angles)).astype(int)
+
+    def differs(self, x):
+        angles = self.predictions(x)
+        bins = self.direction(angles)
+        bin_diff = (bins != bins[0]).any(axis=0)
+        spread = angles.max(axis=0) - angles.min(axis=0)
+        return bin_diff | (spread > self.angle_spread)
+
+
+def make_oracle(models, task):
+    """Build the right oracle for a task."""
+    if task == "classification":
+        return ClassificationOracle(models)
+    if task == "regression":
+        return RegressionOracle(models)
+    raise ConfigError(f"unknown task {task!r}")
+
+
+def majority_label(models, x):
+    """Majority-vote class labels for ``x`` (paper §7.3 retraining).
+
+    DeepXplore labels its generated tests automatically by majority vote
+    over the tested DNNs; ties resolve to the first model's prediction.
+    """
+    preds = np.stack([m.predict(x).argmax(axis=1) for m in models])
+    n_classes = models[0].output_shape[0]
+    batch = preds.shape[1]
+    labels = np.empty(batch, dtype=int)
+    for i in range(batch):
+        counts = np.bincount(preds[:, i], minlength=n_classes)
+        best = counts.max()
+        winners = np.flatnonzero(counts == best)
+        labels[i] = preds[0, i] if preds[0, i] in winners else winners[0]
+    return labels

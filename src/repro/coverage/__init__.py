@@ -1,0 +1,12 @@
+"""Coverage metrics: neuron coverage (the paper's contribution) and the
+traditional code coverage it is contrasted against."""
+
+from repro.coverage.code import CodeCoverage
+from repro.coverage.extended import (BoundaryCoverage, KMultisectionCoverage,
+                                     NeuronProfile, TopKNeuronCoverage)
+from repro.coverage.neuron import (NeuronCoverageTracker, coverage_of_inputs,
+                                   scale_layerwise)
+
+__all__ = ["CodeCoverage", "NeuronCoverageTracker", "coverage_of_inputs",
+           "scale_layerwise", "BoundaryCoverage", "KMultisectionCoverage",
+           "NeuronProfile", "TopKNeuronCoverage"]

@@ -1,0 +1,137 @@
+"""Neuron coverage (paper §4.1).
+
+A neuron is *covered* by a test set if its output exceeds threshold ``t``
+for at least one input.  Following §7.1 of the paper, each layer's neuron
+outputs are (optionally, on by default) scaled to ``[0, 1]`` per input —
+``(out - min(out)) / (max(out) - min(out))`` over the layer's neuron
+vector — so one threshold is meaningful across layers whose raw output
+ranges differ.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CoverageError
+from repro.utils.rng import as_rng
+
+__all__ = ["NeuronCoverageTracker", "scale_layerwise", "coverage_of_inputs"]
+
+
+def scale_layerwise(activations, neuron_layers):
+    """Scale each layer's slice of ``activations`` to [0, 1] per input.
+
+    ``activations`` has shape ``(batch, total_neurons)``; ``neuron_layers``
+    is the network's flat neuron table.  Layers whose outputs are constant
+    for an input scale to all-zeros (nothing is "more activated").
+    """
+    scaled = np.empty_like(activations)
+    for entry in neuron_layers:
+        block = activations[:, entry.offset:entry.offset + entry.count]
+        lo = block.min(axis=1, keepdims=True)
+        hi = block.max(axis=1, keepdims=True)
+        span = hi - lo
+        safe = np.where(span > 0, span, 1.0)
+        scaled[:, entry.offset:entry.offset + entry.count] = \
+            np.where(span > 0, (block - lo) / safe, 0.0)
+    return scaled
+
+
+class NeuronCoverageTracker:
+    """Tracks which neurons of one network have been activated so far.
+
+    This is the ``cov_tracker`` of Algorithm 1.  ``layer_filter`` lets
+    experiments reproduce the paper's Table 8 setting, where coverage is
+    measured "on layers except fully-connected layers".
+    """
+
+    def __init__(self, network, threshold=0.0, scaled=True,
+                 layer_filter=None):
+        self.network = network
+        self.threshold = float(threshold)
+        self.scaled = bool(scaled)
+        included = []
+        for entry in network.neuron_layers:
+            if layer_filter is None or layer_filter(
+                    network.layers[entry.layer_index]):
+                included.append(entry)
+        self._entries = included
+        self._tracked = np.zeros(network.total_neurons, dtype=bool)
+        for entry in included:
+            self._tracked[entry.offset:entry.offset + entry.count] = True
+        self.covered = np.zeros(network.total_neurons, dtype=bool)
+
+    @property
+    def tracked_count(self):
+        """Number of neurons participating in coverage."""
+        return int(self._tracked.sum())
+
+    def activations(self, x):
+        """Neuron activations for ``x``, scaled if the tracker scales."""
+        acts = self.network.neuron_activations(np.asarray(x, dtype=np.float64))
+        if self.scaled:
+            acts = scale_layerwise(acts, self.network.neuron_layers)
+        return acts
+
+    def update(self, x):
+        """Fold a batch of inputs into coverage; returns #newly covered."""
+        acts = self.activations(x)
+        active = (acts > self.threshold).any(axis=0) & self._tracked
+        newly = int((active & ~self.covered).sum())
+        self.covered |= active
+        return newly
+
+    def coverage(self):
+        """Covered fraction of tracked neurons (the paper's NCov)."""
+        tracked = self.tracked_count
+        if tracked == 0:
+            raise CoverageError("tracker has no tracked neurons")
+        return float((self.covered & self._tracked).sum() / tracked)
+
+    def covered_count(self):
+        return int((self.covered & self._tracked).sum())
+
+    def uncovered_ids(self):
+        """Flat indices of tracked neurons not yet covered."""
+        return np.flatnonzero(self._tracked & ~self.covered)
+
+    def pick_uncovered(self, rng=None):
+        """Random uncovered neuron id, or ``None`` when fully covered.
+
+        This is line 33 of Algorithm 1: "select a neuron n inactivated so
+        far using cov_tracker".
+        """
+        candidates = self.uncovered_ids()
+        if candidates.size == 0:
+            return None
+        rng = as_rng(rng)
+        return int(candidates[rng.integers(0, candidates.size)])
+
+    def merge(self, other):
+        """Union coverage from another tracker over the same network."""
+        if other.network is not self.network:
+            raise CoverageError("cannot merge trackers of different networks")
+        self.covered |= other.covered
+
+    def reset(self):
+        self.covered[:] = False
+
+    def clone(self):
+        """Copy with independent coverage state."""
+        twin = NeuronCoverageTracker.__new__(NeuronCoverageTracker)
+        twin.network = self.network
+        twin.threshold = self.threshold
+        twin.scaled = self.scaled
+        twin._entries = self._entries
+        twin._tracked = self._tracked
+        twin.covered = self.covered.copy()
+        return twin
+
+
+def coverage_of_inputs(network, x, threshold=0.0, scaled=True,
+                       layer_filter=None):
+    """One-shot neuron coverage of ``x`` on ``network``."""
+    tracker = NeuronCoverageTracker(network, threshold=threshold,
+                                    scaled=scaled, layer_filter=layer_filter)
+    tracker.update(x)
+    return tracker.coverage()

@@ -1,0 +1,102 @@
+"""Synthetic Udacity-style driving dataset.
+
+Renders forward-facing grayscale road scenes with a curved lane and pairs
+each frame with the steering angle a centred car should apply.  This is
+the regression task of the paper: the DAVE models predict a continuous
+steering angle, the differential oracle is a left/right disagreement, and
+the image constraints (lighting, occlusion) apply unchanged.
+
+Geometry: the road is drawn in a crude perspective — its centreline drifts
+with lateral ``offset`` near the camera and bends with ``curvature``
+toward the horizon; width shrinks linearly with distance.  The ground
+truth steering angle steers back toward the lane centre and into the
+curve, matching how the Udacity frames pair camera images with the human
+driver's simultaneous wheel angle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import Dataset, resolve_scale
+from repro.utils.rng import as_rng
+
+__all__ = ["generate_driving", "render_road", "steering_for"]
+
+HEIGHT = 16
+WIDTH = 32
+
+#: Gains mapping scene geometry to the ground-truth steering angle.
+CURVATURE_GAIN = 1.6
+OFFSET_GAIN = 0.9
+
+
+def steering_for(curvature, offset):
+    """Ground-truth steering angle (radians) for a scene geometry."""
+    return float(np.clip(CURVATURE_GAIN * curvature + OFFSET_GAIN * offset,
+                         -1.2, 1.2))
+
+
+def render_road(curvature, offset, rng, brightness=None):
+    """Render one ``(1, 16, 32)`` road scene.
+
+    ``curvature`` in [-0.5, 0.5] bends the road; ``offset`` in [-0.3, 0.3]
+    shifts the car off the lane centre.
+    """
+    rng = as_rng(rng)
+    if brightness is None:
+        brightness = rng.uniform(0.85, 1.15)
+    img = np.zeros((HEIGHT, WIDTH))
+    horizon = 4
+    sky = np.linspace(0.75, 0.55, horizon)
+    img[:horizon, :] = sky[:, None]
+    img[horizon:, :] = 0.18  # ground
+
+    cols = np.arange(WIDTH)
+    for row in range(horizon, HEIGHT):
+        depth = (row - horizon) / (HEIGHT - 1 - horizon)  # 0 far -> 1 near
+        far = 1.0 - depth
+        centre = (WIDTH / 2.0
+                  + offset * depth * WIDTH * 0.5
+                  + curvature * far * far * WIDTH * 0.9)
+        half_width = 2.0 + depth * (WIDTH * 0.28)
+        on_road = np.abs(cols - centre) <= half_width
+        img[row, on_road] = 0.45
+        edges = (np.abs(np.abs(cols - centre) - half_width) <= 0.7)
+        img[row, edges] = 0.85
+        # Dashed centre line.
+        if row % 2 == 0:
+            mid = np.abs(cols - centre) <= max(half_width * 0.08, 0.4)
+            img[row, mid] = 0.95
+    img = img * brightness + rng.normal(0.0, 0.015, size=img.shape)
+    return np.clip(img, 0.0, 1.0)[None, :, :]
+
+
+_SCALE_SIZES = {
+    "smoke": (300, 90),
+    "small": (1200, 350),
+    "full": (5000, 1400),
+}
+
+
+def generate_driving(scale="small", seed=0):
+    """Generate the synthetic driving dataset at a named scale."""
+    resolve_scale(scale)
+    rng = as_rng(seed)
+    n_train, n_test = _SCALE_SIZES[scale]
+    total = n_train + n_test
+    curvature = rng.uniform(-0.5, 0.5, size=total)
+    offset = rng.uniform(-0.3, 0.3, size=total)
+    frames = np.stack([
+        render_road(c, o, rng) for c, o in zip(curvature, offset)])
+    angles = np.array([steering_for(c, o)
+                       for c, o in zip(curvature, offset)])
+    angles += rng.normal(0.0, 0.01, size=total)  # sensor noise
+    return Dataset(
+        name="driving",
+        x_train=frames[:n_train], y_train=angles[:n_train],
+        x_test=frames[n_train:], y_test=angles[n_train:],
+        task="regression", num_classes=None,
+        metadata={"scale": scale, "seed": seed, "domain": "image",
+                  "curvature": curvature, "offset": offset},
+    )

@@ -1,0 +1,188 @@
+"""Synthetic MNIST: procedurally rendered 28x28 handwritten-style digits.
+
+Each digit class is defined by a stroke skeleton (polylines and arcs in a
+unit square).  A sample applies a random affine jitter (rotation, scale,
+shear, translation) and per-stroke thickness, rasterizes the skeleton with
+a Gaussian pen model, and adds light background noise.  The result is a
+dataset on which the LeNet family trains to high accuracy while still
+leaving genuine corner cases — the regime DeepXplore's differential
+testing needs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import Dataset, resolve_scale
+from repro.errors import DatasetError
+from repro.utils.rng import as_rng
+
+__all__ = ["generate_mnist", "render_digit", "DIGIT_SKELETONS"]
+
+IMAGE_SIZE = 28
+
+
+def _arc(cx, cy, rx, ry, start_deg, end_deg, steps=40):
+    """Sample an elliptical arc; y axis points down, angles CCW."""
+    theta = np.radians(np.linspace(start_deg, end_deg, steps))
+    return np.stack([cx + rx * np.cos(theta), cy - ry * np.sin(theta)], axis=1)
+
+
+def _line(*points):
+    return np.asarray(points, dtype=np.float64)
+
+
+def _skeleton_0():
+    return [_arc(0.5, 0.5, 0.26, 0.36, 0, 360, 72)]
+
+
+def _skeleton_1():
+    return [_line((0.36, 0.26), (0.55, 0.10), (0.55, 0.90))]
+
+
+def _skeleton_2():
+    return [
+        _arc(0.5, 0.30, 0.25, 0.19, 170, -20, 36),
+        _line((0.72, 0.38), (0.24, 0.88)),
+        _line((0.24, 0.88), (0.78, 0.88)),
+    ]
+
+
+def _skeleton_3():
+    return [
+        _arc(0.45, 0.30, 0.26, 0.20, 150, -80, 36),
+        _arc(0.45, 0.70, 0.28, 0.22, 80, -150, 36),
+    ]
+
+
+def _skeleton_4():
+    return [
+        _line((0.58, 0.10), (0.22, 0.58)),
+        _line((0.22, 0.58), (0.80, 0.58)),
+        _line((0.62, 0.30), (0.62, 0.92)),
+    ]
+
+
+def _skeleton_5():
+    return [
+        _line((0.72, 0.12), (0.30, 0.12)),
+        _line((0.30, 0.12), (0.28, 0.47)),
+        _arc(0.46, 0.67, 0.27, 0.24, 105, -160, 40),
+    ]
+
+
+def _skeleton_6():
+    return [
+        _line((0.66, 0.10), (0.42, 0.42)),
+        _arc(0.50, 0.67, 0.24, 0.23, 0, 360, 60),
+    ]
+
+
+def _skeleton_7():
+    return [
+        _line((0.24, 0.12), (0.76, 0.12)),
+        _line((0.76, 0.12), (0.40, 0.90)),
+    ]
+
+
+def _skeleton_8():
+    return [
+        _arc(0.5, 0.30, 0.20, 0.18, 0, 360, 48),
+        _arc(0.5, 0.70, 0.25, 0.21, 0, 360, 56),
+    ]
+
+
+def _skeleton_9():
+    return [
+        _arc(0.50, 0.33, 0.22, 0.21, 0, 360, 52),
+        _line((0.71, 0.40), (0.60, 0.90)),
+    ]
+
+
+#: Stroke skeletons for digits 0-9 in a unit square (y grows downward).
+DIGIT_SKELETONS = {
+    0: _skeleton_0, 1: _skeleton_1, 2: _skeleton_2, 3: _skeleton_3,
+    4: _skeleton_4, 5: _skeleton_5, 6: _skeleton_6, 7: _skeleton_7,
+    8: _skeleton_8, 9: _skeleton_9,
+}
+
+# Pixel-centre grid reused across renders.
+_GRID = np.stack(np.meshgrid(
+    (np.arange(IMAGE_SIZE) + 0.5) / IMAGE_SIZE,
+    (np.arange(IMAGE_SIZE) + 0.5) / IMAGE_SIZE, indexing="xy"),
+    axis=-1).reshape(-1, 2)
+
+
+def _densify(polyline, spacing=0.02):
+    """Resample a polyline so consecutive points are ~``spacing`` apart."""
+    pieces = [polyline[:1]]
+    for start, end in zip(polyline[:-1], polyline[1:]):
+        dist = float(np.hypot(*(end - start)))
+        steps = max(int(dist / spacing), 1)
+        frac = np.linspace(0.0, 1.0, steps + 1)[1:, None]
+        pieces.append(start[None, :] * (1 - frac) + end[None, :] * frac)
+    return np.concatenate(pieces, axis=0)
+
+
+def render_digit(digit, rng, thickness=None):
+    """Render one jittered sample of ``digit`` as a ``(1, 28, 28)`` image."""
+    if digit not in DIGIT_SKELETONS:
+        raise DatasetError(f"digit must be 0-9, got {digit!r}")
+    rng = as_rng(rng)
+    strokes = DIGIT_SKELETONS[digit]()
+    points = np.concatenate([_densify(s) for s in strokes], axis=0)
+
+    # Random affine jitter about the glyph centre.
+    angle = np.radians(rng.normal(0.0, 7.0))
+    scale = rng.uniform(0.85, 1.1)
+    shear = rng.normal(0.0, 0.08)
+    cos_a, sin_a = np.cos(angle), np.sin(angle)
+    affine = scale * np.array([[cos_a, sin_a + shear], [-sin_a, cos_a]])
+    shift = rng.normal(0.0, 0.03, size=2)
+    centred = points - 0.5
+    points = centred @ affine.T + 0.5 + shift
+
+    if thickness is None:
+        thickness = rng.uniform(0.030, 0.045)
+    # Gaussian pen: intensity from squared distance to nearest stroke point.
+    d2 = ((_GRID[:, None, :] - points[None, :, :]) ** 2).sum(axis=2).min(axis=1)
+    image = np.exp(-d2 / (2.0 * thickness ** 2))
+    image += rng.normal(0.0, 0.02, size=image.shape)
+    return np.clip(image, 0.0, 1.0).reshape(1, IMAGE_SIZE, IMAGE_SIZE)
+
+
+_SCALE_SIZES = {
+    # (train per class, test per class)
+    "smoke": (24, 8),
+    "small": (120, 30),
+    "full": (500, 100),
+}
+
+
+def generate_mnist(scale="small", seed=0):
+    """Generate the synthetic MNIST dataset at a named scale."""
+    resolve_scale(scale)
+    rng = as_rng(seed)
+    n_train, n_test = _SCALE_SIZES[scale]
+    images, labels = [], []
+    for digit in range(10):
+        for _ in range(n_train + n_test):
+            images.append(render_digit(digit, rng))
+            labels.append(digit)
+    x = np.stack(images).astype(np.float64)
+    y = np.asarray(labels)
+    # Interleave classes, then carve a per-class-balanced test split.
+    order = rng.permutation(x.shape[0])
+    x, y = x[order], y[order]
+    test_mask = np.zeros(x.shape[0], dtype=bool)
+    for digit in range(10):
+        digit_idx = np.flatnonzero(y == digit)
+        test_mask[digit_idx[:n_test]] = True
+    return Dataset(
+        name="mnist",
+        x_train=x[~test_mask], y_train=y[~test_mask],
+        x_test=x[test_mask], y_test=y[test_mask],
+        task="classification", num_classes=10,
+        class_names=[str(d) for d in range(10)],
+        metadata={"scale": scale, "seed": seed, "domain": "image"},
+    )

@@ -1,0 +1,49 @@
+"""Training-data pollution utilities (paper §7.3).
+
+The pollution experiment trains one LeNet-5 on clean MNIST and another on
+a polluted copy where 30% of the images labelled 9 are re-labelled 1, then
+uses DeepXplore plus an SSIM nearest-neighbour search to recover the
+polluted samples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import Dataset
+from repro.errors import DatasetError
+from repro.utils.rng import as_rng
+
+__all__ = ["pollute_labels"]
+
+
+def pollute_labels(dataset, source_class=9, target_class=1, fraction=0.3,
+                   rng=None):
+    """Return ``(polluted_dataset, polluted_indices)``.
+
+    ``fraction`` of the training samples labelled ``source_class`` are
+    re-labelled ``target_class``; the test split is untouched.  The indices
+    of the flipped training samples are returned so detection experiments
+    can score themselves.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise DatasetError(f"fraction must be in (0, 1], got {fraction}")
+    rng = as_rng(rng)
+    y = np.asarray(dataset.y_train).copy()
+    candidates = np.flatnonzero(y == source_class)
+    if candidates.size == 0:
+        raise DatasetError(f"no training samples with label {source_class}")
+    n_flip = max(1, int(round(candidates.size * fraction)))
+    flipped = rng.choice(candidates, size=n_flip, replace=False)
+    y[flipped] = target_class
+    polluted = Dataset(
+        name=f"{dataset.name}-polluted",
+        x_train=dataset.x_train, y_train=y,
+        x_test=dataset.x_test, y_test=dataset.y_test,
+        task=dataset.task, num_classes=dataset.num_classes,
+        feature_names=dataset.feature_names,
+        class_names=dataset.class_names,
+        metadata={**dataset.metadata, "polluted_from": source_class,
+                  "polluted_to": target_class},
+    )
+    return polluted, np.sort(flipped)

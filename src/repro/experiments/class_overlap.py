@@ -1,0 +1,42 @@
+"""Table 7: activation overlap for same-class vs different-class inputs.
+
+Random MNIST input pairs run through LeNet-5: pairs from the same class
+share more activated neurons than pairs from different classes,
+supporting neuron coverage as a proxy for "rules exercised".
+"""
+
+from __future__ import annotations
+
+from repro.analysis import class_pair_overlap
+from repro.datasets import load_dataset
+from repro.experiments.common import ExperimentResult
+from repro.models import get_model
+
+__all__ = ["run_class_overlap"]
+
+
+def run_class_overlap(scale="small", seed=0, n_pairs=100, threshold=0.25,
+                      use_cache=True):
+    """Run the Table 7 experiment on the LeNet-5 zoo model (MNI_C3)."""
+    dataset = load_dataset("mnist", scale=scale, seed=seed)
+    model = get_model("MNI_C3", scale=scale, seed=seed, dataset=dataset,
+                      use_cache=use_cache)
+    n_pairs = min(n_pairs, dataset.x_test.shape[0] // 2)
+    same, diff = class_pair_overlap(model, dataset, n_pairs=n_pairs,
+                                    threshold=threshold, rng=seed + 7)
+    result = ExperimentResult(
+        experiment_id="table7",
+        title="Average activated-neuron overlap, same vs different class",
+        headers=["Pair type", "Total neurons", "Avg # activated",
+                 "Avg overlap"],
+        rows=[
+            ["Diff. class", diff.total_neurons,
+             round(diff.avg_activated, 1), round(diff.avg_overlap, 1)],
+            ["Same class", same.total_neurons,
+             round(same.avg_activated, 1), round(same.avg_overlap, 1)],
+        ],
+        paper_reference=("LeNet-5: avg overlap 45.9 (diff class) vs 74.2 "
+                         "(same class) out of ~84 activated"),
+    )
+    result.notes.append(f"{n_pairs} random pairs per row, t = {threshold}")
+    return result

@@ -1,0 +1,64 @@
+"""Table 5: neuron coverage increases the diversity of generated inputs.
+
+Runs the MNIST trio with lambda2 = 0 (no coverage objective) and
+lambda2 = 1, comparing the average L1 distance of generated inputs from
+their seeds, the achieved neuron coverage (t = 0.25), and the number of
+differences found.  The paper's headline: coverage-guided generation is
+*more diverse* even though it finds somewhat fewer raw differences.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import average_l1_diversity
+from repro.core import DeepXplore, PAPER_HYPERPARAMS, constraint_for_dataset
+from repro.coverage import NeuronCoverageTracker
+from repro.datasets import load_dataset
+from repro.experiments.common import ExperimentResult, seeds_for_scale
+from repro.models import get_trio
+from repro.utils.rng import as_rng
+
+__all__ = ["run_coverage_diversity"]
+
+
+def _one_setting(models, dataset, seeds, lambda2, rng):
+    hp = PAPER_HYPERPARAMS["mnist"].with_(lambda2=lambda2)
+    trackers = [NeuronCoverageTracker(m, threshold=0.25) for m in models]
+    engine = DeepXplore(models, hp, constraint_for_dataset(dataset),
+                        task="classification", trackers=trackers, rng=rng)
+    run = engine.run(seeds)
+    ascent_tests = [t for t in run.tests if t.iterations > 0]
+    diversity = average_l1_diversity(ascent_tests, seeds)
+    coverage = engine.mean_coverage()
+    return diversity, coverage, len(ascent_tests)
+
+
+def run_coverage_diversity(scale="small", seed=0, repetitions=3,
+                           use_cache=True):
+    """Run the Table 5 comparison over ``repetitions`` seed draws."""
+    dataset = load_dataset("mnist", scale=scale, seed=seed)
+    models = get_trio("mnist", scale=scale, seed=seed, dataset=dataset,
+                      use_cache=use_cache)
+    result = ExperimentResult(
+        experiment_id="table5",
+        title="Diversity (avg L1) with and without neuron coverage",
+        headers=["Exp #", "diversity (l2=0)", "NC (l2=0)", "#diffs (l2=0)",
+                 "diversity (l2=1)", "NC (l2=1)", "#diffs (l2=1)"],
+        paper_reference=("lambda2=1 raises avg diversity (e.g. 237.9 -> "
+                         "283.3) and NC by 1-2 points while finding "
+                         "slightly fewer raw differences"),
+    )
+    n_seeds = seeds_for_scale(scale, maximum=dataset.x_test.shape[0])
+    for rep in range(1, repetitions + 1):
+        rng = as_rng(seed * 1000 + rep)
+        seeds_x, _ = dataset.sample_seeds(n_seeds, rng)
+        div0, cov0, diffs0 = _one_setting(models, dataset, seeds_x, 0.0,
+                                          as_rng(rep))
+        div1, cov1, diffs1 = _one_setting(models, dataset, seeds_x, 1.0,
+                                          as_rng(rep))
+        result.rows.append([rep, round(div0, 1), f"{cov0:.1%}", diffs0,
+                            round(div1, 1), f"{cov1:.1%}", diffs1])
+    result.notes.append("diversity = mean L1 distance of generated inputs "
+                        "from their seeds; NC threshold t = 0.25")
+    return result

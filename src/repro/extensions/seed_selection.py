@@ -1,0 +1,80 @@
+"""Seed-selection strategies.
+
+The paper draws seeds uniformly from the test set.  Two refinements a
+practitioner reaches for immediately:
+
+* **class-balanced** — equal seeds per class, so rare classes get tested;
+* **low-confidence** — seeds the models are least sure about, which sit
+  near decision boundaries and convert to differences in fewer ascent
+  iterations (measured in ``benchmarks/test_ablation_seed_selection.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.utils.rng import as_rng
+
+__all__ = ["select_seeds", "random_seeds", "class_balanced_seeds",
+           "low_confidence_seeds"]
+
+
+def random_seeds(dataset, count, rng=None, models=None):
+    """Uniform draw from the test split (the paper's strategy)."""
+    return dataset.sample_seeds(count, as_rng(rng))
+
+
+def class_balanced_seeds(dataset, count, rng=None, models=None):
+    """Equal number of seeds per class (remainder spread round-robin)."""
+    rng = as_rng(rng)
+    y = np.asarray(dataset.y_test)
+    classes = np.unique(y)
+    per_class = count // classes.size
+    remainder = count - per_class * classes.size
+    chosen = []
+    for i, cls in enumerate(rng.permutation(classes)):
+        members = np.flatnonzero(y == cls)
+        want = per_class + (1 if i < remainder else 0)
+        take = min(want, members.size)
+        chosen.extend(rng.choice(members, size=take, replace=False))
+    chosen = np.asarray(chosen)
+    rng.shuffle(chosen)
+    return dataset.x_test[chosen].copy(), y[chosen].copy()
+
+
+def low_confidence_seeds(dataset, count, rng=None, models=None):
+    """Seeds with the lowest mean top-probability across ``models``.
+
+    Requires classification models; ties are broken randomly so repeated
+    runs don't always test the exact same inputs.
+    """
+    if not models:
+        raise ConfigError("low-confidence selection needs models")
+    rng = as_rng(rng)
+    confidence = np.mean(
+        [m.predict(dataset.x_test).max(axis=1) for m in models], axis=0)
+    jitter = rng.uniform(0.0, 1e-9, size=confidence.shape)
+    order = np.argsort(confidence + jitter)
+    chosen = order[:count]
+    return (dataset.x_test[chosen].copy(),
+            np.asarray(dataset.y_test)[chosen].copy())
+
+
+_STRATEGIES = {
+    "random": random_seeds,
+    "balanced": class_balanced_seeds,
+    "low-confidence": low_confidence_seeds,
+}
+
+
+def select_seeds(strategy, dataset, count, rng=None, models=None):
+    """Dispatch on strategy name."""
+    if strategy not in _STRATEGIES:
+        raise ConfigError(
+            f"unknown seed strategy {strategy!r}; known: "
+            f"{sorted(_STRATEGIES)}")
+    if count < 1:
+        raise ConfigError(f"count must be >= 1, got {count}")
+    count = min(count, dataset.x_test.shape[0])
+    return _STRATEGIES[strategy](dataset, count, rng=rng, models=models)

@@ -1,0 +1,76 @@
+"""Scaled-down Nvidia DAVE-2 self-driving models (paper's DRV_C1..C3).
+
+All three regress a steering angle from a forward camera frame with an
+``atan`` head.  Their differences follow §6.1 of the paper:
+
+* **DAVE-orig** replicates the original pipeline: input batch
+  normalization, a convolutional stack, and a deep fully connected head.
+* **DAVE-norminit** drops the first batch-normalization layer and instead
+  normalizes the randomly initialized weights (row-normalized init).
+* **DAVE-dropout** cuts convolutional and fully connected layers and adds
+  two dropout layers between the final fully connected layers.
+"""
+
+from __future__ import annotations
+
+from repro.nn import (BatchNorm, Conv2D, Dense, Dropout, Flatten, MaxPool2D,
+                      Network)
+from repro.utils.rng import as_rng
+
+__all__ = ["build_dave_orig", "build_dave_norminit", "build_dave_dropout"]
+
+_INPUT_SHAPE = (1, 16, 32)
+
+
+def build_dave_orig(rng=None, name="dave_orig"):
+    """DAVE-orig: BN + three conv layers + three-layer FC head."""
+    rng = as_rng(rng)
+    layers = [
+        BatchNorm(1, name="input_bn"),
+        Conv2D(1, 8, 5, stride=2, padding=2, rng=rng, name="conv1"),  # 8x16
+        Conv2D(8, 12, 5, stride=2, padding=2, rng=rng, name="conv2"),  # 4x8
+        Conv2D(12, 16, 3, padding=1, rng=rng, name="conv3"),           # 4x8
+        Flatten(name="flatten"),
+        Dense(16 * 4 * 8, 64, rng=rng, name="fc1"),
+        Dense(64, 32, rng=rng, name="fc2"),
+        Dense(32, 10, rng=rng, name="fc3"),
+        Dense(10, 1, activation="atan", rng=rng, name="steer"),
+    ]
+    return Network(layers, _INPUT_SHAPE, name=name)
+
+
+def build_dave_norminit(rng=None, name="dave_norminit"):
+    """DAVE-norminit: no input BN; row-normalized weight init."""
+    rng = as_rng(rng)
+    init = "row_normalized"
+    layers = [
+        Conv2D(1, 8, 5, stride=2, padding=2, initializer=init, rng=rng,
+               name="conv1"),
+        Conv2D(8, 12, 5, stride=2, padding=2, initializer=init, rng=rng,
+               name="conv2"),
+        Conv2D(12, 16, 3, padding=1, initializer=init, rng=rng, name="conv3"),
+        Flatten(name="flatten"),
+        Dense(16 * 4 * 8, 64, initializer=init, rng=rng, name="fc1"),
+        Dense(64, 32, initializer=init, rng=rng, name="fc2"),
+        Dense(32, 10, initializer=init, rng=rng, name="fc3"),
+        Dense(10, 1, activation="atan", initializer=init, rng=rng,
+              name="steer"),
+    ]
+    return Network(layers, _INPUT_SHAPE, name=name)
+
+
+def build_dave_dropout(rng=None, name="dave_dropout"):
+    """DAVE-dropout: shallower stack with dropout in the FC head."""
+    rng = as_rng(rng)
+    layers = [
+        Conv2D(1, 8, 5, stride=2, padding=2, rng=rng, name="conv1"),  # 8x16
+        MaxPool2D(2, name="pool1"),                                    # 4x8
+        Conv2D(8, 12, 3, padding=1, rng=rng, name="conv2"),            # 4x8
+        Flatten(name="flatten"),
+        Dense(12 * 4 * 8, 48, rng=rng, name="fc1"),
+        Dropout(0.25, rng=rng, name="drop1"),
+        Dense(48, 16, rng=rng, name="fc2"),
+        Dropout(0.25, rng=rng, name="drop2"),
+        Dense(16, 1, activation="atan", rng=rng, name="steer"),
+    ]
+    return Network(layers, _INPUT_SHAPE, name=name)

@@ -1,0 +1,70 @@
+"""The LeNet family (paper's MNIST models MNI_C1..C3).
+
+LeNet-1, LeNet-4 and LeNet-5 follow LeCun et al.'s topologies on 28x28
+inputs: valid 5x5 convolutions with 2x2 subsampling, then fully connected
+heads.  ``build_lenet1_variant`` additionally supports the Table 12
+similarity experiment, which perturbs the number of filters per
+convolutional layer.
+"""
+
+from __future__ import annotations
+
+from repro.nn import Conv2D, Dense, Flatten, MaxPool2D, Network
+from repro.utils.rng import as_rng
+
+__all__ = ["build_lenet1", "build_lenet4", "build_lenet5",
+           "build_lenet1_variant"]
+
+_INPUT_SHAPE = (1, 28, 28)
+
+
+def build_lenet1(rng=None, name="lenet1"):
+    """LeNet-1: two conv/pool stages straight into the softmax."""
+    return build_lenet1_variant(rng=rng, name=name, extra_filters=0)
+
+
+def build_lenet1_variant(rng=None, name="lenet1", extra_filters=0):
+    """LeNet-1 with ``extra_filters`` added to each conv layer (Table 12)."""
+    rng = as_rng(rng)
+    c1 = 4 + extra_filters
+    c2 = 12 + extra_filters
+    layers = [
+        Conv2D(1, c1, 5, rng=rng, name="conv1"),      # 28 -> 24
+        MaxPool2D(2, name="pool1"),                    # -> 12
+        Conv2D(c1, c2, 5, rng=rng, name="conv2"),      # -> 8
+        MaxPool2D(2, name="pool2"),                    # -> 4
+        Flatten(name="flatten"),
+        Dense(c2 * 4 * 4, 10, activation="softmax", rng=rng, name="output"),
+    ]
+    return Network(layers, _INPUT_SHAPE, name=name)
+
+
+def build_lenet4(rng=None, name="lenet4"):
+    """LeNet-4: 4/16 feature maps plus a 120-unit hidden layer."""
+    rng = as_rng(rng)
+    layers = [
+        Conv2D(1, 4, 5, rng=rng, name="conv1"),        # -> 24
+        MaxPool2D(2, name="pool1"),                     # -> 12
+        Conv2D(4, 16, 5, rng=rng, name="conv2"),        # -> 8
+        MaxPool2D(2, name="pool2"),                     # -> 4
+        Flatten(name="flatten"),
+        Dense(16 * 4 * 4, 120, rng=rng, name="fc1"),
+        Dense(120, 10, activation="softmax", rng=rng, name="output"),
+    ]
+    return Network(layers, _INPUT_SHAPE, name=name)
+
+
+def build_lenet5(rng=None, name="lenet5"):
+    """LeNet-5: 6/16 feature maps with 120- and 84-unit hidden layers."""
+    rng = as_rng(rng)
+    layers = [
+        Conv2D(1, 6, 5, rng=rng, name="conv1"),        # -> 24
+        MaxPool2D(2, name="pool1"),                     # -> 12
+        Conv2D(6, 16, 5, rng=rng, name="conv2"),        # -> 8
+        MaxPool2D(2, name="pool2"),                     # -> 4
+        Flatten(name="flatten"),
+        Dense(16 * 4 * 4, 120, rng=rng, name="fc1"),
+        Dense(120, 84, rng=rng, name="fc2"),
+        Dense(84, 10, activation="softmax", rng=rng, name="output"),
+    ]
+    return Network(layers, _INPUT_SHAPE, name=name)

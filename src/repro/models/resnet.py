@@ -1,0 +1,49 @@
+"""Scaled-down ResNet for the mini-ImageNet dataset.
+
+Keeps ResNet's defining structure — residual blocks with identity
+shortcuts, stage-wise widening, global average pooling head — at a depth
+and width trainable in numpy.  As in the paper's Table 1, this is the
+widest model of the ImageNet trio.
+"""
+
+from __future__ import annotations
+
+from repro.nn import (AvgPool2D, BatchNorm, Conv2D, Dense, GlobalAvgPool2D,
+                      Network, Residual)
+from repro.utils.rng import as_rng
+
+__all__ = ["build_resnet"]
+
+_INPUT_SHAPE = (3, 32, 32)
+
+
+def _basic_block(channels, rng, tag):
+    """Identity residual block: conv-BN-relu-conv-BN + skip, relu."""
+    body = [
+        Conv2D(channels, channels, 3, padding=1, rng=rng,
+               name=f"{tag}_conv1"),
+        Conv2D(channels, channels, 3, padding=1, activation="linear",
+               rng=rng, name=f"{tag}_conv2"),
+        BatchNorm(channels, name=f"{tag}_bn"),
+    ]
+    return Residual(body, name=tag)
+
+
+def build_resnet(rng=None, name="resnet"):
+    """Mini ResNet: stem + three residual stages + global-pool head."""
+    rng = as_rng(rng)
+    layers = [
+        Conv2D(3, 16, 3, padding=1, rng=rng, name="stem"),       # 32x32
+        _basic_block(16, rng, "stage1_block1"),
+        _basic_block(16, rng, "stage1_block2"),
+        AvgPool2D(2, name="down1"),                               # 16x16
+        Conv2D(16, 32, 3, padding=1, rng=rng, name="widen1"),
+        _basic_block(32, rng, "stage2_block1"),
+        _basic_block(32, rng, "stage2_block2"),
+        AvgPool2D(2, name="down2"),                               # 8x8
+        Conv2D(32, 48, 3, padding=1, rng=rng, name="widen2"),
+        _basic_block(48, rng, "stage3_block1"),
+        GlobalAvgPool2D(name="gap"),
+        Dense(48, 10, activation="softmax", rng=rng, name="output"),
+    ]
+    return Network(layers, _INPUT_SHAPE, name=name)

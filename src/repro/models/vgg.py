@@ -1,0 +1,58 @@
+"""Scaled-down VGG-16 / VGG-19 for the mini-ImageNet dataset.
+
+The originals stack 3x3 same-padding convolutions in blocks separated by
+2x2 max pooling, ending in fully connected layers; these minis keep that
+family signature (VGG-19 is the deeper sibling with extra convolutions per
+late block) at channel widths a numpy CPU stack can train.
+"""
+
+from __future__ import annotations
+
+from repro.nn import Conv2D, Dense, Flatten, MaxPool2D, Network
+from repro.utils.rng import as_rng
+
+__all__ = ["build_vgg16", "build_vgg19"]
+
+_INPUT_SHAPE = (3, 32, 32)
+
+
+def _block(in_channels, out_channels, convs, rng, tag):
+    layers = []
+    channels = in_channels
+    for i in range(convs):
+        layers.append(Conv2D(channels, out_channels, 3, padding=1, rng=rng,
+                             name=f"{tag}_conv{i + 1}"))
+        channels = out_channels
+    layers.append(MaxPool2D(2, name=f"{tag}_pool"))
+    return layers
+
+
+def build_vgg16(rng=None, name="vgg16"):
+    """Mini VGG-16: blocks of (2, 2, 3) convolutions, two dense layers."""
+    rng = as_rng(rng)
+    layers = []
+    layers += _block(3, 8, 2, rng, "block1")    # 32 -> 16
+    layers += _block(8, 16, 2, rng, "block2")   # 16 -> 8
+    layers += _block(16, 24, 3, rng, "block3")  # 8 -> 4
+    layers += [
+        Flatten(name="flatten"),
+        Dense(24 * 4 * 4, 96, rng=rng, name="fc1"),
+        Dense(96, 10, activation="softmax", rng=rng, name="output"),
+    ]
+    return Network(layers, _INPUT_SHAPE, name=name)
+
+
+def build_vgg19(rng=None, name="vgg19"):
+    """Mini VGG-19: deeper late blocks of (2, 2, 4, 2) convolutions."""
+    rng = as_rng(rng)
+    layers = []
+    layers += _block(3, 8, 2, rng, "block1")    # 32 -> 16
+    layers += _block(8, 16, 2, rng, "block2")   # 16 -> 8
+    layers += _block(16, 24, 4, rng, "block3")  # 8 -> 4
+    layers += _block(24, 32, 2, rng, "block4")  # 4 -> 2
+    layers += [
+        Flatten(name="flatten"),
+        Dense(32 * 2 * 2, 96, rng=rng, name="fc1"),
+        Dense(96, 10, activation="softmax", rng=rng, name="output"),
+    ]
+    return Network(layers, _INPUT_SHAPE, name=name)

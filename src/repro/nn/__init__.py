@@ -1,0 +1,72 @@
+"""A from-scratch numpy neural-network framework.
+
+This package substitutes for TensorFlow/Keras in the DeepXplore
+reproduction.  It provides layers with exact analytic backward passes,
+training (SGD/Adam), and — the capability DeepXplore is built on —
+gradients of output probabilities and *arbitrary hidden neurons* with
+respect to the network input.
+"""
+
+from repro.nn.activations import (
+    Activation,
+    Atan,
+    Elu,
+    LeakyRelu,
+    Linear,
+    Relu,
+    Sigmoid,
+    Softmax,
+    Softplus,
+    Tanh,
+    get_activation,
+)
+from repro.nn.config import (layer_from_config, layer_to_config,
+                             load_network, network_from_config,
+                             network_to_config, save_network)
+from repro.nn.conv import Conv2D, col2im, conv_output_size, im2col
+from repro.nn.dense import Dense
+from repro.nn.dropout import Dropout
+from repro.nn.initializers import (
+    get_initializer,
+    glorot_uniform,
+    he_normal,
+    row_normalized,
+)
+from repro.nn.layer import Layer
+from repro.nn.losses import CrossEntropy, Loss, MeanSquaredError, get_loss
+from repro.nn.network import LayerNeurons, Network, NeuronId
+from repro.nn.norm import BatchNorm
+from repro.nn.metrics import (classification_report, confusion_matrix,
+                              precision_recall_f1)
+from repro.nn.optimizers import (SGD, Adam, CosineDecay, Optimizer, RMSProp,
+                                 StepDecay, clip_gradients, get_optimizer)
+from repro.nn.parameter import Parameter
+from repro.nn.pool import AvgPool2D, GlobalAvgPool2D, MaxPool2D
+from repro.nn.reshape import Flatten
+from repro.nn.residual import Residual
+from repro.nn.scale import FixedScale
+from repro.nn.training import (EarlyStopping, Trainer, accuracy, mse,
+                               steering_accuracy)
+
+__all__ = [
+    "Activation", "Atan", "Elu", "LeakyRelu", "Linear", "Relu", "Sigmoid",
+    "Softmax", "Softplus", "Tanh", "get_activation",
+    "Conv2D", "col2im", "conv_output_size", "im2col",
+    "Dense", "Dropout",
+    "get_initializer", "glorot_uniform", "he_normal", "row_normalized",
+    "Layer",
+    "CrossEntropy", "Loss", "MeanSquaredError", "get_loss",
+    "LayerNeurons", "Network", "NeuronId",
+    "BatchNorm",
+    "SGD", "Adam", "RMSProp", "Optimizer", "get_optimizer",
+    "StepDecay", "CosineDecay", "clip_gradients",
+    "classification_report", "confusion_matrix", "precision_recall_f1",
+    "Parameter",
+    "AvgPool2D", "GlobalAvgPool2D", "MaxPool2D",
+    "Flatten",
+    "Residual",
+    "FixedScale",
+    "EarlyStopping", "Trainer", "accuracy", "mse", "steering_accuracy",
+    "layer_from_config", "layer_to_config", "load_network",
+    "network_from_config", "network_to_config", "save_network",
+]

@@ -1,0 +1,206 @@
+"""Activation functions as forward/backward strategy objects.
+
+Layers with built-in activations (Dense, Conv2D) compose one of these so
+that neuron coverage — which the paper measures on *post-activation*
+outputs, matching the Keras convention — sees the activated values.
+
+Each activation implements ``forward(z)`` and ``backward(grad, z, a)``
+where ``z`` is the pre-activation, ``a`` the cached activation output, and
+``grad`` the upstream gradient with respect to ``a``.  ``backward`` returns
+the gradient with respect to ``z``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "Activation",
+    "Linear",
+    "Relu",
+    "LeakyRelu",
+    "Sigmoid",
+    "Tanh",
+    "Softmax",
+    "Atan",
+    "Elu",
+    "Softplus",
+    "get_activation",
+]
+
+
+class Activation:
+    """Base class for activation strategies."""
+
+    name = "activation"
+
+    def forward(self, z):
+        raise NotImplementedError
+
+    def backward(self, grad, z, a):
+        raise NotImplementedError
+
+    def __repr__(self):
+        return f"{type(self).__name__}()"
+
+
+class Linear(Activation):
+    """Identity activation."""
+
+    name = "linear"
+
+    def forward(self, z):
+        return z
+
+    def backward(self, grad, z, a):
+        return grad
+
+
+class Relu(Activation):
+    """Rectified linear unit: max(0, z)."""
+
+    name = "relu"
+
+    def forward(self, z):
+        return np.maximum(z, 0.0)
+
+    def backward(self, grad, z, a):
+        return grad * (z > 0.0)
+
+
+class LeakyRelu(Activation):
+    """Leaky ReLU with configurable negative slope."""
+
+    name = "leaky_relu"
+
+    def __init__(self, alpha=0.1):
+        self.alpha = float(alpha)
+
+    def forward(self, z):
+        return np.where(z > 0.0, z, self.alpha * z)
+
+    def backward(self, grad, z, a):
+        return grad * np.where(z > 0.0, 1.0, self.alpha)
+
+
+class Sigmoid(Activation):
+    """Logistic sigmoid."""
+
+    name = "sigmoid"
+
+    def forward(self, z):
+        out = np.empty_like(z)
+        pos = z >= 0.0
+        out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+        ez = np.exp(z[~pos])
+        out[~pos] = ez / (1.0 + ez)
+        return out
+
+    def backward(self, grad, z, a):
+        return grad * a * (1.0 - a)
+
+
+class Tanh(Activation):
+    """Hyperbolic tangent."""
+
+    name = "tanh"
+
+    def forward(self, z):
+        return np.tanh(z)
+
+    def backward(self, grad, z, a):
+        return grad * (1.0 - a * a)
+
+
+class Atan(Activation):
+    """Arctangent activation, used by the DAVE steering head.
+
+    The Nvidia DAVE-2 architecture emits ``atan(z)`` so the steering angle
+    is bounded to (-pi/2, pi/2); the original DeepXplore models multiply by
+    2 but the bounded shape is what matters for gradient ascent.
+    """
+
+    name = "atan"
+
+    def forward(self, z):
+        return np.arctan(z)
+
+    def backward(self, grad, z, a):
+        return grad / (1.0 + z * z)
+
+
+class Elu(Activation):
+    """Exponential linear unit: smooth negative saturation."""
+
+    name = "elu"
+
+    def __init__(self, alpha=1.0):
+        self.alpha = float(alpha)
+
+    def forward(self, z):
+        return np.where(z > 0.0, z, self.alpha * (np.exp(np.minimum(z, 0.0))
+                                                  - 1.0))
+
+    def backward(self, grad, z, a):
+        return grad * np.where(z > 0.0, 1.0, a + self.alpha)
+
+
+class Softplus(Activation):
+    """log(1 + e^z), a smooth ReLU."""
+
+    name = "softplus"
+
+    def forward(self, z):
+        return np.logaddexp(0.0, z)
+
+    def backward(self, grad, z, a):
+        return grad * Sigmoid().forward(z)
+
+
+class Softmax(Activation):
+    """Softmax over the last axis, with an exact Jacobian-vector backward.
+
+    The exact backward (rather than the fused cross-entropy shortcut) is
+    required because DeepXplore differentiates *individual class
+    probabilities* with respect to the input (Equation 2 of the paper), not
+    just the training loss.
+    """
+
+    name = "softmax"
+
+    def forward(self, z):
+        shifted = z - z.max(axis=-1, keepdims=True)
+        ez = np.exp(shifted)
+        return ez / ez.sum(axis=-1, keepdims=True)
+
+    def backward(self, grad, z, a):
+        inner = (grad * a).sum(axis=-1, keepdims=True)
+        return a * (grad - inner)
+
+
+_ACTIVATIONS = {
+    "linear": Linear,
+    "relu": Relu,
+    "leaky_relu": LeakyRelu,
+    "sigmoid": Sigmoid,
+    "tanh": Tanh,
+    "softmax": Softmax,
+    "atan": Atan,
+    "elu": Elu,
+    "softplus": Softplus,
+}
+
+
+def get_activation(spec):
+    """Resolve ``spec`` (name, class instance, or ``None``) to an instance."""
+    if spec is None:
+        return Linear()
+    if isinstance(spec, Activation):
+        return spec
+    try:
+        return _ACTIVATIONS[spec]()
+    except KeyError:
+        known = ", ".join(sorted(_ACTIVATIONS))
+        raise ConfigError(f"unknown activation {spec!r}; known: {known}") from None

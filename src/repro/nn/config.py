@@ -1,0 +1,149 @@
+"""Architecture (de)serialization: rebuild a network without its builder.
+
+``network_to_config`` captures the full layer stack as plain JSON-able
+data; ``network_from_config`` reconstructs it.  Together with
+``Network.state_dict`` this gives self-contained model files — a model
+trained anywhere can be archived and differentially tested elsewhere
+without importing its original builder code.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.nn.activations import get_activation
+from repro.nn.conv import Conv2D
+from repro.nn.dense import Dense
+from repro.nn.dropout import Dropout
+from repro.nn.layer import Layer
+from repro.nn.network import Network
+from repro.nn.norm import BatchNorm
+from repro.nn.pool import AvgPool2D, GlobalAvgPool2D, MaxPool2D
+from repro.nn.reshape import Flatten
+from repro.nn.residual import Residual
+from repro.nn.scale import FixedScale
+
+__all__ = ["layer_to_config", "layer_from_config", "network_to_config",
+           "network_from_config", "save_network", "load_network"]
+
+
+def layer_to_config(layer):
+    """Serialize one layer to a plain dict (weights excluded)."""
+    if isinstance(layer, Dense):
+        return {"type": "dense", "name": layer.name,
+                "in_features": layer.in_features,
+                "out_features": layer.out_features,
+                "activation": layer.activation.name}
+    if isinstance(layer, Conv2D):
+        return {"type": "conv2d", "name": layer.name,
+                "in_channels": layer.in_channels,
+                "out_channels": layer.out_channels,
+                "kernel_size": list(layer.kernel_size),
+                "stride": layer.stride, "padding": layer.padding,
+                "activation": layer.activation.name}
+    if isinstance(layer, MaxPool2D):
+        return {"type": "maxpool2d", "name": layer.name,
+                "pool_size": list(layer.pool_size)}
+    if isinstance(layer, AvgPool2D):
+        return {"type": "avgpool2d", "name": layer.name,
+                "pool_size": list(layer.pool_size)}
+    if isinstance(layer, GlobalAvgPool2D):
+        return {"type": "globalavgpool2d", "name": layer.name}
+    if isinstance(layer, Flatten):
+        return {"type": "flatten", "name": layer.name}
+    if isinstance(layer, Dropout):
+        return {"type": "dropout", "name": layer.name, "rate": layer.rate}
+    if isinstance(layer, BatchNorm):
+        return {"type": "batchnorm", "name": layer.name,
+                "num_features": layer.num_features,
+                "momentum": layer.momentum, "eps": layer.eps}
+    if isinstance(layer, FixedScale):
+        return {"type": "fixedscale", "name": layer.name,
+                "mean": layer.mean.tolist(), "std": layer.std.tolist()}
+    if isinstance(layer, Residual):
+        return {"type": "residual", "name": layer.name,
+                "body": [layer_to_config(l) for l in layer.body],
+                "shortcut": [layer_to_config(l) for l in layer.shortcut]}
+    raise ConfigError(f"cannot serialize layer type {type(layer).__name__}")
+
+
+def layer_from_config(config):
+    """Rebuild one layer from :func:`layer_to_config` output."""
+    kind = config.get("type")
+    name = config.get("name")
+    if kind == "dense":
+        return Dense(config["in_features"], config["out_features"],
+                     activation=config["activation"], name=name)
+    if kind == "conv2d":
+        return Conv2D(config["in_channels"], config["out_channels"],
+                      tuple(config["kernel_size"]), stride=config["stride"],
+                      padding=config["padding"],
+                      activation=config["activation"], name=name)
+    if kind == "maxpool2d":
+        return MaxPool2D(tuple(config["pool_size"]), name=name)
+    if kind == "avgpool2d":
+        return AvgPool2D(tuple(config["pool_size"]), name=name)
+    if kind == "globalavgpool2d":
+        return GlobalAvgPool2D(name=name)
+    if kind == "flatten":
+        return Flatten(name=name)
+    if kind == "dropout":
+        return Dropout(config["rate"], name=name)
+    if kind == "batchnorm":
+        return BatchNorm(config["num_features"], momentum=config["momentum"],
+                         eps=config["eps"], name=name)
+    if kind == "fixedscale":
+        return FixedScale(np.asarray(config["mean"]),
+                          np.asarray(config["std"]), name=name)
+    if kind == "residual":
+        return Residual([layer_from_config(c) for c in config["body"]],
+                        shortcut=[layer_from_config(c)
+                                  for c in config["shortcut"]],
+                        name=name)
+    raise ConfigError(f"unknown layer type {kind!r} in config")
+
+
+def network_to_config(network):
+    """Serialize a network's architecture to a plain dict."""
+    return {
+        "name": network.name,
+        "input_shape": list(network.input_shape),
+        "layers": [layer_to_config(l) for l in network.layers],
+    }
+
+
+def network_from_config(config):
+    """Rebuild a network (fresh random weights) from its config."""
+    layers = [layer_from_config(c) for c in config["layers"]]
+    return Network(layers, tuple(config["input_shape"]),
+                   name=config.get("name", "network"))
+
+
+def save_network(network, path):
+    """Write architecture + weights as one self-contained ``.npz``.
+
+    The config travels as a JSON string inside the archive, so a single
+    file reconstructs the model with :func:`load_network`.
+    """
+    state = network.state_dict()
+    state["__config__"] = np.frombuffer(
+        json.dumps(network_to_config(network)).encode("utf-8"),
+        dtype=np.uint8)
+    np.savez_compressed(path, **state)
+
+
+def load_network(path):
+    """Reconstruct a network saved by :func:`save_network`."""
+    with np.load(path) as data:
+        if "__config__" not in data.files:
+            raise ConfigError(
+                f"{path} has no architecture config; was it saved with "
+                "save_network()?")
+        config = json.loads(bytes(data["__config__"]).decode("utf-8"))
+        network = network_from_config(config)
+        network.load_state_dict(
+            {k: data[k] for k in data.files if k != "__config__"})
+    return network

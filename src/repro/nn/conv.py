@@ -1,0 +1,144 @@
+"""2-D convolution via im2col.
+
+Array layout is ``(batch, channels, height, width)`` throughout.  The
+im2col/col2im pair turns convolution into a single matrix multiply, which
+is the only way a pure-numpy CNN is fast enough to train the model zoo.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.activations import get_activation
+from repro.nn.initializers import get_initializer
+from repro.nn.layer import Layer
+from repro.nn.parameter import Parameter
+from repro.utils.rng import as_rng
+
+__all__ = ["Conv2D", "im2col", "col2im", "conv_output_size"]
+
+
+def conv_output_size(size, kernel, stride, pad):
+    """Output spatial size of a convolution along one axis."""
+    out = (size + 2 * pad - kernel) // stride + 1
+    if out <= 0:
+        raise ShapeError(
+            f"kernel {kernel} with stride {stride}, pad {pad} does not fit "
+            f"input size {size}")
+    return out
+
+
+def im2col(x, kernel_h, kernel_w, stride, pad):
+    """Unfold ``x`` (N, C, H, W) into columns (N, C*kh*kw, out_h*out_w)."""
+    n, c, h, w = x.shape
+    out_h = conv_output_size(h, kernel_h, stride, pad)
+    out_w = conv_output_size(w, kernel_w, stride, pad)
+    if pad:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    cols = np.empty((n, c, kernel_h, kernel_w, out_h, out_w), dtype=x.dtype)
+    for i in range(kernel_h):
+        i_max = i + stride * out_h
+        for j in range(kernel_w):
+            j_max = j + stride * out_w
+            cols[:, :, i, j, :, :] = x[:, :, i:i_max:stride, j:j_max:stride]
+    return cols.reshape(n, c * kernel_h * kernel_w, out_h * out_w)
+
+
+def col2im(cols, input_shape, kernel_h, kernel_w, stride, pad):
+    """Fold columns back to input space, summing overlapping windows."""
+    n, c, h, w = input_shape
+    out_h = conv_output_size(h, kernel_h, stride, pad)
+    out_w = conv_output_size(w, kernel_w, stride, pad)
+    cols = cols.reshape(n, c, kernel_h, kernel_w, out_h, out_w)
+    padded = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
+    for i in range(kernel_h):
+        i_max = i + stride * out_h
+        for j in range(kernel_w):
+            j_max = j + stride * out_w
+            padded[:, :, i:i_max:stride, j:j_max:stride] += cols[:, :, i, j]
+    if pad:
+        return padded[:, :, pad:-pad, pad:-pad]
+    return padded
+
+
+class Conv2D(Layer):
+    """Convolution with built-in activation.
+
+    For neuron coverage, each output *channel* is one neuron whose value is
+    the spatial mean of its feature map — the convention of the original
+    DeepXplore implementation.
+    """
+
+    exposes_neurons = True
+
+    def __init__(self, in_channels, out_channels, kernel_size, stride=1,
+                 padding=0, activation="relu", initializer="he_normal",
+                 rng=None, name=None):
+        super().__init__(name=name)
+        if isinstance(kernel_size, int):
+            kernel_size = (kernel_size, kernel_size)
+        self.in_channels = int(in_channels)
+        self.out_channels = int(out_channels)
+        self.kernel_size = tuple(int(k) for k in kernel_size)
+        self.stride = int(stride)
+        self.padding = int(padding)
+        self.activation = get_activation(activation)
+        kh, kw = self.kernel_size
+        fan_in = self.in_channels * kh * kw
+        fan_out = self.out_channels * kh * kw
+        rng = as_rng(rng)
+        init = get_initializer(initializer)
+        weight = init((self.out_channels, fan_in), fan_in=fan_in,
+                      fan_out=fan_out, rng=rng)
+        self.weight = Parameter(weight, f"{self.name}.weight")
+        self.bias = Parameter(np.zeros(self.out_channels), f"{self.name}.bias")
+
+    def forward(self, x, training=False):
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ShapeError(
+                f"{self.name}: expected (batch, {self.in_channels}, H, W), "
+                f"got {x.shape}")
+        kh, kw = self.kernel_size
+        cols = im2col(x, kh, kw, self.stride, self.padding)
+        z_flat = self.weight.value @ cols  # (N, F, out_h*out_w)
+        z_flat += self.bias.value[None, :, None]
+        out_h = conv_output_size(x.shape[2], kh, self.stride, self.padding)
+        out_w = conv_output_size(x.shape[3], kw, self.stride, self.padding)
+        z = z_flat.reshape(x.shape[0], self.out_channels, out_h, out_w)
+        a = self.activation.forward(z)
+        self._cache = (x.shape, cols, z, a)
+        return a
+
+    def backward(self, grad_out):
+        input_shape, cols, z, a = self._cache
+        grad_z = self.activation.backward(grad_out, z, a)
+        n = grad_z.shape[0]
+        gz_flat = grad_z.reshape(n, self.out_channels, -1)
+        self.weight.grad += np.tensordot(gz_flat, cols, axes=([0, 2], [0, 2]))
+        self.bias.grad += gz_flat.sum(axis=(0, 2))
+        grad_cols = self.weight.value.T @ gz_flat
+        kh, kw = self.kernel_size
+        return col2im(grad_cols, input_shape, kh, kw, self.stride, self.padding)
+
+    def parameters(self):
+        return [self.weight, self.bias]
+
+    def output_shape(self, input_shape):
+        c, h, w = input_shape
+        kh, kw = self.kernel_size
+        return (self.out_channels,
+                conv_output_size(h, kh, self.stride, self.padding),
+                conv_output_size(w, kw, self.stride, self.padding))
+
+    def neuron_count(self, input_shape):
+        return self.out_channels
+
+    def neuron_outputs(self, output):
+        return output.mean(axis=(2, 3))
+
+    def neuron_seed(self, output_shape, neuron_index):
+        channels, h, w = output_shape
+        seed = np.zeros(output_shape, dtype=np.float64)
+        seed[neuron_index] = 1.0 / (h * w)
+        return seed

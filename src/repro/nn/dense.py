@@ -1,0 +1,64 @@
+"""Fully connected layer with built-in activation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.activations import get_activation
+from repro.nn.initializers import get_initializer
+from repro.nn.layer import Layer
+from repro.nn.parameter import Parameter
+from repro.utils.rng import as_rng
+
+__all__ = ["Dense"]
+
+
+class Dense(Layer):
+    """``y = act(x @ W + b)`` for 2-D inputs ``(batch, in_features)``.
+
+    The activation lives inside the layer (Keras convention) so that
+    coverage instruments post-activation values, matching how the paper
+    counts neurons.
+    """
+
+    exposes_neurons = True
+
+    def __init__(self, in_features, out_features, activation="relu",
+                 initializer="glorot_uniform", rng=None, name=None):
+        super().__init__(name=name)
+        self.in_features = int(in_features)
+        self.out_features = int(out_features)
+        self.activation = get_activation(activation)
+        rng = as_rng(rng)
+        init = get_initializer(initializer)
+        weight = init((self.out_features, self.in_features),
+                      fan_in=self.in_features, fan_out=self.out_features,
+                      rng=rng)
+        self.weight = Parameter(weight, f"{self.name}.weight")
+        self.bias = Parameter(np.zeros(self.out_features), f"{self.name}.bias")
+
+    def forward(self, x, training=False):
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ShapeError(
+                f"{self.name}: expected (batch, {self.in_features}), got {x.shape}")
+        z = x @ self.weight.value.T + self.bias.value
+        a = self.activation.forward(z)
+        self._cache = (x, z, a)
+        return a
+
+    def backward(self, grad_out):
+        x, z, a = self._cache
+        grad_z = self.activation.backward(grad_out, z, a)
+        self.weight.grad += grad_z.T @ x
+        self.bias.grad += grad_z.sum(axis=0)
+        return grad_z @ self.weight.value
+
+    def parameters(self):
+        return [self.weight, self.bias]
+
+    def output_shape(self, input_shape):
+        return (self.out_features,)
+
+    def neuron_count(self, input_shape):
+        return self.out_features

@@ -1,0 +1,46 @@
+"""Inverted dropout."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.nn.layer import Layer
+from repro.utils.rng import as_rng
+
+__all__ = ["Dropout"]
+
+
+class Dropout(Layer):
+    """Randomly zero activations during training; identity at inference.
+
+    Uses inverted scaling (surviving units divided by the keep
+    probability) so inference needs no rescaling — which matters here
+    because DeepXplore runs entirely in inference mode and must see the
+    same function the deployed model computes.
+    """
+
+    def __init__(self, rate, rng=None, name=None):
+        super().__init__(name=name)
+        rate = float(rate)
+        if not 0.0 <= rate < 1.0:
+            raise ConfigError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self._rng = as_rng(rng)
+
+    def forward(self, x, training=False):
+        if not training or self.rate == 0.0:
+            self._cache = None
+            return x
+        keep = 1.0 - self.rate
+        mask = (self._rng.random(x.shape) < keep) / keep
+        self._cache = mask
+        return x * mask
+
+    def backward(self, grad_out):
+        if self._cache is None:
+            return grad_out
+        return grad_out * self._cache
+
+    def output_shape(self, input_shape):
+        return tuple(input_shape)

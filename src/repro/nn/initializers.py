@@ -1,0 +1,56 @@
+"""Weight initialization schemes.
+
+``glorot_uniform`` and ``he_normal`` follow the standard definitions.
+``row_normalized`` reproduces the DAVE-norminit variant from the paper
+(§6.1): weights are drawn normally and then each output row is rescaled to
+unit L2 norm, which is the "normalizes the randomly initialized network
+weights" change that distinguishes DAVE-norminit from DAVE-orig.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.utils.rng import as_rng
+
+__all__ = ["glorot_uniform", "he_normal", "row_normalized", "get_initializer"]
+
+
+def glorot_uniform(shape, fan_in, fan_out, rng):
+    """Uniform(-limit, limit) with limit = sqrt(6 / (fan_in + fan_out))."""
+    rng = as_rng(rng)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def he_normal(shape, fan_in, fan_out, rng):
+    """Normal(0, sqrt(2 / fan_in)); the standard choice for ReLU layers."""
+    rng = as_rng(rng)
+    return rng.normal(0.0, np.sqrt(2.0 / fan_in), size=shape)
+
+
+def row_normalized(shape, fan_in, fan_out, rng):
+    """Normal draw with each output unit's weight vector scaled to norm 1."""
+    rng = as_rng(rng)
+    weights = rng.normal(0.0, 1.0, size=shape)
+    flat = weights.reshape(shape[0], -1)
+    norms = np.linalg.norm(flat, axis=1, keepdims=True)
+    norms[norms == 0.0] = 1.0
+    return (flat / norms).reshape(shape)
+
+
+_INITIALIZERS = {
+    "glorot_uniform": glorot_uniform,
+    "he_normal": he_normal,
+    "row_normalized": row_normalized,
+}
+
+
+def get_initializer(name):
+    """Look up an initializer function by name."""
+    try:
+        return _INITIALIZERS[name]
+    except KeyError:
+        known = ", ".join(sorted(_INITIALIZERS))
+        raise ConfigError(f"unknown initializer {name!r}; known: {known}") from None

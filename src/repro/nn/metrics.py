@@ -1,0 +1,64 @@
+"""Classification metrics beyond plain accuracy.
+
+The malware experiments report detector quality; precision/recall matter
+there because the real Drebin corpus is heavily imbalanced (123k benign
+vs 5.5k malicious) — accuracy alone would reward the trivial
+"everything benign" detector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+__all__ = ["confusion_matrix", "precision_recall_f1", "classification_report"]
+
+
+def confusion_matrix(y_true, y_pred, num_classes=None):
+    """``C[i, j]`` = number of samples with true class i predicted as j."""
+    y_true = np.asarray(y_true, dtype=int)
+    y_pred = np.asarray(y_pred, dtype=int)
+    if y_true.shape != y_pred.shape:
+        raise ShapeError(
+            f"label shapes differ: {y_true.shape} vs {y_pred.shape}")
+    if num_classes is None:
+        num_classes = int(max(y_true.max(initial=0),
+                              y_pred.max(initial=0))) + 1
+    matrix = np.zeros((num_classes, num_classes), dtype=int)
+    np.add.at(matrix, (y_true, y_pred), 1)
+    return matrix
+
+
+def precision_recall_f1(y_true, y_pred, positive_class=1):
+    """Binary precision/recall/F1 for ``positive_class``."""
+    y_true = np.asarray(y_true, dtype=int)
+    y_pred = np.asarray(y_pred, dtype=int)
+    true_pos = int(((y_pred == positive_class)
+                    & (y_true == positive_class)).sum())
+    pred_pos = int((y_pred == positive_class).sum())
+    actual_pos = int((y_true == positive_class).sum())
+    precision = true_pos / pred_pos if pred_pos else 0.0
+    recall = true_pos / actual_pos if actual_pos else 0.0
+    f1 = (2 * precision * recall / (precision + recall)
+          if precision + recall else 0.0)
+    return precision, recall, f1
+
+
+def classification_report(network, x, y, class_names=None, batch_size=256):
+    """Per-class precision/recall/F1 plus accuracy, as a dict."""
+    y = np.asarray(y, dtype=int)
+    preds = network.predict(x, batch_size=batch_size).argmax(axis=1)
+    num_classes = network.output_shape[0]
+    matrix = confusion_matrix(y, preds, num_classes=num_classes)
+    report = {"accuracy": float((preds == y).mean()),
+              "confusion_matrix": matrix, "per_class": {}}
+    for cls in range(num_classes):
+        name = class_names[cls] if class_names else str(cls)
+        precision, recall, f1 = precision_recall_f1(y, preds,
+                                                    positive_class=cls)
+        report["per_class"][name] = {
+            "precision": precision, "recall": recall, "f1": f1,
+            "support": int((y == cls).sum()),
+        }
+    return report

@@ -1,0 +1,247 @@
+"""The :class:`Network` container: forward, recording, and input-gradients.
+
+This is the piece of the substrate DeepXplore actually depends on.  Keras
+gave the original authors three capabilities:
+
+1. ``model.predict`` — plain inference (:meth:`Network.predict`);
+2. sub-models exposing any intermediate neuron's output
+   (:meth:`Network.neuron_activations`);
+3. ``K.gradients(objective, input)`` — the derivative of any scalar built
+   from output probabilities and hidden-neuron outputs with respect to the
+   *input* (:meth:`Network.input_gradient_of_class`,
+   :meth:`Network.input_gradient_of_neuron`).
+
+All three are provided here on top of the layer protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import CoverageError, ShapeError
+
+__all__ = ["Network", "NeuronId", "LayerNeurons"]
+
+
+@dataclass(frozen=True)
+class NeuronId:
+    """Identifies one coverage neuron: layer position + channel/unit index."""
+
+    layer_index: int
+    neuron_index: int
+
+
+@dataclass(frozen=True)
+class LayerNeurons:
+    """Per-layer slice of the flat neuron table."""
+
+    layer_index: int
+    layer_name: str
+    offset: int
+    count: int
+
+
+class Network:
+    """An ordered stack of layers with a fixed input shape.
+
+    Parameters
+    ----------
+    layers:
+        Sequence of :class:`repro.nn.layer.Layer`.
+    input_shape:
+        Shape of one input sample (no batch axis), e.g. ``(1, 28, 28)``.
+    name:
+        Used in reports and as the weight-cache key component.
+    """
+
+    def __init__(self, layers, input_shape, name="network"):
+        self.layers = list(layers)
+        self.input_shape = tuple(int(s) for s in input_shape)
+        self.name = str(name)
+        self._output_shapes = []
+        shape = self.input_shape
+        for layer in self.layers:
+            shape = tuple(layer.output_shape(shape))
+            self._output_shapes.append(shape)
+        self.output_shape = shape
+
+        # Flat neuron table over layers that expose neurons.
+        self._neuron_layers = []
+        offset = 0
+        prev_shape = self.input_shape
+        for index, layer in enumerate(self.layers):
+            if layer.exposes_neurons:
+                count = layer.neuron_count(prev_shape)
+                self._neuron_layers.append(
+                    LayerNeurons(index, layer.name, offset, count))
+                offset += count
+            prev_shape = self._output_shapes[index]
+        self.total_neurons = offset
+        self._recorded = None
+
+    # -- introspection ------------------------------------------------------
+    def parameters(self):
+        params = []
+        for layer in self.layers:
+            params.extend(layer.parameters())
+        return params
+
+    def buffers(self):
+        buffers = {}
+        for layer in self.layers:
+            buffers.update(layer.buffers())
+        return buffers
+
+    def parameter_count(self):
+        return int(sum(p.value.size for p in self.parameters()))
+
+    @property
+    def neuron_layers(self):
+        """The flat neuron table (read-only list of :class:`LayerNeurons`)."""
+        return list(self._neuron_layers)
+
+    def neuron_layer_of(self, flat_index):
+        """Map a flat neuron index to ``(LayerNeurons, local_index)``."""
+        if not 0 <= flat_index < self.total_neurons:
+            raise CoverageError(
+                f"neuron index {flat_index} out of range "
+                f"[0, {self.total_neurons})")
+        for entry in self._neuron_layers:
+            if flat_index < entry.offset + entry.count:
+                return entry, flat_index - entry.offset
+        raise CoverageError(f"corrupt neuron table for index {flat_index}")
+
+    # -- forward ------------------------------------------------------------
+    def _check_input(self, x):
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape[1:] != self.input_shape:
+            raise ShapeError(
+                f"{self.name}: expected input shape (batch, "
+                f"{', '.join(map(str, self.input_shape))}), got {x.shape}")
+        return x
+
+    def forward(self, x, training=False, record=False):
+        """Run the network; optionally record every layer's raw output.
+
+        Recording is required before any of the backward-from-layer
+        methods below can be used.
+        """
+        x = self._check_input(x)
+        outputs = [] if record else None
+        out = x
+        for layer in self.layers:
+            out = layer.forward(out, training=training)
+            if record:
+                outputs.append(out)
+        if record:
+            self._recorded = outputs
+        return out
+
+    def predict(self, x, batch_size=256):
+        """Inference in batches; never triggers training-mode behaviour."""
+        x = self._check_input(x)
+        if x.shape[0] <= batch_size:
+            return self.forward(x, training=False)
+        chunks = [self.forward(x[i:i + batch_size], training=False)
+                  for i in range(0, x.shape[0], batch_size)]
+        return np.concatenate(chunks, axis=0)
+
+    def neuron_activations(self, x, batch_size=256):
+        """Per-neuron outputs, shape ``(batch, total_neurons)``.
+
+        Conv channels are reduced to their spatial mean, matching the
+        original DeepXplore's definition of a neuron's output value.
+        """
+        x = self._check_input(x)
+        rows = []
+        for start in range(0, x.shape[0], batch_size):
+            self.forward(x[start:start + batch_size], record=True)
+            cols = [self.layers[e.layer_index].neuron_outputs(
+                self._recorded[e.layer_index]) for e in self._neuron_layers]
+            rows.append(np.concatenate(cols, axis=1) if cols else
+                        np.zeros((x[start:start + batch_size].shape[0], 0)))
+        return np.concatenate(rows, axis=0)
+
+    # -- input gradients ------------------------------------------------------
+    def _backward_from(self, layer_index, grad):
+        for layer in reversed(self.layers[:layer_index + 1]):
+            grad = layer.backward(grad)
+        return grad
+
+    def input_gradient_of_output(self, x, seed):
+        """d(seed . output)/dx for a batched input ``x``.
+
+        ``seed`` is broadcast against the network output; returns an array
+        shaped like ``x``.
+        """
+        x = self._check_input(x)
+        out = self.forward(x, training=False)
+        grad = np.broadcast_to(np.asarray(seed, dtype=np.float64),
+                               out.shape).copy()
+        return self._backward_from(len(self.layers) - 1, grad)
+
+    def input_gradient_of_class(self, x, class_index):
+        """Gradient of ``output[:, class_index]`` with respect to ``x``."""
+        if self.output_shape != (int(np.prod(self.output_shape)),):
+            raise ShapeError(
+                f"{self.name}: class gradients need a flat output, "
+                f"got {self.output_shape}")
+        seed = np.zeros(self.output_shape, dtype=np.float64)
+        seed[class_index] = 1.0
+        return self.input_gradient_of_output(x, seed)
+
+    def input_gradient_of_neuron(self, x, flat_neuron_index):
+        """Gradient of one hidden neuron's scalar output w.r.t. ``x``."""
+        x = self._check_input(x)
+        entry, local = self.neuron_layer_of(flat_neuron_index)
+        self.forward(x, training=False, record=True)
+        layer = self.layers[entry.layer_index]
+        out_shape = self._output_shapes[entry.layer_index]
+        seed_one = layer.neuron_seed(out_shape, local)
+        grad = np.broadcast_to(seed_one, (x.shape[0],) + tuple(out_shape)).copy()
+        return self._backward_from(entry.layer_index, grad)
+
+    def neuron_value(self, x, flat_neuron_index):
+        """The scalar output of one neuron for batched input ``x``."""
+        acts = self.neuron_activations(np.asarray(x, dtype=np.float64))
+        return acts[:, flat_neuron_index]
+
+    # -- serialization --------------------------------------------------------
+    def state_dict(self):
+        """All weights and buffers as ``{name: array}`` (copies)."""
+        state = {p.name: p.value.copy() for p in self.parameters()}
+        for name, buf in self.buffers().items():
+            state[name] = buf.copy()
+        return state
+
+    def load_state_dict(self, state):
+        """Load arrays saved by :meth:`state_dict` (names must match)."""
+        for param in self.parameters():
+            if param.name not in state:
+                raise KeyError(f"missing parameter {param.name!r} in state")
+            value = np.asarray(state[param.name], dtype=np.float64)
+            if value.shape != param.value.shape:
+                raise ShapeError(
+                    f"{param.name}: saved shape {value.shape} != "
+                    f"model shape {param.value.shape}")
+            param.value[...] = value
+        for name, buf in self.buffers().items():
+            if name not in state:
+                raise KeyError(f"missing buffer {name!r} in state")
+            buf[...] = np.asarray(state[name], dtype=np.float64)
+
+    def save(self, path):
+        """Persist weights/buffers to an ``.npz`` file."""
+        np.savez_compressed(path, **self.state_dict())
+
+    def load(self, path):
+        """Restore weights/buffers from :meth:`save` output."""
+        with np.load(path) as data:
+            self.load_state_dict({k: data[k] for k in data.files})
+
+    def __repr__(self):
+        return (f"Network(name={self.name!r}, layers={len(self.layers)}, "
+                f"neurons={self.total_neurons}, "
+                f"params={self.parameter_count()})")

@@ -1,0 +1,32 @@
+"""Trainable parameter container."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Parameter"]
+
+
+class Parameter:
+    """A named trainable array plus its accumulated gradient.
+
+    Layers own their parameters; optimizers mutate ``value`` in place based
+    on ``grad``.  Gradients accumulate across :meth:`repro.nn.Layer.backward`
+    calls until :meth:`zero_grad` is invoked, which lets a training step sum
+    gradients over sub-batches if it wants to.
+    """
+
+    def __init__(self, value, name):
+        self.value = np.asarray(value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+        self.name = str(name)
+
+    @property
+    def shape(self):
+        return self.value.shape
+
+    def zero_grad(self):
+        self.grad.fill(0.0)
+
+    def __repr__(self):
+        return f"Parameter(name={self.name!r}, shape={self.value.shape})"

@@ -1,0 +1,117 @@
+"""Pooling layers (max, average, global average)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.layer import Layer
+
+__all__ = ["MaxPool2D", "AvgPool2D", "GlobalAvgPool2D"]
+
+
+def _check_divisible(shape, pool):
+    _, _, h, w = shape
+    ph, pw = pool
+    if h % ph or w % pw:
+        raise ShapeError(
+            f"pool {pool} does not evenly divide spatial dims {(h, w)}")
+
+
+class MaxPool2D(Layer):
+    """Non-overlapping max pooling with window == stride.
+
+    All architectures in the zoo use non-overlapping windows, so the layer
+    requires the spatial dims to be divisible by the pool size and exploits
+    that with a reshape-based implementation.
+    """
+
+    def __init__(self, pool_size=2, name=None):
+        super().__init__(name=name)
+        if isinstance(pool_size, int):
+            pool_size = (pool_size, pool_size)
+        self.pool_size = tuple(int(p) for p in pool_size)
+
+    def forward(self, x, training=False):
+        _check_divisible(x.shape, self.pool_size)
+        n, c, h, w = x.shape
+        ph, pw = self.pool_size
+        windows = (x.reshape(n, c, h // ph, ph, w // pw, pw)
+                   .transpose(0, 1, 2, 4, 3, 5)
+                   .reshape(n, c, h // ph, w // pw, ph * pw))
+        idx = windows.argmax(axis=-1)
+        out = np.take_along_axis(windows, idx[..., None], axis=-1)[..., 0]
+        self._cache = (x.shape, idx)
+        return out
+
+    def backward(self, grad_out):
+        input_shape, idx = self._cache
+        n, c, h, w = input_shape
+        ph, pw = self.pool_size
+        grad_windows = np.zeros((n, c, h // ph, w // pw, ph * pw),
+                                dtype=grad_out.dtype)
+        np.put_along_axis(grad_windows, idx[..., None],
+                          grad_out[..., None], axis=-1)
+        return (grad_windows
+                .reshape(n, c, h // ph, w // pw, ph, pw)
+                .transpose(0, 1, 2, 4, 3, 5)
+                .reshape(n, c, h, w))
+
+    def output_shape(self, input_shape):
+        c, h, w = input_shape
+        ph, pw = self.pool_size
+        if h % ph or w % pw:
+            raise ShapeError(
+                f"pool {self.pool_size} does not divide {(h, w)}")
+        return (c, h // ph, w // pw)
+
+
+class AvgPool2D(Layer):
+    """Non-overlapping average pooling with window == stride."""
+
+    def __init__(self, pool_size=2, name=None):
+        super().__init__(name=name)
+        if isinstance(pool_size, int):
+            pool_size = (pool_size, pool_size)
+        self.pool_size = tuple(int(p) for p in pool_size)
+
+    def forward(self, x, training=False):
+        _check_divisible(x.shape, self.pool_size)
+        n, c, h, w = x.shape
+        ph, pw = self.pool_size
+        out = (x.reshape(n, c, h // ph, ph, w // pw, pw)
+               .mean(axis=(3, 5)))
+        self._cache = x.shape
+        return out
+
+    def backward(self, grad_out):
+        n, c, h, w = self._cache
+        ph, pw = self.pool_size
+        scale = 1.0 / (ph * pw)
+        expanded = np.repeat(np.repeat(grad_out, ph, axis=2), pw, axis=3)
+        return expanded * scale
+
+    def output_shape(self, input_shape):
+        c, h, w = input_shape
+        ph, pw = self.pool_size
+        if h % ph or w % pw:
+            raise ShapeError(
+                f"pool {self.pool_size} does not divide {(h, w)}")
+        return (c, h // ph, w // pw)
+
+
+class GlobalAvgPool2D(Layer):
+    """Average each channel over all spatial positions: (N,C,H,W)->(N,C)."""
+
+    def forward(self, x, training=False):
+        self._cache = x.shape
+        return x.mean(axis=(2, 3))
+
+    def backward(self, grad_out):
+        n, c, h, w = self._cache
+        return np.broadcast_to(
+            grad_out[:, :, None, None] / (h * w), (n, c, h, w)).copy()
+
+    def output_shape(self, input_shape):
+        c, h, w = input_shape
+        return (c,)

@@ -1,0 +1,23 @@
+"""Shape-manipulation layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layer import Layer
+
+__all__ = ["Flatten"]
+
+
+class Flatten(Layer):
+    """Collapse all feature axes: (N, ...) -> (N, prod(...))."""
+
+    def forward(self, x, training=False):
+        self._cache = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_out):
+        return grad_out.reshape(self._cache)
+
+    def output_shape(self, input_shape):
+        return (int(np.prod(input_shape)),)

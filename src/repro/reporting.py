@@ -1,0 +1,81 @@
+"""Markdown report generation — the machinery behind EXPERIMENTS.md.
+
+``write_report`` runs the requested experiments and renders a markdown
+document with, per experiment, the paper's reported result next to ours.
+The checked-in EXPERIMENTS.md is a captured run of this module.
+"""
+
+from __future__ import annotations
+
+import datetime
+import platform
+
+from repro.experiments import EXPERIMENTS
+from repro.utils.plots import ascii_plot
+
+__all__ = ["result_to_markdown", "build_report", "write_report"]
+
+
+def result_to_markdown(result):
+    """Render one :class:`ExperimentResult` as a markdown section."""
+    lines = [f"## {result.experiment_id}: {result.title}", ""]
+    if result.paper_reference:
+        lines.append(f"**Paper reports:** {result.paper_reference}")
+        lines.append("")
+    if result.rows:
+        header = "| " + " | ".join(str(h) for h in result.headers) + " |"
+        rule = "|" + "|".join("---" for _ in result.headers) + "|"
+        lines.extend([header, rule])
+        for row in result.rows:
+            cells = []
+            for cell in row:
+                if isinstance(cell, float):
+                    cells.append(f"{cell:.4g}")
+                else:
+                    cells.append(str(cell))
+            lines.append("| " + " | ".join(cells) + " |")
+        lines.append("")
+    if result.series:
+        lines.append("```")
+        lines.append(ascii_plot(result.series, width=56, height=14,
+                                title=result.title))
+        lines.append("```")
+        lines.append("")
+    for note in result.notes:
+        lines.append(f"> {note}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def build_report(scale="smoke", seed=0, experiment_ids=None, verbose=False):
+    """Run experiments and return the full markdown document."""
+    chosen = experiment_ids or list(EXPERIMENTS)
+    sections = [
+        "# EXPERIMENTS — paper vs. measured",
+        "",
+        f"Generated {datetime.date.today().isoformat()} at scale "
+        f"`{scale}` (seed {seed}) on {platform.machine()} "
+        f"{platform.system()}, pure numpy on CPU.",
+        "",
+        "Absolute numbers are not comparable to the paper's (synthetic "
+        "datasets, scaled-down models, no GPU); the *shape* of each "
+        "result — orderings, trends, crossovers — is the reproduction "
+        "target.  See DESIGN.md for the substitution table.",
+        "",
+    ]
+    for experiment_id in chosen:
+        if verbose:
+            print(f"running {experiment_id}...", flush=True)
+        result = EXPERIMENTS[experiment_id](scale=scale, seed=seed)
+        sections.append(result_to_markdown(result))
+    return "\n".join(sections)
+
+
+def write_report(path, scale="smoke", seed=0, experiment_ids=None,
+                 verbose=False):
+    """Run experiments and write the markdown report to ``path``."""
+    document = build_report(scale=scale, seed=seed,
+                            experiment_ids=experiment_ids, verbose=verbose)
+    with open(path, "w") as fh:
+        fh.write(document)
+    return path

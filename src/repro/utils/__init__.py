@@ -1,0 +1,31 @@
+"""Shared utilities: RNG handling, rendering (tables, ASCII art, plots),
+timing, image ops."""
+
+from repro.utils.ascii_art import ascii_image, side_by_side
+from repro.utils.plots import ascii_plot
+from repro.utils.rng import as_rng, derive_rng, spawn_rngs
+from repro.utils.tables import render_table
+from repro.utils.timing import Stopwatch
+from repro.utils.imageops import (
+    clip01,
+    l1_distance,
+    to_uint8,
+    save_pgm,
+    save_ppm,
+)
+
+__all__ = [
+    "ascii_image",
+    "side_by_side",
+    "ascii_plot",
+    "as_rng",
+    "derive_rng",
+    "spawn_rngs",
+    "render_table",
+    "Stopwatch",
+    "clip01",
+    "l1_distance",
+    "to_uint8",
+    "save_pgm",
+    "save_ppm",
+]

@@ -1,0 +1,45 @@
+"""Terminal rendering of images — the examples' "screenshot" facility.
+
+PGM/PPM files are written for real viewing; ASCII rendering lets the
+examples and error reports show what a generated input looks like in a
+plain terminal log.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+__all__ = ["ascii_image", "side_by_side"]
+
+_RAMP = " .:-=+*#%@"
+
+
+def ascii_image(image, width=None):
+    """Render a ``(1|3, H, W)`` or ``(H, W)`` image as ASCII art."""
+    arr = np.asarray(image, dtype=np.float64)
+    if arr.ndim == 3:
+        arr = arr.mean(axis=0)  # luminance approximation
+    if arr.ndim != 2:
+        raise ShapeError(f"expected an image, got shape {arr.shape}")
+    if width is not None and width < arr.shape[1]:
+        step = int(np.ceil(arr.shape[1] / width))
+        arr = arr[::step, ::step]
+    arr = np.clip(arr, 0.0, 1.0)
+    indices = np.minimum((arr * len(_RAMP)).astype(int), len(_RAMP) - 1)
+    return "\n".join("".join(_RAMP[i] for i in row) for row in indices)
+
+
+def side_by_side(image_a, image_b, gap="   ", labels=None):
+    """Render two equally sized images next to each other."""
+    art_a = ascii_image(image_a).splitlines()
+    art_b = ascii_image(image_b).splitlines()
+    if len(art_a) != len(art_b):
+        raise ShapeError("images must have the same height")
+    lines = []
+    if labels:
+        left, right = labels
+        lines.append(left.ljust(len(art_a[0])) + gap + right)
+    lines.extend(a + gap + b for a, b in zip(art_a, art_b))
+    return "\n".join(lines)

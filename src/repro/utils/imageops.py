@@ -1,0 +1,68 @@
+"""Image-array helpers shared by datasets, constraints and analysis.
+
+Images throughout the library are ``float64`` arrays in ``[0, 1]`` with
+shape ``(channels, height, width)`` (single image) or ``(batch, channels,
+height, width)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+__all__ = ["clip01", "l1_distance", "to_uint8", "save_pgm", "save_ppm"]
+
+
+def clip01(image):
+    """Clip ``image`` into the valid ``[0, 1]`` pixel range."""
+    return np.clip(image, 0.0, 1.0)
+
+
+def l1_distance(a, b):
+    """Sum of absolute per-pixel differences between two images.
+
+    This is the diversity measure used by Table 5 of the paper.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ShapeError(f"image shapes differ: {a.shape} vs {b.shape}")
+    return float(np.abs(a - b).sum())
+
+
+def to_uint8(image):
+    """Convert a ``[0, 1]`` float image to ``uint8`` pixels."""
+    return (clip01(np.asarray(image)) * 255.0).round().astype(np.uint8)
+
+
+def save_pgm(path, image):
+    """Write a single-channel image as a binary PGM file.
+
+    Accepts ``(H, W)`` or ``(1, H, W)`` float images in ``[0, 1]``.  PGM is
+    used because it needs no imaging dependency and every viewer opens it.
+    """
+    arr = np.asarray(image)
+    if arr.ndim == 3:
+        if arr.shape[0] != 1:
+            raise ShapeError(f"expected 1 channel, got {arr.shape[0]}")
+        arr = arr[0]
+    if arr.ndim != 2:
+        raise ShapeError(f"expected 2-D image, got shape {arr.shape}")
+    pixels = to_uint8(arr)
+    header = f"P5\n{arr.shape[1]} {arr.shape[0]}\n255\n".encode("ascii")
+    with open(path, "wb") as fh:
+        fh.write(header)
+        fh.write(pixels.tobytes())
+
+
+def save_ppm(path, image):
+    """Write a 3-channel ``(3, H, W)`` float image as a binary PPM file."""
+    arr = np.asarray(image)
+    if arr.ndim != 3 or arr.shape[0] != 3:
+        raise ShapeError(f"expected (3, H, W) image, got shape {arr.shape}")
+    pixels = to_uint8(np.moveaxis(arr, 0, -1))
+    header = f"P6\n{arr.shape[2]} {arr.shape[1]}\n255\n".encode("ascii")
+    with open(path, "wb") as fh:
+        fh.write(header)
+        fh.write(pixels.tobytes())

@@ -1,0 +1,81 @@
+"""ASCII line plots for experiment figures.
+
+The environment has no matplotlib; the paper's Figures 9 and 10 are
+line charts, so this module renders multi-series charts in plain text.
+Used by the reporting pipeline to put a visual next to each figure's
+numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = ["ascii_plot"]
+
+_MARKERS = "ox+*#%@&"
+
+
+def ascii_plot(series, width=60, height=16, title=None, x_label="x",
+               y_label="y"):
+    """Render ``{name: (xs, ys)}`` as an ASCII chart.
+
+    Series share axes; each gets a marker from a fixed cycle and a legend
+    line.  NaN points are skipped.
+    """
+    if not series:
+        raise ConfigError("ascii_plot needs at least one series")
+    if width < 10 or height < 4:
+        raise ConfigError("plot area too small")
+
+    points = []
+    for name, (xs, ys) in series.items():
+        xs = np.asarray(xs, dtype=np.float64)
+        ys = np.asarray(ys, dtype=np.float64)
+        if xs.shape != ys.shape:
+            raise ConfigError(f"series {name!r}: x/y lengths differ")
+        keep = ~(np.isnan(xs) | np.isnan(ys))
+        points.append((name, xs[keep], ys[keep]))
+
+    all_x = np.concatenate([xs for _, xs, _ in points if xs.size]
+                           or [np.array([0.0])])
+    all_y = np.concatenate([ys for _, _, ys in points if ys.size]
+                           or [np.array([0.0])])
+    x_lo, x_hi = float(all_x.min()), float(all_x.max())
+    y_lo, y_hi = float(all_y.min()), float(all_y.max())
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, xs, ys) in enumerate(points):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in zip(xs, ys):
+            col = int(round((x - x_lo) / (x_hi - x_lo) * (width - 1)))
+            row = int(round((y - y_lo) / (y_hi - y_lo) * (height - 1)))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_hi:.3g}"
+    bottom_label = f"{y_lo:.3g}"
+    pad = max(len(top_label), len(bottom_label))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = top_label.rjust(pad)
+        elif row_index == height - 1:
+            label = bottom_label.rjust(pad)
+        else:
+            label = " " * pad
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * pad + " +" + "-" * width)
+    lines.append(" " * pad + f"  {x_lo:.3g}".ljust(width // 2)
+                 + f"{x_hi:.3g}".rjust(width // 2)
+                 + f"  ({x_label})")
+    for index, (name, _, _) in enumerate(points):
+        marker = _MARKERS[index % len(_MARKERS)]
+        lines.append(f"  {marker} = {name}")
+    return "\n".join(lines)

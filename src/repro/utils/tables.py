@@ -1,0 +1,46 @@
+"""Plain-text table rendering for experiment reports.
+
+Experiments return structured results; the harness renders them with
+:func:`render_table` so that the benchmark output visually mirrors the
+tables in the paper.
+"""
+
+from __future__ import annotations
+
+__all__ = ["render_table"]
+
+
+def _format_cell(value):
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000 or (value != 0 and abs(value) < 0.01):
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def render_table(headers, rows, title=None):
+    """Render ``rows`` under ``headers`` as an aligned ASCII table.
+
+    ``rows`` is an iterable of sequences; cells may be any type and floats
+    are formatted compactly.  Returns the table as a single string.
+    """
+    str_rows = [[_format_cell(c) for c in row] for row in rows]
+    str_headers = [str(h) for h in headers]
+    widths = [len(h) for h in str_headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells):
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(str_headers))
+    lines.append(sep)
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)

@@ -1,0 +1,39 @@
+"""Small timing helper used by the experiment harness."""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Stopwatch"]
+
+
+class Stopwatch:
+    """Measure wall-clock durations, usable as a context manager.
+
+    >>> with Stopwatch() as sw:
+    ...     pass
+    >>> sw.elapsed >= 0
+    True
+    """
+
+    def __init__(self):
+        self._start = None
+        self.elapsed = 0.0
+
+    def __enter__(self):
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.stop()
+        return False
+
+    def start(self):
+        self._start = time.perf_counter()
+
+    def stop(self):
+        if self._start is None:
+            raise RuntimeError("Stopwatch.stop() called before start()")
+        self.elapsed += time.perf_counter() - self._start
+        self._start = None
+        return self.elapsed

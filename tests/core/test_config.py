@@ -1,0 +1,43 @@
+"""Hyperparameter dataclass."""
+
+import pytest
+
+from repro.core import Hyperparams, PAPER_HYPERPARAMS
+from repro.errors import ConfigError
+
+
+def test_defaults_valid():
+    hp = Hyperparams()
+    assert hp.lambda1 == 1.0
+    assert hp.step > 0
+
+
+def test_with_creates_modified_copy():
+    hp = Hyperparams()
+    hp2 = hp.with_(lambda2=3.0)
+    assert hp2.lambda2 == 3.0
+    assert hp.lambda2 == 0.1  # original untouched
+    assert hp2.step == hp.step
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        Hyperparams(lambda1=-1.0)
+    with pytest.raises(ConfigError):
+        Hyperparams(step=0.0)
+    with pytest.raises(ConfigError):
+        Hyperparams(max_iterations=0)
+
+
+def test_paper_hyperparams_cover_all_datasets():
+    assert set(PAPER_HYPERPARAMS) == {"mnist", "imagenet", "driving", "pdf",
+                                      "drebin"}
+    # Table 2's per-dataset settings.
+    assert PAPER_HYPERPARAMS["pdf"].lambda1 == 2.0
+    assert PAPER_HYPERPARAMS["drebin"].lambda2 == 0.5
+
+
+def test_frozen():
+    hp = Hyperparams()
+    with pytest.raises(Exception):
+        hp.lambda1 = 5.0

@@ -1,0 +1,203 @@
+"""Domain constraints: each §6.2 rule holds exactly."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (DrebinConstraint, LightingConstraint,
+                        MultiRectOcclusion, PdfFeatureConstraint,
+                        SingleRectOcclusion, Unconstrained,
+                        constraint_for_dataset)
+from repro.errors import ConstraintError
+
+
+class TestLighting:
+    def test_gradient_becomes_uniform_per_sample(self):
+        rng = np.random.default_rng(0)
+        grad = rng.normal(size=(3, 1, 4, 4))
+        out = LightingConstraint().apply(grad, None)
+        for i in range(3):
+            values = np.unique(out[i])
+            assert values.size == 1
+            assert values[0] == pytest.approx(grad[i].mean())
+
+    def test_direction_follows_mean_sign(self):
+        grad = np.full((1, 1, 2, 2), -0.5)
+        out = LightingConstraint().apply(grad, None)
+        assert np.all(out < 0)
+
+    def test_project_clips(self):
+        x = np.array([[[[-0.2, 0.5], [1.4, 0.9]]]])
+        out = LightingConstraint().project(x, x)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+
+class TestSingleRect:
+    def test_only_rectangle_changes(self):
+        rng = np.random.default_rng(1)
+        con = SingleRectOcclusion(height=3, width=4)
+        x0 = np.zeros((1, 8, 8))
+        con.setup(x0, rng)
+        grad = np.ones((2, 1, 8, 8))
+        out = con.apply(grad, None)
+        assert int((out != 0).sum()) == 2 * 3 * 4
+        top, left = con._pos
+        assert np.all(out[:, :, top:top + 3, left:left + 4] == 1.0)
+
+    def test_requires_setup(self):
+        con = SingleRectOcclusion()
+        with pytest.raises(ConstraintError):
+            con.apply(np.zeros((1, 1, 8, 8)), None)
+
+    def test_rectangle_must_fit(self):
+        con = SingleRectOcclusion(height=10, width=10)
+        with pytest.raises(ConstraintError):
+            con.setup(np.zeros((1, 8, 8)), np.random.default_rng(0))
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_rectangle_always_inside_image(self, seed):
+        con = SingleRectOcclusion(height=3, width=5)
+        con.setup(np.zeros((1, 9, 11)), np.random.default_rng(seed))
+        top, left = con._pos
+        assert 0 <= top <= 9 - 3
+        assert 0 <= left <= 11 - 5
+
+
+class TestMultiRect:
+    def test_only_darkening_allowed(self):
+        rng = np.random.default_rng(2)
+        con = MultiRectOcclusion(size=2, count=3)
+        x0 = np.zeros((1, 8, 8))
+        con.setup(x0, rng)
+        grad = np.abs(rng.normal(size=(1, 1, 8, 8)))  # all positive
+        out = con.apply(grad, None)
+        # Positive-mean patches are zeroed: nothing may brighten.
+        assert np.all(out <= 0.0)
+        assert np.all(out == 0.0)
+
+    def test_negative_gradient_passes_in_patches(self):
+        rng = np.random.default_rng(3)
+        con = MultiRectOcclusion(size=2, count=2)
+        con.setup(np.zeros((1, 8, 8)), rng)
+        grad = -np.ones((1, 1, 8, 8))
+        out = con.apply(grad, None)
+        assert int((out != 0).sum()) <= 2 * 2 * 2
+        assert np.all(out <= 0.0)
+        assert (out != 0).any()
+
+    def test_patch_size_validation(self):
+        con = MultiRectOcclusion(size=9, count=1)
+        with pytest.raises(ConstraintError):
+            con.setup(np.zeros((1, 8, 8)), np.random.default_rng(0))
+        with pytest.raises(ConstraintError):
+            MultiRectOcclusion(size=0)
+
+
+class TestDrebin:
+    def _mask(self, n=10, manifest=5):
+        mask = np.zeros(n, dtype=bool)
+        mask[:manifest] = True
+        return mask
+
+    def test_apply_masks_non_manifest_and_set_bits(self):
+        con = DrebinConstraint(self._mask())
+        x = np.zeros((1, 10))
+        x[0, 0] = 1.0  # already set: not eligible
+        grad = np.ones((1, 10))
+        out = con.apply(grad, x)
+        assert out[0, 0] == 0.0          # already 1
+        assert np.all(out[0, 5:] == 0.0)  # code features frozen
+        assert np.all(out[0, 1:5] == 1.0)
+
+    def test_negative_gradient_not_eligible(self):
+        con = DrebinConstraint(self._mask())
+        x = np.zeros((1, 10))
+        grad = -np.ones((1, 10))
+        assert np.all(con.apply(grad, x) == 0.0)
+
+    def test_project_flips_top_bit_only(self):
+        con = DrebinConstraint(self._mask(), per_step=1)
+        x_prev = np.zeros((1, 10))
+        x_new = x_prev.copy()
+        x_new[0, 2] = 0.4
+        x_new[0, 3] = 0.9  # strongest move
+        out = con.project(x_new, x_prev)
+        assert out[0, 3] == 1.0
+        assert out[0, 2] == 0.0
+        assert out.sum() == 1.0
+
+    def test_project_never_removes_bits(self):
+        con = DrebinConstraint(self._mask())
+        x_prev = np.ones((1, 10))
+        x_new = np.zeros((1, 10))  # gradient step tried to remove
+        out = con.project(x_new, x_prev)
+        np.testing.assert_array_equal(out, x_prev)
+
+    def test_per_step_validation(self):
+        with pytest.raises(ConstraintError):
+            DrebinConstraint(self._mask(), per_step=0)
+
+
+class TestPdf:
+    def _mask(self, n=8, mutable=5):
+        mask = np.zeros(n, dtype=bool)
+        mask[:mutable] = True
+        return mask
+
+    def test_apply_freezes_immutable(self):
+        con = PdfFeatureConstraint(self._mask())
+        grad = np.ones((1, 8))
+        out = con.apply(grad, np.zeros((1, 8)))
+        assert np.all(out[0, 5:] == 0.0)
+        assert np.all(out[0, :5] == 1.0)
+
+    def test_project_rounds_to_integers(self):
+        con = PdfFeatureConstraint(self._mask())
+        x_prev = np.full((1, 8), 3.0)
+        x_new = x_prev + 0.7
+        out = con.project(x_new, x_prev)
+        np.testing.assert_array_equal(out[0, :5], 4.0)
+        np.testing.assert_array_equal(out[0, 5:], 3.0)
+
+    def test_project_small_steps_dropped(self):
+        con = PdfFeatureConstraint(self._mask())
+        x_prev = np.full((1, 8), 3.0)
+        out = con.project(x_prev + 0.3, x_prev)
+        np.testing.assert_array_equal(out, x_prev)
+
+    def test_counts_stay_non_negative_and_bounded(self):
+        con = PdfFeatureConstraint(self._mask(), max_value=10.0)
+        x_prev = np.full((1, 8), 1.0)
+        out = con.project(x_prev - 5.0, x_prev)
+        assert out.min() >= 0.0
+        out = con.project(x_prev + 100.0, x_prev)
+        assert out[0, :5].max() <= 10.0
+
+    def test_decrements_allowed(self):
+        con = PdfFeatureConstraint(self._mask())
+        x_prev = np.full((1, 8), 5.0)
+        out = con.project(x_prev - 2.0, x_prev)
+        np.testing.assert_array_equal(out[0, :5], 3.0)
+
+
+class TestFactory:
+    def test_feature_datasets(self, drebin_smoke, pdf_smoke):
+        assert isinstance(constraint_for_dataset(drebin_smoke),
+                          DrebinConstraint)
+        assert isinstance(constraint_for_dataset(pdf_smoke),
+                          PdfFeatureConstraint)
+
+    def test_image_kinds(self, mnist_smoke):
+        assert isinstance(constraint_for_dataset(mnist_smoke),
+                          LightingConstraint)
+        assert isinstance(constraint_for_dataset(mnist_smoke, kind="occl"),
+                          SingleRectOcclusion)
+        assert isinstance(constraint_for_dataset(mnist_smoke,
+                                                 kind="blackout"),
+                          MultiRectOcclusion)
+        assert isinstance(constraint_for_dataset(mnist_smoke, kind="none"),
+                          Unconstrained)
+        with pytest.raises(ConstraintError):
+            constraint_for_dataset(mnist_smoke, kind="sepia")

@@ -1,0 +1,105 @@
+"""Differential oracles and majority-vote labelling."""
+
+import numpy as np
+import pytest
+
+from repro.core import (ClassificationOracle, RegressionOracle,
+                        majority_label, make_oracle)
+from repro.errors import ConfigError
+from repro.nn import Dense, Network
+
+
+class _Stub:
+    """Fixed-prediction stand-in for a trained network."""
+
+    def __init__(self, outputs, name="stub"):
+        self._outputs = np.asarray(outputs, dtype=np.float64)
+        self.name = name
+        self.output_shape = (self._outputs.shape[1],)
+
+    def predict(self, x, batch_size=None):
+        return np.tile(self._outputs, (np.asarray(x).shape[0], 1))
+
+
+def test_classification_differs():
+    a = _Stub([[0.9, 0.1]])
+    b = _Stub([[0.2, 0.8]])
+    oracle = ClassificationOracle([a, b])
+    x = np.zeros((3, 4))
+    assert oracle.differs(x).all()
+    preds = oracle.predictions(x)
+    assert preds.shape == (2, 3)
+
+
+def test_classification_agrees():
+    a = _Stub([[0.9, 0.1]])
+    b = _Stub([[0.6, 0.4]])
+    oracle = ClassificationOracle([a, b])
+    assert not oracle.differs(np.zeros((2, 4))).any()
+
+
+def test_needs_two_models():
+    with pytest.raises(ConfigError):
+        ClassificationOracle([_Stub([[1.0]])])
+    with pytest.raises(ConfigError):
+        RegressionOracle([_Stub([[1.0]])])
+
+
+class _RegStub:
+    def __init__(self, angle):
+        self.angle = angle
+        self.output_shape = (1,)
+
+    def predict(self, x, batch_size=None):
+        return np.full((np.asarray(x).shape[0], 1), self.angle)
+
+
+def test_regression_direction_bins():
+    assert RegressionOracle.direction(np.array([-0.3, 0.01, 0.3])).tolist() \
+        == [-1, 0, 1]
+
+
+def test_regression_differs_on_direction():
+    left = _RegStub(-0.3)
+    right = _RegStub(0.3)
+    oracle = RegressionOracle([left, right])
+    assert oracle.differs(np.zeros((1, 2))).all()
+
+
+def test_regression_agrees_same_direction():
+    oracle = RegressionOracle([_RegStub(0.2), _RegStub(0.35)])
+    assert not oracle.differs(np.zeros((1, 2))).any()
+
+
+def test_regression_spread_triggers():
+    oracle = RegressionOracle([_RegStub(0.2), _RegStub(0.9)],
+                              angle_spread=0.6)
+    assert oracle.differs(np.zeros((1, 2))).all()
+
+
+def test_make_oracle_dispatch():
+    models = [_Stub([[0.5, 0.5]]), _Stub([[0.5, 0.5]])]
+    assert isinstance(make_oracle(models, "classification"),
+                      ClassificationOracle)
+    assert isinstance(make_oracle(models, "regression"), RegressionOracle)
+    with pytest.raises(ConfigError):
+        make_oracle(models, "clustering")
+
+
+def test_majority_label_simple():
+    models = [_Stub([[0.9, 0.1]]), _Stub([[0.8, 0.2]]), _Stub([[0.1, 0.9]])]
+    labels = majority_label(models, np.zeros((4, 3)))
+    assert labels.tolist() == [0, 0, 0, 0]
+
+
+def test_majority_label_tie_prefers_first_model():
+    models = [_Stub([[0.9, 0.1]]), _Stub([[0.1, 0.9]])]
+    labels = majority_label(models, np.zeros((2, 3)))
+    assert labels.tolist() == [0, 0]
+
+
+def test_oracle_on_real_models(mnist_trio, mnist_smoke):
+    oracle = ClassificationOracle(mnist_trio)
+    differs = oracle.differs(mnist_smoke.x_test[:40])
+    # Well-trained trios agree on the (large) majority of test inputs.
+    assert differs.mean() < 0.5

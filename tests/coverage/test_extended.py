@@ -1,0 +1,117 @@
+"""Extended coverage criteria (k-multisection, boundary, top-k)."""
+
+import numpy as np
+import pytest
+
+from repro.coverage import (BoundaryCoverage, KMultisectionCoverage,
+                            NeuronProfile, TopKNeuronCoverage)
+from repro.errors import CoverageError
+from repro.nn import Dense, Network
+
+
+@pytest.fixture
+def net():
+    rng = np.random.default_rng(0)
+    return Network([
+        Dense(4, 6, rng=rng, name="h"),
+        Dense(6, 3, activation="softmax", rng=rng, name="o"),
+    ], (4,), name="ext")
+
+
+@pytest.fixture
+def profile(net, rng):
+    return NeuronProfile.from_data(net, rng.random((50, 4)))
+
+
+class TestProfile:
+    def test_bounds_ordered(self, profile):
+        assert np.all(profile.low <= profile.high)
+        assert profile.low.shape == (profile.network.total_neurons,)
+
+    def test_profiled_inputs_inside_bounds(self, net, rng):
+        x = rng.random((30, 4))
+        profile = NeuronProfile.from_data(net, x)
+        acts = net.neuron_activations(x)
+        assert np.all(acts >= profile.low[None, :] - 1e-12)
+        assert np.all(acts <= profile.high[None, :] + 1e-12)
+
+    def test_validation(self, net):
+        with pytest.raises(CoverageError):
+            NeuronProfile(net, np.zeros(3), np.ones(3))
+        n = net.total_neurons
+        with pytest.raises(CoverageError):
+            NeuronProfile(net, np.ones(n), np.zeros(n))
+
+
+class TestKMultisection:
+    def test_profiling_data_covers_many_sections(self, net, profile, rng):
+        cov = KMultisectionCoverage(profile, k=5)
+        gained = cov.update(rng.random((50, 4)))
+        assert gained > 0
+        assert 0.0 < cov.coverage() <= 1.0
+
+    def test_monotone(self, net, profile, rng):
+        cov = KMultisectionCoverage(profile, k=8)
+        prev = 0.0
+        for _ in range(4):
+            cov.update(rng.random((5, 4)))
+            value = cov.coverage()
+            assert value >= prev
+            prev = value
+
+    def test_out_of_range_not_counted(self, net, profile):
+        cov = KMultisectionCoverage(profile, k=4)
+        # Extreme inputs push activations outside the profiled range for
+        # at least some neurons; those must not mark sections.
+        cov.update(np.full((1, 4), 100.0))
+        # Whatever was covered, coverage stays a valid fraction.
+        assert 0.0 <= cov.coverage() <= 1.0
+
+    def test_k_validation(self, profile):
+        with pytest.raises(CoverageError):
+            KMultisectionCoverage(profile, k=0)
+
+
+class TestBoundary:
+    def test_in_range_inputs_cover_nothing(self, net, rng):
+        x = rng.random((40, 4))
+        profile = NeuronProfile.from_data(net, x)
+        cov = BoundaryCoverage(profile)
+        cov.update(x)  # same data that built the profile
+        assert cov.coverage() == 0.0
+
+    def test_extreme_inputs_hit_corners(self, net, profile):
+        cov = BoundaryCoverage(profile)
+        gained = cov.update(np.full((1, 4), 50.0))
+        assert gained > 0
+        assert cov.coverage() > 0.0
+
+    def test_coverage_bounded(self, net, profile, rng):
+        cov = BoundaryCoverage(profile)
+        cov.update(rng.normal(scale=100.0, size=(20, 4)))
+        assert 0.0 <= cov.coverage() <= 1.0
+
+
+class TestTopK:
+    def test_update_and_bounds(self, net, rng):
+        cov = TopKNeuronCoverage(net, k=2)
+        gained = cov.update(rng.random((10, 4)))
+        assert gained >= 2  # at least k neurons in some layer
+        assert 0.0 < cov.coverage() <= 1.0
+
+    def test_k_larger_than_layer_ok(self, net, rng):
+        cov = TopKNeuronCoverage(net, k=50)
+        cov.update(rng.random((2, 4)))
+        assert cov.coverage() == 1.0  # every neuron is in the top-50
+
+    def test_k_validation(self, net):
+        with pytest.raises(CoverageError):
+            TopKNeuronCoverage(net, k=0)
+
+    def test_higher_k_never_less(self, net, rng):
+        x = rng.random((15, 4))
+        low = TopKNeuronCoverage(net, k=1)
+        high = TopKNeuronCoverage(net, k=3)
+        low.update(x)
+        high.update(x)
+        assert high.coverage() >= low.coverage()

@@ -1,0 +1,143 @@
+"""Neuron coverage tracker: definition, scaling, monotonicity, merging."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coverage import (NeuronCoverageTracker, coverage_of_inputs,
+                            scale_layerwise)
+from repro.errors import CoverageError
+from repro.nn import Dense, Network
+
+
+@pytest.fixture
+def tiny_net():
+    rng = np.random.default_rng(0)
+    return Network([
+        Dense(4, 5, rng=rng, name="h1"),
+        Dense(5, 3, activation="softmax", rng=rng, name="out"),
+    ], input_shape=(4,), name="tiny")
+
+
+def test_scale_layerwise_per_layer_per_input(tiny_net):
+    acts = np.array([[1.0, 3.0, 5.0, 1.0, 2.0,   0.2, 0.3, 0.5]])
+    scaled = scale_layerwise(acts, tiny_net.neuron_layers)
+    # Layer 1 (first 5): min 1 -> 0, max 5 -> 1.
+    np.testing.assert_allclose(scaled[0, :5], [0, 0.5, 1.0, 0, 0.25])
+    # Layer 2 (last 3): min 0.2 -> 0, max 0.5 -> 1.
+    np.testing.assert_allclose(scaled[0, 5:], [0, 1 / 3, 1.0])
+
+
+def test_constant_layer_scales_to_zero(tiny_net):
+    acts = np.array([[2.0] * 5 + [0.1, 0.2, 0.7]])
+    scaled = scale_layerwise(acts, tiny_net.neuron_layers)
+    np.testing.assert_array_equal(scaled[0, :5], 0.0)
+
+
+def test_update_and_coverage(tiny_net, rng):
+    tracker = NeuronCoverageTracker(tiny_net, threshold=0.5)
+    assert tracker.coverage() == 0.0
+    newly = tracker.update(rng.random((10, 4)))
+    assert newly == tracker.covered_count()
+    assert 0.0 < tracker.coverage() <= 1.0
+
+
+def test_update_monotone(tiny_net, rng):
+    tracker = NeuronCoverageTracker(tiny_net, threshold=0.25)
+    previous = 0
+    for _ in range(5):
+        tracker.update(rng.random((3, 4)))
+        count = tracker.covered_count()
+        assert count >= previous
+        previous = count
+
+
+def test_pick_uncovered_only_returns_uncovered(tiny_net, rng):
+    tracker = NeuronCoverageTracker(tiny_net, threshold=0.99)
+    for _ in range(10):
+        pick = tracker.pick_uncovered(rng)
+        assert pick in set(tracker.uncovered_ids())
+
+
+def test_pick_returns_none_when_full(tiny_net):
+    tracker = NeuronCoverageTracker(tiny_net, threshold=-1e9, scaled=False)
+    tracker.update(np.random.default_rng(0).random((1, 4)))
+    assert tracker.coverage() == 1.0
+    assert tracker.pick_uncovered() is None
+
+
+def test_merge_is_union(tiny_net, rng):
+    a = NeuronCoverageTracker(tiny_net, threshold=0.5)
+    b = NeuronCoverageTracker(tiny_net, threshold=0.5)
+    a.update(rng.random((5, 4)))
+    b.update(rng.random((5, 4)))
+    union = a.covered | b.covered
+    a.merge(b)
+    np.testing.assert_array_equal(a.covered, union)
+
+
+def test_merge_rejects_foreign_tracker(tiny_net):
+    rng = np.random.default_rng(1)
+    other_net = Network([Dense(4, 5, rng=rng, name="h1"),
+                         Dense(5, 3, activation="softmax", rng=rng,
+                               name="out")], (4,), "other")
+    a = NeuronCoverageTracker(tiny_net)
+    b = NeuronCoverageTracker(other_net)
+    with pytest.raises(CoverageError):
+        a.merge(b)
+
+
+def test_clone_independent(tiny_net, rng):
+    a = NeuronCoverageTracker(tiny_net, threshold=0.5)
+    a.update(rng.random((5, 4)))
+    twin = a.clone()
+    twin.update(rng.random((20, 4)))
+    assert twin.covered_count() >= a.covered_count()
+    # Mutating the clone must not touch the original's state.
+    before = a.covered.copy()
+    twin.covered[:] = True
+    np.testing.assert_array_equal(a.covered, before)
+
+
+def test_layer_filter(tiny_net, rng):
+    tracker = NeuronCoverageTracker(
+        tiny_net, layer_filter=lambda l: l.name == "h1")
+    assert tracker.tracked_count == 5
+    tracker.update(rng.random((10, 4)))
+    # Output-layer neurons never counted.
+    assert not tracker.covered[5:].any()
+
+
+def test_empty_filter_raises(tiny_net):
+    tracker = NeuronCoverageTracker(tiny_net, layer_filter=lambda l: False)
+    with pytest.raises(CoverageError):
+        tracker.coverage()
+
+
+def test_reset(tiny_net, rng):
+    tracker = NeuronCoverageTracker(tiny_net)
+    tracker.update(rng.random((5, 4)))
+    tracker.reset()
+    assert tracker.covered_count() == 0
+
+
+@given(st.floats(0.0, 0.9), st.integers(1, 30))
+@settings(max_examples=15, deadline=None)
+def test_higher_threshold_never_more_coverage(threshold, n_inputs):
+    rng = np.random.default_rng(7)
+    net = Network([Dense(4, 6, rng=rng, name="h"),
+                   Dense(6, 3, activation="softmax", rng=rng, name="o")],
+                  (4,), "prop")
+    x = rng.random((n_inputs, 4))
+    low = coverage_of_inputs(net, x, threshold=threshold)
+    high = coverage_of_inputs(net, x, threshold=min(threshold + 0.1, 1.0))
+    assert high <= low + 1e-12
+
+
+def test_one_shot_matches_tracker(tiny_net, rng):
+    x = rng.random((8, 4))
+    tracker = NeuronCoverageTracker(tiny_net, threshold=0.3)
+    tracker.update(x)
+    assert coverage_of_inputs(tiny_net, x, threshold=0.3) == \
+        tracker.coverage()

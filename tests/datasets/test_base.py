@@ -1,0 +1,80 @@
+"""Dataset container and split helpers."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import Dataset, train_test_split
+from repro.datasets.base import resolve_scale
+from repro.errors import DatasetError
+
+
+def _tiny_dataset():
+    rng = np.random.default_rng(0)
+    return Dataset(
+        name="tiny",
+        x_train=rng.random((20, 3)), y_train=np.arange(20) % 2,
+        x_test=rng.random((8, 3)), y_test=np.arange(8) % 2,
+        task="classification", num_classes=2)
+
+
+def test_input_shape_and_describe():
+    ds = _tiny_dataset()
+    assert ds.input_shape == (3,)
+    assert "tiny" in ds.describe()
+
+
+def test_sample_seeds_no_replacement():
+    ds = _tiny_dataset()
+    x, y = ds.sample_seeds(8, np.random.default_rng(1))
+    assert x.shape == (8, 3) and y.shape == (8,)
+    # Copies, not views.
+    x[0, 0] = 99.0
+    assert not np.any(ds.x_test == 99.0)
+
+
+def test_sample_seeds_from_train():
+    ds = _tiny_dataset()
+    x, _ = ds.sample_seeds(20, np.random.default_rng(2), from_train=True)
+    assert x.shape == (20, 3)
+
+
+def test_sample_seeds_too_many():
+    with pytest.raises(DatasetError):
+        _tiny_dataset().sample_seeds(9, np.random.default_rng(0))
+
+
+def test_mismatched_counts_rejected():
+    rng = np.random.default_rng(0)
+    with pytest.raises(DatasetError):
+        Dataset(name="bad", x_train=rng.random((5, 2)), y_train=np.zeros(4),
+                x_test=rng.random((2, 2)), y_test=np.zeros(2))
+
+
+def test_unknown_task_rejected():
+    rng = np.random.default_rng(0)
+    with pytest.raises(DatasetError):
+        Dataset(name="bad", x_train=rng.random((2, 2)), y_train=np.zeros(2),
+                x_test=rng.random((2, 2)), y_test=np.zeros(2),
+                task="ranking")
+
+
+def test_train_test_split_partitions():
+    rng = np.random.default_rng(3)
+    x = np.arange(40).reshape(20, 2).astype(float)
+    y = np.arange(20)
+    xtr, ytr, xte, yte = train_test_split(x, y, 0.25, rng)
+    assert xtr.shape[0] == 15 and xte.shape[0] == 5
+    combined = np.sort(np.concatenate([ytr, yte]))
+    np.testing.assert_array_equal(combined, np.arange(20))
+
+
+def test_train_test_split_bad_fraction():
+    rng = np.random.default_rng(0)
+    with pytest.raises(DatasetError):
+        train_test_split(np.zeros((4, 1)), np.zeros(4), 1.5, rng)
+
+
+def test_resolve_scale():
+    assert resolve_scale("smoke") == "smoke"
+    with pytest.raises(DatasetError):
+        resolve_scale("enormous")

@@ -1,0 +1,192 @@
+"""The five synthetic dataset generators: domains, determinism, structure."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (dataset_names, generate_drebin, generate_driving,
+                            generate_imagenet, generate_mnist, generate_pdf,
+                            load_dataset)
+from repro.datasets.drebin import build_vocabulary
+from repro.datasets.driving import render_road, steering_for
+from repro.datasets.mnist import DIGIT_SKELETONS, render_digit
+from repro.datasets.imagenet import CLASS_NAMES, render_scene
+from repro.datasets.pdfmalware import PDF_FEATURES, mutable_feature_mask
+from repro.errors import DatasetError
+
+
+class TestMnist:
+    def test_shapes_and_range(self, mnist_smoke):
+        assert mnist_smoke.input_shape == (1, 28, 28)
+        assert mnist_smoke.num_classes == 10
+        assert mnist_smoke.x_train.min() >= 0.0
+        assert mnist_smoke.x_train.max() <= 1.0
+
+    def test_all_ten_classes_in_both_splits(self, mnist_smoke):
+        assert set(mnist_smoke.y_train) == set(range(10))
+        assert set(mnist_smoke.y_test) == set(range(10))
+
+    def test_render_digit_deterministic(self):
+        a = render_digit(3, np.random.default_rng(5))
+        b = render_digit(3, np.random.default_rng(5))
+        np.testing.assert_array_equal(a, b)
+
+    def test_render_digit_validates(self):
+        with pytest.raises(DatasetError):
+            render_digit(10, np.random.default_rng(0))
+
+    def test_all_skeletons_render_visible_strokes(self):
+        rng = np.random.default_rng(1)
+        for digit in DIGIT_SKELETONS:
+            img = render_digit(digit, rng)
+            assert img.max() > 0.8, f"digit {digit} almost invisible"
+            # Strokes should cover a meaningful but not overwhelming area.
+            assert 0.03 < (img > 0.5).mean() < 0.5
+
+    def test_digits_are_distinguishable(self):
+        """Mean images of different digits must differ substantially —
+        otherwise no classifier could learn the dataset."""
+        rng = np.random.default_rng(2)
+        means = {d: np.mean([render_digit(d, rng) for _ in range(8)], axis=0)
+                 for d in (0, 1, 7)}
+        assert np.abs(means[0] - means[1]).sum() > 20
+        assert np.abs(means[1] - means[7]).sum() > 20
+
+
+class TestImagenet:
+    def test_shapes(self, imagenet_smoke):
+        assert imagenet_smoke.input_shape == (3, 32, 32)
+        assert imagenet_smoke.num_classes == 10
+        assert imagenet_smoke.class_names == list(CLASS_NAMES)
+
+    def test_render_scene_range_and_determinism(self):
+        a = render_scene(4, np.random.default_rng(9))
+        b = render_scene(4, np.random.default_rng(9))
+        np.testing.assert_array_equal(a, b)
+        assert a.min() >= 0.0 and a.max() <= 1.0
+
+    def test_invalid_class(self):
+        with pytest.raises(DatasetError):
+            render_scene(10, np.random.default_rng(0))
+
+    def test_classes_differ(self):
+        rng = np.random.default_rng(3)
+        mean_imgs = [np.mean([render_scene(c, rng) for _ in range(5)], axis=0)
+                     for c in range(10)]
+        for i in range(10):
+            for j in range(i + 1, 10):
+                assert np.abs(mean_imgs[i] - mean_imgs[j]).mean() > 0.02, \
+                    (i, j)
+
+
+class TestDriving:
+    def test_regression_task(self, driving_smoke):
+        assert driving_smoke.task == "regression"
+        assert driving_smoke.input_shape == (1, 16, 32)
+        assert np.abs(np.asarray(driving_smoke.y_train)).max() <= 1.3
+
+    def test_steering_sign_follows_curvature(self):
+        assert steering_for(0.4, 0.0) > 0
+        assert steering_for(-0.4, 0.0) < 0
+        assert steering_for(0.0, 0.0) == pytest.approx(0.0)
+
+    def test_steering_clipped(self):
+        assert steering_for(10.0, 10.0) == pytest.approx(1.2)
+
+    def test_render_road_brightness_control(self):
+        rng = np.random.default_rng(0)
+        dark = render_road(0.1, 0.0, rng, brightness=0.6)
+        rng = np.random.default_rng(0)
+        bright = render_road(0.1, 0.0, rng, brightness=1.2)
+        assert bright.mean() > dark.mean()
+
+    def test_curvature_moves_road(self):
+        rng = np.random.default_rng(1)
+        left = render_road(-0.5, 0.0, rng, brightness=1.0)
+        rng = np.random.default_rng(1)
+        right = render_road(0.5, 0.0, rng, brightness=1.0)
+        # Compare the horizon-adjacent rows: centre of mass must shift.
+        row = 6
+        cols = np.arange(32)
+        com_left = (left[0, row] * cols).sum() / left[0, row].sum()
+        com_right = (right[0, row] * cols).sum() / right[0, row].sum()
+        assert com_right > com_left
+
+
+class TestPdf:
+    def test_schema(self):
+        assert len(PDF_FEATURES) == 135
+        families = {family for _, family in PDF_FEATURES}
+        assert families == {"count", "len", "bool", "ratio"}
+
+    def test_mutable_mask_matches_schema(self):
+        mask = mutable_feature_mask()
+        assert mask.shape == (135,)
+        for flag, (_, family) in zip(mask, PDF_FEATURES):
+            assert flag == (family in ("count", "len"))
+
+    def test_counts_are_integers(self, pdf_smoke):
+        mask = pdf_smoke.metadata["mutable_mask"]
+        counts = pdf_smoke.x_train[:, mask]
+        np.testing.assert_array_equal(counts, np.round(counts))
+        assert counts.min() >= 0
+
+    def test_classes_differ_on_informative_features(self, pdf_smoke):
+        names = pdf_smoke.feature_names
+        js = names.index("count_js")
+        y = np.asarray(pdf_smoke.y_train)
+        malicious_js = pdf_smoke.x_train[y == 1, js].mean()
+        benign_js = pdf_smoke.x_train[y == 0, js].mean()
+        assert malicious_js > benign_js * 2
+
+
+class TestDrebin:
+    def test_binary_features(self, drebin_smoke):
+        values = np.unique(drebin_smoke.x_train)
+        assert set(values).issubset({0.0, 1.0})
+
+    def test_manifest_mask_structure(self, drebin_smoke):
+        mask = drebin_smoke.metadata["manifest_mask"]
+        names = drebin_smoke.feature_names
+        assert mask.shape == (len(names),)
+        for name, is_manifest in zip(names, mask):
+            category = name.split("::")[0]
+            expected = category in ("feature", "permission", "activity",
+                                    "service_receiver", "provider", "intent")
+            assert is_manifest == expected, name
+
+    def test_vocabulary_deterministic(self):
+        names_a, mask_a = build_vocabulary(np.random.default_rng(11))
+        names_b, mask_b = build_vocabulary(np.random.default_rng(11))
+        assert names_a == names_b
+        np.testing.assert_array_equal(mask_a, mask_b)
+
+    def test_suspicious_features_skew_malicious(self, drebin_smoke):
+        names = drebin_smoke.feature_names
+        idx = names.index("permission::SEND_SMS")
+        y = np.asarray(drebin_smoke.y_train)
+        assert (drebin_smoke.x_train[y == 1, idx].mean()
+                > drebin_smoke.x_train[y == 0, idx].mean())
+
+
+class TestLoading:
+    def test_dataset_names(self):
+        assert dataset_names() == ["mnist", "imagenet", "driving", "pdf",
+                                   "drebin"]
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DatasetError):
+            load_dataset("cifar")
+
+    def test_cache_roundtrip(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        a = load_dataset("pdf", scale="smoke", seed=3)
+        b = load_dataset("pdf", scale="smoke", seed=3)
+        np.testing.assert_array_equal(a.x_train, b.x_train)
+        assert any(p.name.startswith("dataset-pdf")
+                   for p in tmp_path.iterdir())
+
+    def test_generation_deterministic(self):
+        a = generate_pdf(scale="smoke", seed=5)
+        b = generate_pdf(scale="smoke", seed=5)
+        np.testing.assert_array_equal(a.x_train, b.x_train)
+        np.testing.assert_array_equal(a.y_test, b.y_test)

@@ -1,0 +1,52 @@
+"""Label pollution helper."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import pollute_labels
+from repro.errors import DatasetError
+
+
+def test_pollutes_requested_fraction(mnist_smoke):
+    polluted, flipped = pollute_labels(mnist_smoke, source_class=9,
+                                       target_class=1, fraction=0.3, rng=0)
+    nines = np.flatnonzero(np.asarray(mnist_smoke.y_train) == 9)
+    expected = int(round(nines.size * 0.3))
+    assert flipped.size == expected
+    # Flipped samples now carry the target label.
+    assert np.all(np.asarray(polluted.y_train)[flipped] == 1)
+    # Unflipped nines stay nines.
+    untouched = np.setdiff1d(nines, flipped)
+    assert np.all(np.asarray(polluted.y_train)[untouched] == 9)
+
+
+def test_original_untouched(mnist_smoke):
+    before = np.asarray(mnist_smoke.y_train).copy()
+    pollute_labels(mnist_smoke, rng=1)
+    np.testing.assert_array_equal(mnist_smoke.y_train, before)
+
+
+def test_test_split_untouched(mnist_smoke):
+    polluted, _ = pollute_labels(mnist_smoke, rng=2)
+    np.testing.assert_array_equal(polluted.y_test, mnist_smoke.y_test)
+
+
+def test_images_shared_not_copied(mnist_smoke):
+    polluted, _ = pollute_labels(mnist_smoke, rng=3)
+    assert polluted.x_train is mnist_smoke.x_train
+
+
+def test_invalid_fraction(mnist_smoke):
+    with pytest.raises(DatasetError):
+        pollute_labels(mnist_smoke, fraction=0.0)
+
+
+def test_missing_source_class(mnist_smoke):
+    with pytest.raises(DatasetError):
+        pollute_labels(mnist_smoke, source_class=77)
+
+
+def test_deterministic(mnist_smoke):
+    _, a = pollute_labels(mnist_smoke, rng=9)
+    _, b = pollute_labels(mnist_smoke, rng=9)
+    np.testing.assert_array_equal(a, b)

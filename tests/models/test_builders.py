@@ -1,0 +1,99 @@
+"""All 15 zoo architectures: build, forward, output domains."""
+
+import numpy as np
+import pytest
+
+from repro.models import (build_dave_dropout, build_dave_norminit,
+                          build_dave_orig, build_drebin_model,
+                          build_lenet1, build_lenet1_variant, build_lenet4,
+                          build_lenet5, build_pdf_model, build_resnet,
+                          build_vgg16, build_vgg19)
+
+_LENETS = [build_lenet1, build_lenet4, build_lenet5]
+_IMAGENETS = [build_vgg16, build_vgg19, build_resnet]
+_DAVES = [build_dave_orig, build_dave_norminit, build_dave_dropout]
+
+
+@pytest.mark.parametrize("builder", _LENETS)
+def test_lenets_forward(builder):
+    net = builder(rng=np.random.default_rng(0))
+    x = np.random.default_rng(1).random((2, 1, 28, 28))
+    probs = net.predict(x)
+    assert probs.shape == (2, 10)
+    np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-12)
+
+
+def test_lenet_neuron_ordering():
+    """LeNet-1 < LeNet-4 < LeNet-5 in neuron count, as in Table 1."""
+    n1 = build_lenet1(rng=np.random.default_rng(0)).total_neurons
+    n4 = build_lenet4(rng=np.random.default_rng(0)).total_neurons
+    n5 = build_lenet5(rng=np.random.default_rng(0)).total_neurons
+    assert n1 < n4 < n5
+
+
+def test_lenet1_variant_extra_filters():
+    base = build_lenet1_variant(rng=np.random.default_rng(0),
+                                extra_filters=0)
+    bigger = build_lenet1_variant(rng=np.random.default_rng(0),
+                                  extra_filters=2)
+    assert bigger.total_neurons == base.total_neurons + 4
+
+
+@pytest.mark.parametrize("builder", _IMAGENETS)
+def test_imagenet_models_forward(builder):
+    net = builder(rng=np.random.default_rng(0))
+    x = np.random.default_rng(1).random((2, 3, 32, 32))
+    probs = net.predict(x)
+    assert probs.shape == (2, 10)
+    np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-12)
+
+
+def test_vgg19_deeper_than_vgg16():
+    v16 = build_vgg16(rng=np.random.default_rng(0))
+    v19 = build_vgg19(rng=np.random.default_rng(0))
+    assert len(v19.layers) > len(v16.layers)
+    assert v19.total_neurons > v16.total_neurons
+
+
+@pytest.mark.parametrize("builder", _DAVES)
+def test_dave_models_regress_bounded_angles(builder):
+    net = builder(rng=np.random.default_rng(0))
+    x = np.random.default_rng(1).random((3, 1, 16, 32))
+    out = net.predict(x)
+    assert out.shape == (3, 1)
+    assert np.all(np.abs(out) < np.pi / 2)  # atan head bound
+
+
+def test_dave_orig_has_batchnorm_dave_norminit_does_not():
+    from repro.nn import BatchNorm
+    orig = build_dave_orig(rng=np.random.default_rng(0))
+    norminit = build_dave_norminit(rng=np.random.default_rng(0))
+    assert any(isinstance(l, BatchNorm) for l in orig.layers)
+    assert not any(isinstance(l, BatchNorm) for l in norminit.layers)
+
+
+def test_dave_dropout_has_dropout_layers():
+    from repro.nn import Dropout
+    net = build_dave_dropout(rng=np.random.default_rng(0))
+    assert sum(isinstance(l, Dropout) for l in net.layers) == 2
+
+
+def test_pdf_model_embeds_scaler():
+    rng = np.random.default_rng(2)
+    features = np.abs(rng.normal(50.0, 20.0, size=(100, 135)))
+    net = build_pdf_model((200, 200), features, rng=rng)
+    probs = net.predict(features[:4])
+    assert probs.shape == (4, 2)
+    np.testing.assert_allclose(probs.sum(axis=1), 1.0, atol=1e-12)
+
+
+@pytest.mark.parametrize("hidden", [(200, 200), (50, 50), (200, 10)])
+def test_drebin_models(hidden):
+    rng = np.random.default_rng(3)
+    net = build_drebin_model(hidden, input_dim=1300, rng=rng)
+    x = (rng.random((2, 1300)) < 0.1).astype(float)
+    probs = net.predict(x)
+    assert probs.shape == (2, 2)
+    # Hidden widths respected.
+    dense_widths = [l.out_features for l in net.layers]
+    assert tuple(dense_widths[:-1]) == hidden

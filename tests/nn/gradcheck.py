@@ -1,0 +1,66 @@
+"""Finite-difference gradient checking helpers shared by the nn tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["numeric_input_gradient", "check_layer_gradients"]
+
+
+def numeric_input_gradient(func, x, indices, eps=1e-6):
+    """Central-difference derivative of scalar ``func(x)`` at ``indices``."""
+    grads = {}
+    for idx in indices:
+        xp = x.copy()
+        xp[idx] += eps
+        xm = x.copy()
+        xm[idx] -= eps
+        grads[idx] = (func(xp) - func(xm)) / (2.0 * eps)
+    return grads
+
+
+def check_layer_gradients(layer, x, rng, atol=1e-7, n_probe=6,
+                          training=False):
+    """Verify a layer's input and parameter gradients against numerics.
+
+    Uses a random linear functional of the layer output as the scalar
+    loss: ``L = sum(W * layer(x))``.  Probes ``n_probe`` random input
+    coordinates and parameter coordinates.
+    """
+    out = layer.forward(x, training=training)
+    weights = rng.normal(size=out.shape)
+
+    def loss_of_input(x_probe):
+        return float((layer.forward(x_probe, training=training)
+                      * weights).sum())
+
+    # Analytic pass: forward (cached) then backward with dL/dout = weights.
+    for param in layer.parameters():
+        param.zero_grad()
+    layer.forward(x, training=training)
+    grad_in = layer.backward(weights)
+
+    flat_indices = [tuple(rng.integers(0, s) for s in x.shape)
+                    for _ in range(n_probe)]
+    numeric = numeric_input_gradient(loss_of_input, x, flat_indices)
+    for idx, num in numeric.items():
+        assert abs(grad_in[idx] - num) < atol, (
+            f"input grad mismatch at {idx}: {grad_in[idx]} vs {num}")
+
+    for param in layer.parameters():
+        value = param.value
+
+        def loss_of_param(probe, param=param, original=value.copy()):
+            param.value[...] = probe
+            try:
+                return loss_of_input(x)
+            finally:
+                param.value[...] = original
+
+        probes = [tuple(rng.integers(0, s) for s in value.shape)
+                  for _ in range(min(n_probe, value.size))]
+        numeric = numeric_input_gradient(loss_of_param, value.copy(), probes)
+        for idx, num in numeric.items():
+            assert abs(param.grad[idx] - num) < atol, (
+                f"{param.name} grad mismatch at {idx}: "
+                f"{param.grad[idx]} vs {num}")

@@ -1,0 +1,98 @@
+"""Unit and property tests for activation functions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.errors import ConfigError
+from repro.nn.activations import (Atan, LeakyRelu, Linear, Relu, Sigmoid,
+                                  Softmax, Tanh, get_activation)
+
+_ALL = [Linear(), Relu(), LeakyRelu(0.2), Sigmoid(), Tanh(), Atan(),
+        Softmax()]
+
+finite_arrays = arrays(np.float64, (3, 5),
+                       elements=st.floats(-20, 20, allow_nan=False))
+
+
+def _numeric_backward(act, z, grad, eps=1e-6):
+    out = np.zeros_like(z)
+    for idx in np.ndindex(z.shape):
+        zp = z.copy()
+        zp[idx] += eps
+        zm = z.copy()
+        zm[idx] -= eps
+        out[idx] = ((act.forward(zp) - act.forward(zm)) * grad).sum() / (2 * eps)
+    return out
+
+
+@pytest.mark.parametrize("act", _ALL, ids=lambda a: a.name)
+def test_backward_matches_numeric(act):
+    rng = np.random.default_rng(0)
+    z = rng.normal(size=(2, 4))
+    # Keep ReLU family away from the nondifferentiable kink.
+    z[np.abs(z) < 1e-3] = 0.5
+    grad = rng.normal(size=z.shape)
+    a = act.forward(z)
+    analytic = act.backward(grad, z, a)
+    numeric = _numeric_backward(act, z, grad)
+    np.testing.assert_allclose(analytic, numeric, atol=1e-6)
+
+
+def test_relu_clamps_negatives():
+    z = np.array([[-1.0, 0.0, 2.5]])
+    np.testing.assert_array_equal(Relu().forward(z), [[0.0, 0.0, 2.5]])
+
+
+def test_leaky_relu_negative_slope():
+    z = np.array([[-2.0, 3.0]])
+    np.testing.assert_allclose(LeakyRelu(0.1).forward(z), [[-0.2, 3.0]])
+
+
+@given(finite_arrays)
+@settings(max_examples=25, deadline=None)
+def test_softmax_is_a_distribution(z):
+    probs = Softmax().forward(z)
+    assert np.all(probs >= 0.0)
+    np.testing.assert_allclose(probs.sum(axis=-1), 1.0, atol=1e-12)
+
+
+@given(finite_arrays)
+@settings(max_examples=25, deadline=None)
+def test_sigmoid_bounded_and_monotone(z):
+    out = Sigmoid().forward(z)
+    assert np.all(out > 0.0) and np.all(out < 1.0)
+    order = np.argsort(z, axis=-1)
+    sorted_out = np.take_along_axis(out, order, axis=-1)
+    assert np.all(np.diff(sorted_out, axis=-1) >= -1e-12)
+
+
+def test_sigmoid_extreme_values_stable():
+    out = Sigmoid().forward(np.array([[-1e4, 1e4]]))
+    np.testing.assert_allclose(out, [[0.0, 1.0]], atol=1e-12)
+
+
+def test_softmax_shift_invariance():
+    z = np.array([[1.0, 2.0, 3.0]])
+    np.testing.assert_allclose(Softmax().forward(z),
+                               Softmax().forward(z + 1000.0), atol=1e-12)
+
+
+def test_atan_bounds():
+    out = Atan().forward(np.array([[-1e6, 0.0, 1e6]]))
+    assert np.all(np.abs(out) < np.pi / 2)
+    assert out[0, 1] == 0.0
+
+
+def test_get_activation_by_name_and_instance():
+    assert isinstance(get_activation("relu"), Relu)
+    assert isinstance(get_activation(None), Linear)
+    relu = Relu()
+    assert get_activation(relu) is relu
+
+
+def test_get_activation_unknown_raises():
+    with pytest.raises(ConfigError):
+        get_activation("swish9000")

@@ -1,0 +1,81 @@
+"""Architecture serialization: config round trips and single-file models."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.models import (build_dave_orig, build_lenet5, build_resnet,
+                          build_vgg16)
+from repro.nn import (Dense, Layer, Network, load_network,
+                      network_from_config, network_to_config, save_network)
+
+
+@pytest.mark.parametrize("builder", [build_lenet5, build_vgg16,
+                                     build_resnet, build_dave_orig])
+def test_zoo_architectures_roundtrip(builder):
+    original = builder(rng=np.random.default_rng(0))
+    rebuilt = network_from_config(network_to_config(original))
+    assert rebuilt.input_shape == original.input_shape
+    assert rebuilt.output_shape == original.output_shape
+    assert rebuilt.total_neurons == original.total_neurons
+    assert len(rebuilt.layers) == len(original.layers)
+    # Weight shapes line up, so a state dict transfers.
+    rebuilt.load_state_dict(original.state_dict())
+    x = np.random.default_rng(1).random((2, *original.input_shape))
+    np.testing.assert_allclose(rebuilt.predict(x), original.predict(x))
+
+
+def test_save_load_single_file(tmp_path):
+    net = build_lenet5(rng=np.random.default_rng(2))
+    x = np.random.default_rng(3).random((3, 1, 28, 28))
+    expected = net.predict(x)
+    path = tmp_path / "model.npz"
+    save_network(net, path)
+    # Reload with no knowledge of the builder.
+    clone = load_network(path)
+    np.testing.assert_allclose(clone.predict(x), expected)
+    assert clone.name == net.name
+
+
+def test_load_plain_weights_file_rejected(tmp_path):
+    net = build_lenet5(rng=np.random.default_rng(4))
+    path = tmp_path / "weights.npz"
+    net.save(path)  # no embedded config
+    with pytest.raises(ConfigError):
+        load_network(path)
+
+
+def test_unknown_layer_type_rejected():
+    class Custom(Layer):
+        def forward(self, x, training=False):
+            return x
+
+        def output_shape(self, input_shape):
+            return tuple(input_shape)
+
+    net = Network([Custom()], (4,))
+    with pytest.raises(ConfigError):
+        network_to_config(net)
+    from repro.nn import layer_from_config
+    with pytest.raises(ConfigError):
+        layer_from_config({"type": "transformer"})
+
+
+def test_config_is_json_serializable():
+    import json
+    net = build_dave_orig(rng=np.random.default_rng(5))
+    text = json.dumps(network_to_config(net))
+    rebuilt = network_from_config(json.loads(text))
+    assert rebuilt.output_shape == net.output_shape
+
+
+def test_fixedscale_constants_travel():
+    from repro.nn import FixedScale
+    mean = np.array([1.0, 2.0])
+    std = np.array([3.0, 4.0])
+    net = Network([FixedScale(mean, std, name="s"),
+                   Dense(2, 2, activation="softmax",
+                         rng=np.random.default_rng(6), name="o")], (2,))
+    rebuilt = network_from_config(network_to_config(net))
+    np.testing.assert_array_equal(rebuilt.layers[0].mean, mean)
+    np.testing.assert_array_equal(rebuilt.layers[0].std, std)

@@ -1,0 +1,93 @@
+"""Conv2D and im2col/col2im: shapes, adjointness, gradient checks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.nn import Conv2D
+from repro.nn.conv import col2im, conv_output_size, im2col
+
+from tests.nn.gradcheck import check_layer_gradients
+
+
+def test_conv_output_size():
+    assert conv_output_size(28, 5, 1, 0) == 24
+    assert conv_output_size(32, 3, 1, 1) == 32
+    assert conv_output_size(16, 5, 2, 2) == 8
+    with pytest.raises(ShapeError):
+        conv_output_size(2, 5, 1, 0)
+
+
+def test_im2col_matches_naive_convolution():
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(2, 3, 6, 6))
+    w = rng.normal(size=(4, 3, 3, 3))
+    cols = im2col(x, 3, 3, 1, 0)
+    out = (w.reshape(4, -1) @ cols).reshape(2, 4, 4, 4)
+    # Naive direct convolution.
+    naive = np.zeros_like(out)
+    for n in range(2):
+        for f in range(4):
+            for i in range(4):
+                for j in range(4):
+                    naive[n, f, i, j] = (
+                        x[n, :, i:i + 3, j:j + 3] * w[f]).sum()
+    np.testing.assert_allclose(out, naive, atol=1e-12)
+
+
+@given(st.integers(1, 3), st.integers(1, 2), st.integers(0, 1),
+       st.integers(5, 8))
+@settings(max_examples=20, deadline=None)
+def test_im2col_col2im_adjoint(kernel, stride, pad, size):
+    """<im2col(x), c> == <x, col2im(c)> — col2im is im2col's adjoint,
+    which is exactly what the conv backward pass relies on."""
+    rng = np.random.default_rng(42)
+    x = rng.normal(size=(2, 2, size, size))
+    cols = im2col(x, kernel, kernel, stride, pad)
+    c = rng.normal(size=cols.shape)
+    lhs = float((cols * c).sum())
+    rhs = float((x * col2im(c, x.shape, kernel, kernel, stride, pad)).sum())
+    assert abs(lhs - rhs) < 1e-9
+
+
+@pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 2)])
+def test_conv_gradients(stride, padding):
+    rng = np.random.default_rng(3)
+    layer = Conv2D(2, 3, 3, stride=stride, padding=padding,
+                   activation="relu", rng=rng)
+    x = rng.normal(size=(2, 2, 8, 8)) + 0.1
+    check_layer_gradients(layer, x, rng, atol=1e-6)
+
+
+def test_conv_rejects_wrong_channels():
+    layer = Conv2D(3, 4, 3, rng=0)
+    with pytest.raises(ShapeError):
+        layer.forward(np.zeros((1, 2, 8, 8)))
+
+
+def test_conv_output_shape_helper():
+    layer = Conv2D(3, 8, 5, stride=2, padding=2, rng=0)
+    assert layer.output_shape((3, 16, 32)) == (8, 8, 16)
+
+
+def test_neuron_semantics_channel_mean():
+    rng = np.random.default_rng(4)
+    layer = Conv2D(1, 2, 3, padding=1, activation="linear", rng=rng)
+    x = rng.normal(size=(2, 1, 4, 4))
+    out = layer.forward(x)
+    neurons = layer.neuron_outputs(out)
+    assert neurons.shape == (2, 2)
+    np.testing.assert_allclose(neurons, out.mean(axis=(2, 3)))
+    # The seed must recover the spatial-mean functional exactly.
+    seed = layer.neuron_seed((2, 4, 4), 1)
+    np.testing.assert_allclose((seed[None] * out).sum(axis=(1, 2, 3)),
+                               neurons[:, 1])
+
+
+def test_asymmetric_kernel():
+    rng = np.random.default_rng(5)
+    layer = Conv2D(1, 2, (3, 5), rng=rng)
+    out = layer.forward(rng.normal(size=(1, 1, 8, 10)))
+    assert out.shape == (1, 2, 6, 6)

@@ -1,0 +1,60 @@
+"""Classification metrics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn.metrics import (classification_report, confusion_matrix,
+                              precision_recall_f1)
+
+
+def test_confusion_matrix_basic():
+    y_true = [0, 0, 1, 1, 2]
+    y_pred = [0, 1, 1, 1, 0]
+    matrix = confusion_matrix(y_true, y_pred)
+    expected = np.array([[1, 1, 0], [0, 2, 0], [1, 0, 0]])
+    np.testing.assert_array_equal(matrix, expected)
+
+
+def test_confusion_matrix_diagonal_is_correct_count():
+    y = np.array([0, 1, 2, 1, 0])
+    matrix = confusion_matrix(y, y)
+    assert matrix.trace() == 5
+    assert matrix.sum() == 5
+
+
+def test_confusion_matrix_explicit_classes():
+    matrix = confusion_matrix([0], [0], num_classes=4)
+    assert matrix.shape == (4, 4)
+
+
+def test_confusion_matrix_shape_mismatch():
+    with pytest.raises(ShapeError):
+        confusion_matrix([0, 1], [0])
+
+
+def test_precision_recall_f1():
+    y_true = [1, 1, 1, 0, 0]
+    y_pred = [1, 1, 0, 1, 0]
+    precision, recall, f1 = precision_recall_f1(y_true, y_pred)
+    assert precision == pytest.approx(2 / 3)
+    assert recall == pytest.approx(2 / 3)
+    assert f1 == pytest.approx(2 / 3)
+
+
+def test_precision_recall_degenerate():
+    precision, recall, f1 = precision_recall_f1([0, 0], [0, 0])
+    assert (precision, recall, f1) == (0.0, 0.0, 0.0)
+
+
+def test_classification_report_on_model(pdf_trio, pdf_smoke):
+    report = classification_report(pdf_trio[0], pdf_smoke.x_test,
+                                   pdf_smoke.y_test,
+                                   class_names=["benign", "malicious"])
+    assert 0.5 < report["accuracy"] <= 1.0
+    assert set(report["per_class"]) == {"benign", "malicious"}
+    malicious = report["per_class"]["malicious"]
+    assert malicious["support"] == int(
+        (np.asarray(pdf_smoke.y_test) == 1).sum())
+    assert 0.0 <= malicious["f1"] <= 1.0
+    assert report["confusion_matrix"].sum() == pdf_smoke.x_test.shape[0]

@@ -1,0 +1,168 @@
+"""RMSProp, LR schedules, gradient clipping, early stopping, new
+activations."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.nn import (Adam, CosineDecay, EarlyStopping, Elu, Parameter,
+                      RMSProp, Softplus, StepDecay, Trainer, clip_gradients,
+                      Dense, Network, accuracy)
+
+
+class TestRMSProp:
+    def test_converges_on_quadratic(self):
+        param = Parameter(np.array([4.0, -2.0]), "w")
+        opt = RMSProp(lr=0.05)
+        for _ in range(400):
+            param.zero_grad()
+            param.grad += 2.0 * param.value
+            opt.step([param])
+        # RMSProp's effective step stays ~lr near the optimum, so it
+        # oscillates within an lr-sized band rather than collapsing to 0.
+        assert np.abs(param.value).max() < 2 * opt.lr
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            RMSProp(lr=0.0)
+        with pytest.raises(ConfigError):
+            RMSProp(rho=1.0)
+
+
+class TestSchedules:
+    def test_step_decay(self):
+        opt = Adam(lr=1.0)
+        schedule = StepDecay(gamma=0.5, every=2)
+        lrs = []
+        for epoch in range(1, 7):
+            schedule(opt, epoch)
+            lrs.append(opt.lr)
+        assert lrs == [1.0, 0.5, 0.5, 0.25, 0.25, 0.125]
+
+    def test_cosine_decay_endpoints(self):
+        opt = Adam(lr=1.0)
+        schedule = CosineDecay(total=10, min_lr=0.1)
+        schedule(opt, 0)
+        assert opt.lr == pytest.approx(1.0)
+        schedule(opt, 10)
+        assert opt.lr == pytest.approx(0.1)
+
+    def test_cosine_monotone(self):
+        opt = Adam(lr=1.0)
+        schedule = CosineDecay(total=8)
+        values = []
+        for epoch in range(9):
+            schedule(opt, epoch)
+            values.append(opt.lr)
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            StepDecay(gamma=0.0)
+        with pytest.raises(ConfigError):
+            CosineDecay(total=0)
+
+
+class TestClipping:
+    def test_clips_large_gradients(self):
+        param = Parameter(np.zeros(4), "w")
+        param.grad += 10.0
+        norm = clip_gradients([param], max_norm=1.0)
+        assert norm == pytest.approx(20.0)
+        assert np.linalg.norm(param.grad) == pytest.approx(1.0, rel=1e-6)
+
+    def test_leaves_small_gradients(self):
+        param = Parameter(np.zeros(4), "w")
+        param.grad += 0.01
+        clip_gradients([param], max_norm=1.0)
+        np.testing.assert_allclose(param.grad, 0.01)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            clip_gradients([], max_norm=0.0)
+
+
+class TestEarlyStopping:
+    def test_stops_on_plateau(self):
+        stopper = EarlyStopping(patience=2)
+        assert not stopper.should_stop(0.5)
+        assert not stopper.should_stop(0.6)
+        assert not stopper.should_stop(0.6)   # stale 1
+        assert stopper.should_stop(0.6)       # stale 2 -> stop
+
+    def test_min_mode(self):
+        stopper = EarlyStopping(patience=1, mode="min")
+        assert not stopper.should_stop(1.0)
+        assert not stopper.should_stop(0.5)
+        assert stopper.should_stop(0.6)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            EarlyStopping(patience=0)
+        with pytest.raises(ConfigError):
+            EarlyStopping(mode="sideways")
+
+    def test_trainer_integration(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(100, 4))
+        y = (x[:, 0] > 0).astype(int)
+        net = Network([Dense(4, 8, rng=rng),
+                       Dense(8, 2, activation="softmax", rng=rng)], (4,))
+        trainer = Trainer(net, rng=1, lr=0.05)
+        history = trainer.fit(
+            x, y, epochs=50, batch_size=32, validation=(x, y),
+            metric=accuracy, early_stopping=EarlyStopping(patience=2))
+        assert len(history["loss"]) < 50  # stopped early
+
+    def test_trainer_requires_validation(self):
+        rng = np.random.default_rng(2)
+        net = Network([Dense(4, 2, activation="softmax", rng=rng)], (4,))
+        with pytest.raises(ConfigError):
+            Trainer(net).fit(np.zeros((4, 4)), np.zeros(4, dtype=int),
+                             early_stopping=EarlyStopping())
+
+
+class TestNewActivations:
+    def test_elu_values(self):
+        act = Elu(alpha=1.0)
+        out = act.forward(np.array([[-30.0, 0.0, 2.0]]))
+        assert out[0, 0] == pytest.approx(-1.0, abs=1e-9)
+        assert out[0, 1] == 0.0
+        assert out[0, 2] == 2.0
+
+    def test_softplus_positive_and_smooth(self):
+        act = Softplus()
+        z = np.linspace(-5, 5, 11).reshape(1, -1)
+        out = act.forward(z)
+        assert np.all(out > 0.0)
+        assert np.all(np.diff(out[0]) > 0.0)
+
+    @pytest.mark.parametrize("act", [Elu(0.7), Softplus()])
+    def test_backward_numeric(self, act):
+        rng = np.random.default_rng(3)
+        z = rng.normal(size=(2, 5))
+        z[np.abs(z) < 1e-3] = 0.3
+        grad = rng.normal(size=z.shape)
+        a = act.forward(z)
+        analytic = act.backward(grad, z, a)
+        eps = 1e-6
+        for idx in np.ndindex(z.shape):
+            zp = z.copy(); zp[idx] += eps
+            zm = z.copy(); zm[idx] -= eps
+            numeric = ((act.forward(zp) - act.forward(zm)) * grad).sum() \
+                / (2 * eps)
+            assert abs(analytic[idx] - numeric) < 1e-6
+
+
+def test_trainer_with_schedule_and_clipping():
+    rng = np.random.default_rng(4)
+    x = rng.normal(size=(120, 4))
+    y = (x[:, 0] + x[:, 1] > 0).astype(int)
+    net = Network([Dense(4, 8, rng=rng),
+                   Dense(8, 2, activation="softmax", rng=rng)], (4,))
+    trainer = Trainer(net, optimizer="rmsprop", lr=0.01, rng=5)
+    history = trainer.fit(x, y, epochs=6, batch_size=32,
+                          schedule=StepDecay(gamma=0.5, every=2),
+                          clip_norm=5.0)
+    assert history["lr"][-1] < history["lr"][0]
+    assert history["loss"][-1] < history["loss"][0]

@@ -1,0 +1,109 @@
+"""CLI and markdown reporting."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments.common import ExperimentResult
+from repro.reporting import result_to_markdown, write_report
+from repro.utils.ascii_art import ascii_image, side_by_side
+from repro.errors import ShapeError
+
+
+class TestParser:
+    def test_commands_registered(self):
+        parser = build_parser()
+        for argv in (["datasets"], ["zoo"], ["generate", "mnist"],
+                     ["experiment", "table7"], ["report"]):
+            args = parser.parse_args(argv)
+            assert args.command == argv[0]
+
+    def test_scale_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--scale", "galactic", "datasets"])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "table99"])
+
+
+class TestCliCommands:
+    def test_datasets(self, capsys):
+        assert main(["--scale", "smoke", "datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "mnist" in out and "drebin" in out
+
+    def test_generate(self, capsys):
+        assert main(["--scale", "smoke", "generate", "mnist",
+                     "--seeds", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "differences found" in out
+
+    def test_experiment(self, capsys):
+        assert main(["--scale", "smoke", "experiment", "table7"]) == 0
+        out = capsys.readouterr().out
+        assert "Same class" in out
+
+    def test_report(self, tmp_path, capsys):
+        out_file = tmp_path / "report.md"
+        assert main(["--scale", "smoke", "report", "--output",
+                     str(out_file), "--only", "table7"]) == 0
+        text = out_file.read_text()
+        assert "# EXPERIMENTS" in text
+        assert "table7" in text
+
+
+class TestReporting:
+    def test_result_to_markdown(self):
+        result = ExperimentResult(
+            "tX", "demo", ["a", "b"], rows=[[1, 2.5]],
+            series={"s": ([0, 1], [0.5, 0.7])},
+            notes=["be careful"], paper_reference="paper says 42")
+        md = result_to_markdown(result)
+        assert "## tX: demo" in md
+        assert "| a | b |" in md
+        assert "paper says 42" in md
+        assert "> be careful" in md
+        assert "```" in md and "o = s" in md  # ascii plot of the series
+
+    def test_write_report(self, tmp_path):
+        path = write_report(tmp_path / "r.md", scale="smoke",
+                            experiment_ids=["table6"])
+        text = open(path).read()
+        assert "table6" in text
+        assert "100%" in text
+
+
+class TestAsciiArt:
+    def test_grayscale(self):
+        img = np.zeros((1, 2, 3))
+        img[0, 0, :] = 1.0
+        art = ascii_image(img)
+        lines = art.splitlines()
+        assert lines[0] == "@@@"
+        assert lines[1] == "   "
+
+    def test_color_luminance(self):
+        img = np.ones((3, 2, 2))
+        assert ascii_image(img).splitlines()[0] == "@@"
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ShapeError):
+            ascii_image(np.zeros(5))
+
+    def test_side_by_side(self):
+        a = np.zeros((1, 2, 2))
+        b = np.ones((1, 2, 2))
+        text = side_by_side(a, b, labels=("L", "R"))
+        lines = text.splitlines()
+        assert lines[0].startswith("L")
+        assert "@@" in lines[1]
+
+    def test_side_by_side_height_mismatch(self):
+        with pytest.raises(ShapeError):
+            side_by_side(np.zeros((1, 2, 2)), np.zeros((1, 3, 2)))
+
+    def test_downsampling(self):
+        img = np.random.default_rng(0).random((1, 28, 28))
+        art = ascii_image(img, width=14)
+        assert max(len(l) for l in art.splitlines()) <= 14

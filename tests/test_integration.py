@@ -1,0 +1,102 @@
+"""End-to-end integration: the full DeepXplore pipeline per dataset.
+
+Each test exercises dataset synthesis -> model zoo -> Algorithm 1 ->
+oracle -> coverage -> analysis for one domain, asserting the cross-module
+contracts the unit tests cannot see.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import average_l1_diversity
+from repro.core import (DeepXplore, PAPER_HYPERPARAMS,
+                        constraint_for_dataset, majority_label)
+from repro.coverage import NeuronCoverageTracker
+from repro.nn import accuracy
+
+
+def _pipeline(models, dataset, rng_seed, n_seeds=20, **hp_changes):
+    hp = PAPER_HYPERPARAMS[dataset.name].with_(**hp_changes) \
+        if hp_changes else PAPER_HYPERPARAMS[dataset.name]
+    trackers = [NeuronCoverageTracker(m, threshold=hp.threshold)
+                for m in models]
+    engine = DeepXplore(models, hp, constraint_for_dataset(dataset),
+                        task=dataset.task, trackers=trackers, rng=rng_seed)
+    seeds, labels = dataset.sample_seeds(
+        min(n_seeds, dataset.x_test.shape[0]), np.random.default_rng(rng_seed))
+    return engine, engine.run(seeds), seeds, labels
+
+
+def test_mnist_full_pipeline(mnist_trio, mnist_smoke):
+    engine, result, seeds, _ = _pipeline(mnist_trio, mnist_smoke, 100)
+    assert result.difference_count > 0
+    # Coverage is consistent between the engine and its trackers.
+    assert engine.mean_coverage() == pytest.approx(
+        np.mean([t.coverage() for t in engine.trackers]))
+    # Diversity is computable over the generated suite.
+    ascent = [t for t in result.tests if t.iterations > 0]
+    assert average_l1_diversity(ascent, seeds) >= 0.0
+    # Majority-vote labels stay in the class range and mostly match the
+    # seeds' own classes (the mutation is a brightness shift).
+    if ascent:
+        tests_x = np.stack([t.x for t in ascent])
+        votes = majority_label(mnist_trio, tests_x)
+        assert set(votes).issubset(set(range(10)))
+
+
+def test_driving_full_pipeline(driving_trio, driving_smoke):
+    engine, result, _, _ = _pipeline(driving_trio, driving_smoke, 101)
+    assert result.difference_count > 0
+    for test in result.tests:
+        angles = test.predictions
+        # The recorded disagreement must still hold on re-prediction.
+        fresh = np.array([m.predict(test.x[None])[0, 0]
+                          for m in driving_trio])
+        np.testing.assert_allclose(fresh, angles, atol=1e-9)
+
+
+def test_pdf_full_pipeline(pdf_trio, pdf_smoke):
+    engine, result, seeds, _ = _pipeline(pdf_trio, pdf_smoke, 102)
+    assert result.difference_count > 0
+    mutable = pdf_smoke.metadata["mutable_mask"]
+    for test in result.tests:
+        if test.iterations == 0:
+            continue
+        seed = seeds[test.seed_index]
+        # Immutable features byte-identical; mutable ones integral.
+        np.testing.assert_array_equal(test.x[~mutable], seed[~mutable])
+        np.testing.assert_array_equal(test.x[mutable],
+                                      np.round(test.x[mutable]))
+
+
+def test_drebin_full_pipeline(drebin_trio, drebin_smoke):
+    engine, result, seeds, _ = _pipeline(drebin_trio, drebin_smoke, 103)
+    manifest = drebin_smoke.metadata["manifest_mask"]
+    for test in result.tests:
+        if test.iterations == 0:
+            continue
+        seed = seeds[test.seed_index]
+        delta = test.x - seed
+        # Only manifest additions, no removals anywhere.
+        assert np.all(delta >= 0.0)
+        assert np.all(delta[~manifest] == 0.0)
+        assert delta.sum() == test.iterations  # one bit per iteration
+
+
+def test_retraining_loop_closes(mnist_trio, mnist_smoke):
+    """The paper's feedback loop: generate -> label -> retrain ->
+    accuracy stays sane."""
+    from repro.analysis import retrain_with_augmentation
+    from repro.models import get_model
+    engine, result, _, _ = _pipeline(mnist_trio, mnist_smoke, 104,
+                                     n_seeds=25)
+    tests_x = result.test_inputs()
+    if tests_x.shape[0] == 0:
+        pytest.skip("no tests generated at this seed")
+    votes = majority_label(mnist_trio, tests_x)
+    net = get_model("MNI_C2", scale="smoke", seed=0, dataset=mnist_smoke)
+    before = accuracy(net, mnist_smoke.x_test, mnist_smoke.y_test)
+    curve = retrain_with_augmentation(net, mnist_smoke, tests_x, votes,
+                                      epochs=2, rng=105)
+    assert curve.accuracies[0] == pytest.approx(before)
+    assert curve.accuracies[-1] > 0.5  # retraining did not destroy it

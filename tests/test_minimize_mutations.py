@@ -1,0 +1,73 @@
+"""Test-suite minimization and mutation reports."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import minimize_suite, mutation_report
+from repro.coverage import coverage_of_inputs
+from repro.errors import ConfigError
+
+
+class TestMinimize:
+    def test_preserves_joint_coverage(self, mnist_trio, mnist_smoke):
+        inputs, _ = mnist_smoke.sample_seeds(20, np.random.default_rng(0))
+        chosen, covered = minimize_suite(mnist_trio, inputs, threshold=0.5)
+        assert 0 < chosen.size <= 20
+        subset = inputs[chosen]
+        for net in mnist_trio:
+            full = coverage_of_inputs(net, inputs, threshold=0.5)
+            mini = coverage_of_inputs(net, subset, threshold=0.5)
+            assert mini == pytest.approx(full)
+
+    def test_duplicates_are_dropped(self, lenet5, mnist_smoke):
+        one, _ = mnist_smoke.sample_seeds(1, np.random.default_rng(1))
+        dupes = np.repeat(one, 10, axis=0)
+        chosen, _ = minimize_suite([lenet5], dupes, threshold=0.25)
+        assert chosen.size == 1
+
+    def test_greedy_order_is_by_marginal_gain(self, lenet5, mnist_smoke):
+        inputs, _ = mnist_smoke.sample_seeds(12, np.random.default_rng(2))
+        chosen, _ = minimize_suite([lenet5], inputs, threshold=0.5)
+        # First chosen test alone must cover at least as much as any
+        # other single test.
+        best_alone = max(
+            coverage_of_inputs(lenet5, inputs[i:i + 1], threshold=0.5)
+            for i in range(inputs.shape[0]))
+        first = coverage_of_inputs(lenet5, inputs[chosen[:1]],
+                                   threshold=0.5)
+        assert first == pytest.approx(best_alone)
+
+    def test_empty_and_validation(self, lenet5):
+        chosen, covered = minimize_suite([lenet5], np.empty((0, 1, 28, 28)))
+        assert chosen.size == 0 and covered == 0.0
+        with pytest.raises(ConfigError):
+            minimize_suite([], np.zeros((2, 1, 28, 28)))
+
+
+class TestMutationReport:
+    def test_orders_by_magnitude(self):
+        before = np.array([0.0, 5.0, 1.0])
+        after = np.array([0.0, 25.0, 2.0])
+        report = mutation_report(before, after, ["a", "b", "c"], top_k=3)
+        assert [m.name for m in report] == ["b", "c"]
+        assert report[0].before == 5.0 and report[0].after == 25.0
+        assert report[0].delta == 20.0
+
+    def test_unchanged_features_excluded(self):
+        x = np.array([1.0, 2.0])
+        assert mutation_report(x, x, ["a", "b"]) == []
+
+    def test_top_k_limits(self):
+        before = np.zeros(5)
+        after = np.arange(5, dtype=float)
+        report = mutation_report(before, after, list("abcde"), top_k=2)
+        assert len(report) == 2
+        assert report[0].name == "e"
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            mutation_report(np.zeros(3), np.zeros(4), ["a"] * 3)
+        with pytest.raises(ConfigError):
+            mutation_report(np.zeros(3), np.zeros(3), ["a"])
+        with pytest.raises(ConfigError):
+            mutation_report(np.zeros(2), np.zeros(2), ["a", "b"], top_k=0)

@@ -1,0 +1,58 @@
+"""ASCII line plots."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.utils.plots import ascii_plot
+
+
+def test_basic_plot_structure():
+    text = ascii_plot({"up": ([0, 1, 2], [0.0, 0.5, 1.0])},
+                      width=20, height=6, title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert any("o" in line for line in lines)
+    assert "o = up" in text
+
+
+def test_multiple_series_distinct_markers():
+    text = ascii_plot({
+        "a": ([0, 1], [0.0, 1.0]),
+        "b": ([0, 1], [1.0, 0.0]),
+    }, width=20, height=6)
+    assert "o = a" in text and "x = b" in text
+
+
+def test_extremes_placed_at_edges():
+    text = ascii_plot({"s": ([0, 10], [0.0, 1.0])}, width=21, height=5)
+    plot_lines = [l for l in text.splitlines() if "|" in l]
+    # min value bottom-left, max value top-right
+    assert plot_lines[0].rstrip().endswith("o")
+    assert "o" in plot_lines[-1]
+
+
+def test_nan_points_skipped():
+    text = ascii_plot({"s": ([0, 1, 2], [0.1, float("nan"), 0.3])},
+                      width=15, height=5)
+    assert text.count("o") - 1 == 2  # 2 points + 1 legend marker
+
+
+def test_constant_series_no_crash():
+    ascii_plot({"flat": ([0, 1, 2], [0.5, 0.5, 0.5])}, width=15, height=5)
+
+
+def test_validation():
+    with pytest.raises(ConfigError):
+        ascii_plot({})
+    with pytest.raises(ConfigError):
+        ascii_plot({"s": ([0], [1])}, width=5, height=2)
+    with pytest.raises(ConfigError):
+        ascii_plot({"s": ([0, 1], [1])})
+
+
+def test_axis_labels_present():
+    text = ascii_plot({"s": ([0, 4], [0, 8])}, width=20, height=5,
+                      x_label="threshold")
+    assert "(threshold)" in text
+    assert "8" in text and "0" in text

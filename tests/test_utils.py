@@ -1,0 +1,121 @@
+"""Utility modules: rng plumbing, tables, timing, image ops."""
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.utils import (Stopwatch, as_rng, clip01, derive_rng, l1_distance,
+                         render_table, save_pgm, save_ppm, spawn_rngs,
+                         to_uint8)
+
+
+class TestRng:
+    def test_as_rng_accepts_seed_and_generator(self):
+        gen = np.random.default_rng(0)
+        assert as_rng(gen) is gen
+        assert isinstance(as_rng(42), np.random.Generator)
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_same_seed_same_stream(self):
+        a = as_rng(7).random(5)
+        b = as_rng(7).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_derive_rng_label_dependent(self):
+        base = 99
+        a = derive_rng(as_rng(base), "weights").random(4)
+        b = derive_rng(as_rng(base), "data").random(4)
+        assert not np.array_equal(a, b)
+        # Deterministic given (seed, label).
+        a2 = derive_rng(as_rng(base), "weights").random(4)
+        np.testing.assert_array_equal(a, a2)
+
+    def test_spawn_rngs_independent(self):
+        children = spawn_rngs(as_rng(3), 4)
+        assert len(children) == 4
+        draws = [c.random() for c in children]
+        assert len(set(draws)) == 4
+
+
+class TestTables:
+    def test_basic_rendering(self):
+        text = render_table(["a", "bb"], [[1, 2.5], ["x", 0.000123]],
+                            title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert "0.000123" in text
+
+    def test_alignment(self):
+        text = render_table(["col"], [["short"], ["a much longer cell"]])
+        lines = text.splitlines()
+        assert len(lines[1]) == len(lines[2]) == len(lines[3])
+
+    def test_nan_rendered_as_dash(self):
+        text = render_table(["v"], [[float("nan")]])
+        assert "-" in text.splitlines()[-1]
+
+    @given(st.lists(st.floats(allow_nan=False, allow_infinity=False,
+                              width=32), min_size=1, max_size=5))
+    @settings(max_examples=20, deadline=None)
+    def test_never_crashes_on_floats(self, values):
+        render_table([f"c{i}" for i in range(len(values))], [values])
+
+
+class TestStopwatch:
+    def test_context_manager(self):
+        with Stopwatch() as sw:
+            sum(range(1000))
+        assert sw.elapsed >= 0.0
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_accumulates(self):
+        sw = Stopwatch()
+        sw.start(); sw.stop()
+        first = sw.elapsed
+        sw.start(); sw.stop()
+        assert sw.elapsed >= first
+
+
+class TestImageOps:
+    def test_clip01(self):
+        np.testing.assert_array_equal(clip01(np.array([-1.0, 0.5, 2.0])),
+                                      [0.0, 0.5, 1.0])
+
+    def test_l1_distance(self):
+        a = np.zeros((1, 2, 2))
+        b = np.full((1, 2, 2), 0.25)
+        assert l1_distance(a, b) == pytest.approx(1.0)
+        with pytest.raises(ShapeError):
+            l1_distance(np.zeros((2,)), np.zeros((3,)))
+
+    @given(st.integers(0, 255))
+    @settings(max_examples=20, deadline=None)
+    def test_to_uint8_roundtrip(self, value):
+        img = np.full((2, 2), value / 255.0)
+        assert to_uint8(img)[0, 0] == value
+
+    def test_save_pgm(self, tmp_path):
+        path = tmp_path / "img.pgm"
+        save_pgm(path, np.random.default_rng(0).random((1, 5, 4)))
+        data = path.read_bytes()
+        assert data.startswith(b"P5\n4 5\n255\n")
+        assert len(data) == len(b"P5\n4 5\n255\n") + 20
+
+    def test_save_ppm(self, tmp_path):
+        path = tmp_path / "img.ppm"
+        save_ppm(path, np.zeros((3, 4, 6)))
+        assert path.read_bytes().startswith(b"P6\n6 4\n255\n")
+
+    def test_save_pgm_shape_validation(self, tmp_path):
+        with pytest.raises(ShapeError):
+            save_pgm(tmp_path / "x.pgm", np.zeros((3, 4, 4)))
+        with pytest.raises(ShapeError):
+            save_ppm(tmp_path / "x.ppm", np.zeros((1, 4, 4)))

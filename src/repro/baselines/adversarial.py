@@ -23,17 +23,17 @@ def _loss_gradient(network, x, labels):
     """Gradient of mean cross-entropy w.r.t. the input.
 
     The network outputs probabilities; ``dCE/dx = -(1/p_y) * dp_y/dx``.
+    One forward pass serves both the probabilities and the gradient: the
+    per-sample seed matrix selects each sample's own label column, so a
+    single backward from the tape replaces the per-label sub-batches.
     """
-    probs = network.predict(x)
-    picked = probs[np.arange(x.shape[0]), labels]
-    # Class gradients must be taken per distinct label; group for batches.
-    grad = np.zeros_like(x)
-    for label in np.unique(labels):
-        mask = labels == label
-        g = network.input_gradient_of_class(x[mask], int(label))
-        shape = (-1,) + (1,) * (x.ndim - 1)
-        grad[mask] = -g / (picked[mask].reshape(shape) + _EPS)
-    return grad
+    tape = network.run(x)
+    probs = tape.outputs()
+    rows = np.arange(x.shape[0])
+    picked = probs[rows, labels]
+    seed = np.zeros_like(probs)
+    seed[rows, labels] = -1.0 / (picked + _EPS)
+    return tape.gradient_of_output(seed)
 
 
 def fgsm(network, x, labels, epsilon=0.1):
@@ -84,10 +84,10 @@ def regression_adversarial(network, x, targets, epsilon=0.1):
     """FGSM analogue for regressors: step along d(output)/dx away from
     the target value, increasing squared error."""
     x = np.asarray(x, dtype=np.float64)
-    preds = network.predict(x).reshape(-1)
+    tape = network.run(x)
+    preds = tape.outputs().reshape(-1)
     residual_sign = np.sign(preds - np.asarray(targets, dtype=np.float64))
-    seed = np.ones(network.output_shape)
-    grad = network.input_gradient_of_output(x, seed)
+    grad = tape.gradient_of_output(np.ones(network.output_shape))
     shape = (-1,) + (1,) * (x.ndim - 1)
     return np.clip(x + epsilon * np.sign(grad) * residual_sign.reshape(shape),
                    0.0, 1.0)

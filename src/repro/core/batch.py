@@ -6,6 +6,14 @@ amortizes that cost: all active seeds step together, finished seeds are
 retired from the batch, and per-seed bookkeeping (target model, seed
 class, iteration of first difference) is tracked vectorized.
 
+Execution model: each loop iteration records exactly one
+:class:`~repro.nn.tape.ForwardPass` per model over the active batch.
+The tape feeds the oracle check, both objective gradients, and coverage
+absorption of newly difference-inducing samples.  The differential term
+is one backward per model — per-sample target signs and seed classes are
+folded into a single per-sample gradient seed matrix, replacing the
+per-class sub-batch passes of the pre-tape implementation.
+
 Semantics relative to :class:`repro.core.DeepXplore`:
 
 * the per-seed random target model and the domain constraint state are
@@ -15,7 +23,8 @@ Semantics relative to :class:`repro.core.DeepXplore`:
 * the coverage objective picks one shared set of uncovered neurons per
   iteration (as the sequential algorithm does per seed);
 * results are equivalent difference-inducing inputs, found at a fraction
-  of the wall-clock (see ``benchmarks/test_batch_throughput.py``).
+  of the wall-clock (see ``benchmarks/test_batch_throughput.py`` and
+  ``benchmarks/test_forward_reuse.py``).
 """
 
 from __future__ import annotations
@@ -58,30 +67,44 @@ class BatchDeepXplore:
         self.trackers = list(trackers)
 
     # -- objective pieces, batched ----------------------------------------------
-    def _differential_gradient(self, x, targets, seed_classes):
-        """Per-sample gradient of obj1 with per-sample target models."""
-        grad = np.zeros_like(x)
-        lam = self.hp.lambda1
-        if self.task == "regression":
-            seed = np.ones(self.models[0].output_shape)
-            for k, model in enumerate(self.models):
-                g = model.input_gradient_of_output(x, seed)
-                sign = np.where(targets == k, -lam, 1.0)
-                grad += g * sign.reshape((-1,) + (1,) * (x.ndim - 1))
-            return grad
-        for k, model in enumerate(self.models):
-            for cls in np.unique(seed_classes):
-                mask = seed_classes == cls
-                if not mask.any():
-                    continue
-                g = model.input_gradient_of_class(x[mask], int(cls))
-                sign = np.where(targets[mask] == k, -lam, 1.0)
-                grad[mask] += g * sign.reshape((-1,) + (1,) * (x.ndim - 1))
-        return grad
+    def _run_models(self, x):
+        """One recorded forward pass per model over the active batch."""
+        return [model.run(x) for model in self.models]
 
-    def _coverage_gradient(self, x, coverage):
+    def _differential_gradient(self, tapes, rows, targets, seed_classes):
+        """Per-sample gradient of obj1 with per-sample target models.
+
+        ``rows`` maps active samples to rows of the tapes' batch (the
+        batch may still contain just-retired samples); the returned
+        gradient covers only the active rows.  One backward per model:
+        the per-sample seed matrix carries each sample's class column and
+        target sign, so no per-class sub-batching is needed.
+        """
+        lam = self.hp.lambda1
+        batch = tapes[0].batch_size
+        grad = None
+        if self.task == "regression":
+            out_ndim = len(self.models[0].output_shape)
+            for k, tape in enumerate(tapes):
+                sign = np.zeros((batch,) + (1,) * out_ndim)
+                sign[rows] = np.where(
+                    targets == k, -lam, 1.0).reshape((-1,) + (1,) * out_ndim)
+                g = tape.gradient_of_output(
+                    np.broadcast_to(sign, (batch,)
+                                    + tuple(self.models[0].output_shape)))
+                grad = g if grad is None else grad + g
+            return grad[rows]
+        n_classes = self.models[0].output_shape[0]
+        for k, tape in enumerate(tapes):
+            seed = np.zeros((batch, n_classes))
+            seed[rows, seed_classes] = np.where(targets == k, -lam, 1.0)
+            g = tape.gradient_of_output(seed)
+            grad = g if grad is None else grad + g
+        return grad[rows]
+
+    def _coverage_gradient(self, tapes, rows, coverage):
         coverage.pick()
-        return coverage.gradient(x)
+        return coverage.gradient_from_tapes(tapes)[rows]
 
     # -- the batched loop ----------------------------------------------------------
     def run(self, seeds, max_tests=None):
@@ -92,8 +115,10 @@ class BatchDeepXplore:
         start = time.perf_counter()
 
         # Seeds the models already disagree on are immediate tests.
-        pre_differs = self.oracle.differs(seeds)
-        pre_preds = self.oracle.predictions(seeds)
+        tapes = self._run_models(seeds)
+        outputs = [tape.outputs() for tape in tapes]
+        pre_differs = self.oracle.differs_from_outputs(outputs)
+        pre_preds = self.oracle.predictions_from_outputs(outputs)
         active_idx = []
         for i in range(n):
             if pre_differs[i]:
@@ -103,9 +128,10 @@ class BatchDeepXplore:
                     elapsed=time.perf_counter() - start)
                 result.tests.append(test)
                 result.seeds_disagreed += 1
-                self._absorb(test)
             else:
                 active_idx.append(i)
+        if result.seeds_disagreed:
+            self._absorb_tapes(tapes, np.flatnonzero(pre_differs))
         result.seeds_processed = n
 
         if not active_idx or (max_tests is not None
@@ -117,24 +143,31 @@ class BatchDeepXplore:
         targets = self.rng.integers(0, len(self.models),
                                     size=index_map.size)
         if self.task == "classification":
-            seed_classes = self.models[0].predict(x).argmax(axis=1)
+            seed_classes = outputs[0][active_idx].argmax(axis=1)
         else:
             seed_classes = np.zeros(index_map.size, dtype=int)
         coverage = CoverageObjective(self.trackers, rng=self.rng)
         self.constraint.setup(x[0], self.rng)
+        # Rows of the current tapes' batch holding the active samples —
+        # the seed tapes cover all seeds, later tapes only active ones.
+        rows = np.asarray(active_idx)
 
         for iteration in range(1, self.hp.max_iterations + 1):
-            grad = self._differential_gradient(x, targets, seed_classes)
+            grad = self._differential_gradient(tapes, rows, targets,
+                                               seed_classes)
             if self.hp.lambda2 > 0.0:
                 grad = grad + self.hp.lambda2 * \
-                    self._coverage_gradient(x, coverage)
+                    self._coverage_gradient(tapes, rows, coverage)
             grad = self.constraint.apply(grad, x)
             grad = normalize_gradient(grad)
             x = self.constraint.project(x + self.hp.step * grad, x)
 
-            differs = self.oracle.differs(x)
+            tapes = self._run_models(x)
+            outputs = [tape.outputs() for tape in tapes]
+            differs = self.oracle.differs_from_outputs(outputs)
+            rows = np.arange(x.shape[0])
             if differs.any():
-                preds = self.oracle.predictions(x)
+                preds = self.oracle.predictions_from_outputs(outputs)
                 finished = np.flatnonzero(differs)
                 for pos in finished:
                     test = GeneratedTest(
@@ -147,7 +180,7 @@ class BatchDeepXplore:
                                     else None),
                         elapsed=time.perf_counter() - start)
                     result.tests.append(test)
-                    self._absorb(test)
+                self._absorb_tapes(tapes, finished)
                 if (max_tests is not None
                         and len(result.tests) >= max_tests):
                     return self._finalize(result, start)
@@ -156,15 +189,17 @@ class BatchDeepXplore:
                 index_map = index_map[keep]
                 targets = targets[keep]
                 seed_classes = seed_classes[keep]
+                rows = np.flatnonzero(keep)
                 if x.shape[0] == 0:
                     return self._finalize(result, start)
         result.seeds_exhausted = int(x.shape[0])
         return self._finalize(result, start)
 
-    def _absorb(self, test):
-        batch = test.x[None, ...]
-        for tracker in self.trackers:
-            tracker.update(batch)
+    def _absorb_tapes(self, tapes, rows):
+        """Fold difference-inducing rows of the iteration's tapes into
+        each model's coverage — no re-execution."""
+        for tracker, tape in zip(self.trackers, tapes):
+            tracker.update_from_tape(tape, rows=rows)
 
     def _finalize(self, result, start):
         result.elapsed = time.perf_counter() - start

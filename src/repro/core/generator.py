@@ -6,6 +6,12 @@ each seed it repeatedly (1) builds the joint objective's input-gradient,
 and (4) asks the differential oracle whether the models now disagree.
 Difference-inducing inputs are collected and folded into each model's
 neuron-coverage tracker.
+
+Execution model: every ascent iteration records exactly one
+:class:`~repro.nn.tape.ForwardPass` per model (``Network.run``).  The
+same tape feeds the differential objective, the coverage objective, the
+oracle check, and — when a difference is found — the tracker update, so
+no model is ever run twice for the same input.
 """
 
 from __future__ import annotations
@@ -134,6 +140,10 @@ class DeepXplore:
         return DifferentialObjective(
             self.models, target_index, seed_class, self.hp.lambda1)
 
+    def _run_models(self, x):
+        """One recorded forward pass per model (the iteration's tapes)."""
+        return [model.run(x) for model in self.models]
+
     def generate_from_seed(self, seed_x, seed_index=0):
         """Run gradient ascent from one seed; returns a test or ``None``.
 
@@ -143,16 +153,19 @@ class DeepXplore:
         x = np.asarray(seed_x, dtype=np.float64)[None, ...]
         # Line 4-5: the seed's agreed class (skip ascent if models already
         # disagree — the seed itself is difference-inducing).
-        if bool(self.oracle.differs(x)[0]):
+        tapes = self._run_models(x)
+        outputs = [tape.outputs() for tape in tapes]
+        if bool(self.oracle.differs_from_outputs(outputs)[0]):
             test = GeneratedTest(
                 x=x[0].copy(), seed_index=seed_index, iterations=0,
-                predictions=self.oracle.predictions(x)[:, 0],
+                predictions=self.oracle.predictions_from_outputs(
+                    outputs)[:, 0],
                 seed_class=None, elapsed=time.perf_counter() - start)
-            self._absorb(test)
+            self._absorb_tapes(tapes)
             return test
         seed_class = None
         if self.task == "classification":
-            seed_class = int(self.models[0].predict(x).argmax(axis=1)[0])
+            seed_class = int(outputs[0].argmax(axis=1)[0])
         # Line 6: randomly pick the model to push away from the rest.
         target_index = int(self.rng.integers(0, len(self.models)))
         objective = JointObjective(
@@ -162,31 +175,40 @@ class DeepXplore:
         self.constraint.setup(x[0], self.rng)
 
         for iteration in range(1, self.hp.max_iterations + 1):
-            grad = objective.step_gradient(x)          # line 11
+            grad = objective.step_gradient_from_tapes(tapes)  # line 11
             grad = self.constraint.apply(grad, x)      # line 13
             # Normalizing after the constraint keeps the effective step
             # size s meaningful regardless of how much of the gradient
             # the constraint masked away.
             grad = normalize_gradient(grad)
             x = self.constraint.project(x + self.hp.step * grad, x)  # line 14
-            if bool(self.oracle.differs(x)[0]):        # line 15
+            # The stepped input's tapes serve the oracle check now and, if
+            # the models still agree, the next iteration's gradients.
+            tapes = self._run_models(x)
+            outputs = [tape.outputs() for tape in tapes]
+            if bool(self.oracle.differs_from_outputs(outputs)[0]):  # line 15
                 test = GeneratedTest(
                     x=x[0].copy(), seed_index=seed_index,
                     iterations=iteration,
-                    predictions=self.oracle.predictions(x)[:, 0],
+                    predictions=self.oracle.predictions_from_outputs(
+                        outputs)[:, 0],
                     seed_class=seed_class,
                     elapsed=time.perf_counter() - start)
-                self._absorb(test)
+                self._absorb_tapes(tapes)
                 return test
         return None
 
-    def _absorb(self, test):
-        """Line 18: fold a new difference-inducing input into coverage."""
+    def _absorb_tapes(self, tapes):
+        """Line 18: fold a new difference-inducing input into coverage,
+        reusing the tapes that already exist for it.
+
+        ``update`` accepts tapes directly, so custom trackers only need
+        the classic ``update`` protocol.
+        """
         if not self.update_coverage_with_tests:
             return
-        batch = test.x[None, ...]
-        for tracker in self.trackers:
-            tracker.update(batch)
+        for tracker, tape in zip(self.trackers, tapes):
+            tracker.update(tape)
 
     # -- seed-set driver ----------------------------------------------------------
     def run(self, seeds, desired_coverage=None, max_tests=None,

@@ -8,6 +8,15 @@ class ``c`` while holding the others on it; the second pushes a currently
 inactivated neuron ``n`` (one per model, re-picked every iteration) above
 the activation threshold.  Every term is differentiable, so the whole
 objective's input-gradient is the sum of per-term input-gradients.
+
+Each objective exposes two equivalent APIs:
+
+* ``gradient(x)`` / ``value(x)`` — self-contained; runs the models.
+* ``gradient_from_tapes(tapes)`` / ``value_from_tapes(tapes)`` — derives
+  the same quantities from :class:`~repro.nn.tape.ForwardPass` tapes the
+  caller already recorded (one per model, in model order).  The
+  generation engines use this path so that one forward pass per model
+  per iteration feeds every term *and* the oracle check.
 """
 
 from __future__ import annotations
@@ -34,6 +43,20 @@ class DifferentialObjective:
         self.seed_class = int(seed_class)
         self.lambda1 = float(lambda1)
 
+    def value_from_tapes(self, tapes):
+        total = 0.0
+        for k, tape in enumerate(tapes):
+            score = float(tape.outputs()[:, self.seed_class].sum())
+            total += -self.lambda1 * score if k == self.target_index else score
+        return total
+
+    def gradient_from_tapes(self, tapes):
+        grad = np.zeros_like(tapes[0].x)
+        for k, tape in enumerate(tapes):
+            g = tape.gradient_of_class(self.seed_class)
+            grad += -self.lambda1 * g if k == self.target_index else g
+        return grad
+
     def value(self, x):
         total = 0.0
         for k, model in enumerate(self.models):
@@ -42,11 +65,7 @@ class DifferentialObjective:
         return total
 
     def gradient(self, x):
-        grad = np.zeros_like(x)
-        for k, model in enumerate(self.models):
-            g = model.input_gradient_of_class(x, self.seed_class)
-            grad += -self.lambda1 * g if k == self.target_index else g
-        return grad
+        return self.gradient_from_tapes([m.run(x) for m in self.models])
 
 
 class RegressionDifferentialObjective:
@@ -66,6 +85,21 @@ class RegressionDifferentialObjective:
         self.target_index = int(target_index)
         self.lambda1 = float(lambda1)
 
+    def value_from_tapes(self, tapes):
+        total = 0.0
+        for k, tape in enumerate(tapes):
+            angle = float(tape.outputs().sum())
+            total += -self.lambda1 * angle if k == self.target_index else angle
+        return total
+
+    def gradient_from_tapes(self, tapes):
+        grad = np.zeros_like(tapes[0].x)
+        seed = np.ones(self.models[0].output_shape)
+        for k, tape in enumerate(tapes):
+            g = tape.gradient_of_output(seed)
+            grad += -self.lambda1 * g if k == self.target_index else g
+        return grad
+
     def value(self, x):
         total = 0.0
         for k, model in enumerate(self.models):
@@ -74,19 +108,16 @@ class RegressionDifferentialObjective:
         return total
 
     def gradient(self, x):
-        grad = np.zeros_like(x)
-        seed = np.ones(self.models[0].output_shape)
-        for k, model in enumerate(self.models):
-            g = model.input_gradient_of_output(x, seed)
-            grad += -self.lambda1 * g if k == self.target_index else g
-        return grad
+        return self.gradient_from_tapes([m.run(x) for m in self.models])
 
 
 class CoverageObjective:
     """obj2: the summed output of one inactivated neuron per model.
 
     Algorithm 1 line 33 re-picks the neurons each iteration; call
-    :meth:`pick` per iteration and then :meth:`gradient`.
+    :meth:`pick` per iteration and then :meth:`gradient` (or hand the
+    iteration's tapes to :meth:`gradient_from_tapes`, aligned with the
+    trackers' networks).
     """
 
     def __init__(self, trackers, rng=None):
@@ -98,6 +129,22 @@ class CoverageObjective:
         """Choose an uncovered neuron per model; returns the choices."""
         self._targets = [t.pick_uncovered(self.rng) for t in self.trackers]
         return list(self._targets)
+
+    def value_from_tapes(self, tapes):
+        total = 0.0
+        for tape, neuron in zip(tapes, self._targets):
+            if neuron is None:
+                continue
+            total += float(tape.neuron_value(neuron).sum())
+        return total
+
+    def gradient_from_tapes(self, tapes):
+        grad = np.zeros_like(tapes[0].x)
+        for tape, neuron in zip(tapes, self._targets):
+            if neuron is None:
+                continue
+            grad += tape.gradient_of_neuron(neuron)
+        return grad
 
     def value(self, x):
         total = 0.0
@@ -123,6 +170,16 @@ class JointObjective:
         self.differential = differential
         self.coverage = coverage
         self.lambda2 = float(lambda2)
+
+    def step_gradient_from_tapes(self, tapes):
+        """Gradient for one ascent iteration, derived from the
+        iteration's recorded tapes (re-picks coverage neurons)."""
+        grad = self.differential.gradient_from_tapes(tapes)
+        if self.lambda2 > 0.0 and self.coverage is not None:
+            self.coverage.pick()
+            grad = grad + self.lambda2 * self.coverage.gradient_from_tapes(
+                tapes)
+        return grad
 
     def step_gradient(self, x):
         """Gradient for one ascent iteration (re-picks coverage neurons)."""

@@ -21,7 +21,12 @@ STRAIGHT_EPSILON = 0.05
 
 
 class ClassificationOracle:
-    """Difference = not all models predict the same class."""
+    """Difference = not all models predict the same class.
+
+    The ``*_from_outputs`` variants judge precomputed per-model raw
+    outputs (e.g. from :class:`~repro.nn.tape.ForwardPass` tapes the
+    caller already holds) instead of re-running every model.
+    """
 
     task = "classification"
 
@@ -30,9 +35,20 @@ class ClassificationOracle:
             raise ConfigError("differential testing needs >= 2 models")
         self.models = list(models)
 
+    @staticmethod
+    def predictions_from_outputs(outputs):
+        """Predicted class per model from raw model outputs."""
+        return np.stack([out.argmax(axis=1) for out in outputs])
+
+    def differs_from_outputs(self, outputs):
+        """Disagreement per batch element from raw model outputs."""
+        preds = self.predictions_from_outputs(outputs)
+        return (preds != preds[0]).any(axis=0)
+
     def predictions(self, x):
         """Predicted class per model, shape ``(models, batch)``."""
-        return np.stack([m.predict(x).argmax(axis=1) for m in self.models])
+        return self.predictions_from_outputs(
+            [m.predict(x) for m in self.models])
 
     def differs(self, x):
         """Bool per batch element: do models disagree on this input?"""
@@ -57,9 +73,23 @@ class RegressionOracle:
         self.models = list(models)
         self.angle_spread = float(angle_spread)
 
+    @staticmethod
+    def predictions_from_outputs(outputs):
+        """Predicted angle per model from raw model outputs."""
+        return np.stack([out.reshape(-1) for out in outputs])
+
+    def differs_from_outputs(self, outputs):
+        """Disagreement per batch element from raw model outputs."""
+        angles = self.predictions_from_outputs(outputs)
+        bins = self.direction(angles)
+        bin_diff = (bins != bins[0]).any(axis=0)
+        spread = angles.max(axis=0) - angles.min(axis=0)
+        return bin_diff | (spread > self.angle_spread)
+
     def predictions(self, x):
         """Predicted angle per model, shape ``(models, batch)``."""
-        return np.stack([m.predict(x).reshape(-1) for m in self.models])
+        return self.predictions_from_outputs(
+            [m.predict(x) for m in self.models])
 
     @staticmethod
     def direction(angles):
@@ -68,11 +98,7 @@ class RegressionOracle:
                         np.sign(angles)).astype(int)
 
     def differs(self, x):
-        angles = self.predictions(x)
-        bins = self.direction(angles)
-        bin_diff = (bins != bins[0]).any(axis=0)
-        spread = angles.max(axis=0) - angles.min(axis=0)
-        return bin_diff | (spread > self.angle_spread)
+        return self.differs_from_outputs([m.predict(x) for m in self.models])
 
 
 def make_oracle(models, task):

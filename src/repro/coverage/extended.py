@@ -25,6 +25,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import CoverageError
+from repro.coverage.neuron import raw_activations as _raw_activations
 
 __all__ = ["NeuronProfile", "KMultisectionCoverage", "BoundaryCoverage",
            "TopKNeuronCoverage"]
@@ -48,8 +49,7 @@ class NeuronProfile:
     @classmethod
     def from_data(cls, network, x, batch_size=256):
         """Profile activation ranges from (training) inputs ``x``."""
-        acts = network.neuron_activations(np.asarray(x, dtype=np.float64),
-                                          batch_size=batch_size)
+        acts = _raw_activations(network, x, batch_size=batch_size)
         return cls(network, acts.min(axis=0), acts.max(axis=0))
 
     def span(self):
@@ -70,8 +70,7 @@ class KMultisectionCoverage:
 
     def update(self, x):
         """Fold test inputs into section coverage; returns #new sections."""
-        acts = self.profile.network.neuron_activations(
-            np.asarray(x, dtype=np.float64))
+        acts = _raw_activations(self.profile.network, x)
         span = self.profile.span()
         safe_span = np.where(span > 0, span, 1.0)
         # Section index per (input, neuron); outside-range values are
@@ -104,8 +103,7 @@ class BoundaryCoverage:
         self.above = np.zeros(n, dtype=bool)
 
     def update(self, x):
-        acts = self.profile.network.neuron_activations(
-            np.asarray(x, dtype=np.float64))
+        acts = _raw_activations(self.profile.network, x)
         before = int(self.below.sum() + self.above.sum())
         self.below |= (acts < self.profile.low[None, :]).any(axis=0)
         self.above |= (acts > self.profile.high[None, :]).any(axis=0)
@@ -128,8 +126,7 @@ class TopKNeuronCoverage:
         self.hot = np.zeros(network.total_neurons, dtype=bool)
 
     def update(self, x):
-        acts = self.network.neuron_activations(
-            np.asarray(x, dtype=np.float64))
+        acts = _raw_activations(self.network, x)
         before = int(self.hot.sum())
         for entry in self.network.neuron_layers:
             block = acts[:, entry.offset:entry.offset + entry.count]

@@ -6,6 +6,11 @@ outputs are (optionally, on by default) scaled to ``[0, 1]`` per input —
 ``(out - min(out)) / (max(out) - min(out))`` over the layer's neuron
 vector — so one threshold is meaningful across layers whose raw output
 ranges differ.
+
+Trackers accept either raw inputs (a fresh forward pass is executed) or
+a :class:`~repro.nn.tape.ForwardPass` tape recorded by the caller, so a
+generation engine that already ran the network for its objectives can
+fold the same execution into coverage for free.
 """
 
 from __future__ import annotations
@@ -13,28 +18,29 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import CoverageError
+from repro.nn.tape import ForwardPass, scale_layerwise
 from repro.utils.rng import as_rng
 
-__all__ = ["NeuronCoverageTracker", "scale_layerwise", "coverage_of_inputs"]
+__all__ = ["NeuronCoverageTracker", "scale_layerwise", "coverage_of_inputs",
+           "raw_activations"]
 
 
-def scale_layerwise(activations, neuron_layers):
-    """Scale each layer's slice of ``activations`` to [0, 1] per input.
+def raw_activations(network, x, batch_size=256):
+    """Neuron activations for raw inputs or a recorded forward tape.
 
-    ``activations`` has shape ``(batch, total_neurons)``; ``neuron_layers``
-    is the network's flat neuron table.  Layers whose outputs are constant
-    for an input scale to all-zeros (nothing is "more activated").
+    Shared dispatch for every coverage criterion: a
+    :class:`~repro.nn.tape.ForwardPass` must belong to ``network`` and
+    is read without re-execution; anything else is treated as a batch of
+    inputs and run through ``network.neuron_activations``.
     """
-    scaled = np.empty_like(activations)
-    for entry in neuron_layers:
-        block = activations[:, entry.offset:entry.offset + entry.count]
-        lo = block.min(axis=1, keepdims=True)
-        hi = block.max(axis=1, keepdims=True)
-        span = hi - lo
-        safe = np.where(span > 0, span, 1.0)
-        scaled[:, entry.offset:entry.offset + entry.count] = \
-            np.where(span > 0, (block - lo) / safe, 0.0)
-    return scaled
+    if isinstance(x, ForwardPass):
+        if x.network is not network:
+            raise CoverageError(
+                f"tape of network {x.network.name!r} handed to a coverage "
+                f"criterion over {network.name!r}")
+        return x.neuron_activations()
+    return network.neuron_activations(np.asarray(x, dtype=np.float64),
+                                      batch_size=batch_size)
 
 
 class NeuronCoverageTracker:
@@ -67,19 +73,36 @@ class NeuronCoverageTracker:
         return int(self._tracked.sum())
 
     def activations(self, x):
-        """Neuron activations for ``x``, scaled if the tracker scales."""
-        acts = self.network.neuron_activations(np.asarray(x, dtype=np.float64))
+        """Neuron activations for ``x`` (inputs or a tape), scaled if the
+        tracker scales."""
+        acts = raw_activations(self.network, x)
         if self.scaled:
             acts = scale_layerwise(acts, self.network.neuron_layers)
         return acts
 
-    def update(self, x):
-        """Fold a batch of inputs into coverage; returns #newly covered."""
-        acts = self.activations(x)
+    def update(self, x, rows=None):
+        """Fold a batch of inputs (or a recorded tape) into coverage;
+        returns #newly covered.
+
+        ``rows`` optionally restricts the update to a subset of the
+        batch (indices or boolean mask) — batched generation uses this
+        to absorb only the samples that became difference-inducing.
+        Per-input layer scaling commutes with row selection, so slicing
+        before scaling is exact.
+        """
+        acts = raw_activations(self.network, x)
+        if rows is not None:
+            acts = acts[rows]
+        if self.scaled:
+            acts = scale_layerwise(acts, self.network.neuron_layers)
         active = (acts > self.threshold).any(axis=0) & self._tracked
         newly = int((active & ~self.covered).sum())
         self.covered |= active
         return newly
+
+    def update_from_tape(self, tape, rows=None):
+        """Alias of :meth:`update` for call sites holding a tape."""
+        return self.update(tape, rows=rows)
 
     def coverage(self):
         """Covered fraction of tracked neurons (the paper's NCov)."""

@@ -36,16 +36,19 @@ class MomentumDeepXplore(DeepXplore):
     def generate_from_seed(self, seed_x, seed_index=0):
         start = time.perf_counter()
         x = np.asarray(seed_x, dtype=np.float64)[None, ...]
-        if bool(self.oracle.differs(x)[0]):
+        tapes = self._run_models(x)
+        outputs = [tape.outputs() for tape in tapes]
+        if bool(self.oracle.differs_from_outputs(outputs)[0]):
             test = GeneratedTest(
                 x=x[0].copy(), seed_index=seed_index, iterations=0,
-                predictions=self.oracle.predictions(x)[:, 0],
+                predictions=self.oracle.predictions_from_outputs(
+                    outputs)[:, 0],
                 seed_class=None, elapsed=time.perf_counter() - start)
-            self._absorb(test)
+            self._absorb_tapes(tapes)
             return test
         seed_class = None
         if self.task == "classification":
-            seed_class = int(self.models[0].predict(x).argmax(axis=1)[0])
+            seed_class = int(outputs[0].argmax(axis=1)[0])
         target_index = int(self.rng.integers(0, len(self.models)))
         objective = JointObjective(
             self._differential_objective(x, target_index, seed_class),
@@ -55,18 +58,21 @@ class MomentumDeepXplore(DeepXplore):
 
         velocity = np.zeros_like(x)
         for iteration in range(1, self.hp.max_iterations + 1):
-            grad = objective.step_gradient(x)
+            grad = objective.step_gradient_from_tapes(tapes)
             grad = self.constraint.apply(grad, x)
             grad = normalize_gradient(grad)
             velocity = self.beta * velocity + grad
             x = self.constraint.project(x + self.hp.step * velocity, x)
-            if bool(self.oracle.differs(x)[0]):
+            tapes = self._run_models(x)
+            outputs = [tape.outputs() for tape in tapes]
+            if bool(self.oracle.differs_from_outputs(outputs)[0]):
                 test = GeneratedTest(
                     x=x[0].copy(), seed_index=seed_index,
                     iterations=iteration,
-                    predictions=self.oracle.predictions(x)[:, 0],
+                    predictions=self.oracle.predictions_from_outputs(
+                        outputs)[:, 0],
                     seed_class=seed_class,
                     elapsed=time.perf_counter() - start)
-                self._absorb(test)
+                self._absorb_tapes(tapes)
                 return test
         return None

@@ -26,6 +26,7 @@ from repro.nn.config import (layer_from_config, layer_to_config,
 from repro.nn.conv import Conv2D, col2im, conv_output_size, im2col
 from repro.nn.dense import Dense
 from repro.nn.dropout import Dropout
+from repro.nn.instrumentation import PassCounter
 from repro.nn.initializers import (
     get_initializer,
     glorot_uniform,
@@ -45,6 +46,7 @@ from repro.nn.pool import AvgPool2D, GlobalAvgPool2D, MaxPool2D
 from repro.nn.reshape import Flatten
 from repro.nn.residual import Residual
 from repro.nn.scale import FixedScale
+from repro.nn.tape import ForwardPass, scale_layerwise
 from repro.nn.training import (EarlyStopping, Trainer, accuracy, mse,
                                steering_accuracy)
 
@@ -57,6 +59,7 @@ __all__ = [
     "Layer",
     "CrossEntropy", "Loss", "MeanSquaredError", "get_loss",
     "LayerNeurons", "Network", "NeuronId",
+    "ForwardPass", "PassCounter", "scale_layerwise",
     "BatchNorm",
     "SGD", "Adam", "RMSProp", "Optimizer", "get_optimizer",
     "StepDecay", "CosineDecay", "clip_gradients",

@@ -107,16 +107,17 @@ class Conv2D(Layer):
         out_w = conv_output_size(x.shape[3], kw, self.stride, self.padding)
         z = z_flat.reshape(x.shape[0], self.out_channels, out_h, out_w)
         a = self.activation.forward(z)
-        self._cache = (x.shape, cols, z, a)
-        return a
+        return a, (x.shape, cols, z, a)
 
-    def backward(self, grad_out):
-        input_shape, cols, z, a = self._cache
+    def backward(self, ctx, grad_out, accumulate=True):
+        input_shape, cols, z, a = ctx
         grad_z = self.activation.backward(grad_out, z, a)
         n = grad_z.shape[0]
         gz_flat = grad_z.reshape(n, self.out_channels, -1)
-        self.weight.grad += np.tensordot(gz_flat, cols, axes=([0, 2], [0, 2]))
-        self.bias.grad += gz_flat.sum(axis=(0, 2))
+        if accumulate:
+            self.weight.grad += np.tensordot(gz_flat, cols,
+                                             axes=([0, 2], [0, 2]))
+            self.bias.grad += gz_flat.sum(axis=(0, 2))
         grad_cols = self.weight.value.T @ gz_flat
         kh, kw = self.kernel_size
         return col2im(grad_cols, input_shape, kh, kw, self.stride, self.padding)

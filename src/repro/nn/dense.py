@@ -44,14 +44,14 @@ class Dense(Layer):
                 f"{self.name}: expected (batch, {self.in_features}), got {x.shape}")
         z = x @ self.weight.value.T + self.bias.value
         a = self.activation.forward(z)
-        self._cache = (x, z, a)
-        return a
+        return a, (x, z, a)
 
-    def backward(self, grad_out):
-        x, z, a = self._cache
+    def backward(self, ctx, grad_out, accumulate=True):
+        x, z, a = ctx
         grad_z = self.activation.backward(grad_out, z, a)
-        self.weight.grad += grad_z.T @ x
-        self.bias.grad += grad_z.sum(axis=0)
+        if accumulate:
+            self.weight.grad += grad_z.T @ x
+            self.bias.grad += grad_z.sum(axis=0)
         return grad_z @ self.weight.value
 
     def parameters(self):

@@ -30,17 +30,15 @@ class Dropout(Layer):
 
     def forward(self, x, training=False):
         if not training or self.rate == 0.0:
-            self._cache = None
-            return x
+            return x, None
         keep = 1.0 - self.rate
         mask = (self._rng.random(x.shape) < keep) / keep
-        self._cache = mask
-        return x * mask
+        return x * mask, mask
 
-    def backward(self, grad_out):
-        if self._cache is None:
+    def backward(self, ctx, grad_out, accumulate=True):
+        if ctx is None:
             return grad_out
-        return grad_out * self._cache
+        return grad_out * ctx
 
     def output_shape(self, input_shape):
         return tuple(input_shape)

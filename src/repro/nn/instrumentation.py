@@ -1,0 +1,88 @@
+"""Forward/backward pass counting.
+
+:meth:`repro.nn.network.Network.run` notifies every active counter once
+per executed forward pass, and :class:`repro.nn.tape.ForwardPass` does
+the same for each backward derived from a tape.  Counters are installed
+with a context manager rather than as state on the :class:`Network`, so
+instrumentation never adds mutable per-network state — the tape refactor
+exists precisely to keep networks stateless between calls.
+
+>>> with PassCounter() as counter:
+...     net.predict(x)
+>>> counter.forwards[net.name]
+1
+
+``benchmarks/test_forward_reuse.py`` uses this to assert the generation
+engines execute exactly one forward pass per model per ascent iteration.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+__all__ = ["PassCounter", "record_forward", "record_backward"]
+
+#: Currently installed counters (innermost last).  Module-level on
+#: purpose: counting must work without threading a counter object through
+#: every engine API.
+_ACTIVE = []
+
+
+def record_forward(network, batch_size):
+    """Notify active counters that ``network`` ran one forward pass."""
+    for counter in _ACTIVE:
+        counter._record(counter.forwards, counter.forward_samples,
+                        network.name, batch_size)
+
+
+def record_backward(network, batch_size):
+    """Notify active counters that one backward was derived on ``network``."""
+    for counter in _ACTIVE:
+        counter._record(counter.backwards, counter.backward_samples,
+                        network.name, batch_size)
+
+
+class PassCounter:
+    """Counts forward/backward passes per network name while installed.
+
+    Attributes
+    ----------
+    forwards / backwards:
+        ``Counter`` mapping network name to number of passes.
+    forward_samples / backward_samples:
+        Same keys, but summing the batch sizes of those passes.
+    """
+
+    def __init__(self):
+        self.forwards = Counter()
+        self.backwards = Counter()
+        self.forward_samples = Counter()
+        self.backward_samples = Counter()
+
+    def _record(self, passes, samples, name, batch_size):
+        passes[name] += 1
+        samples[name] += int(batch_size)
+
+    def reset(self):
+        self.forwards.clear()
+        self.backwards.clear()
+        self.forward_samples.clear()
+        self.backward_samples.clear()
+
+    def total_forwards(self):
+        return int(sum(self.forwards.values()))
+
+    def total_backwards(self):
+        return int(sum(self.backwards.values()))
+
+    def __enter__(self):
+        _ACTIVE.append(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        _ACTIVE.remove(self)
+        return False
+
+    def __repr__(self):
+        return (f"PassCounter(forwards={dict(self.forwards)}, "
+                f"backwards={dict(self.backwards)})")

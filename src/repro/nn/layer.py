@@ -1,11 +1,16 @@
 """Layer protocol for the numpy NN framework.
 
-A :class:`Layer` caches whatever it needs during :meth:`forward` so that a
-subsequent :meth:`backward` can compute gradients.  The framework is
-deliberately *define-by-run over a fixed sequence*: DeepXplore only needs
-sequential (optionally residual) models, whole-layer activation recording,
-and gradients of arbitrary internal neurons with respect to the input —
-all of which a layer list supports without a general autograd graph.
+A :class:`Layer` is *stateless between calls*: :meth:`forward` returns
+``(output, ctx)`` where ``ctx`` carries everything a subsequent
+:meth:`backward` needs, and :meth:`backward` takes that context
+explicitly.  Nothing about an execution is stored on the layer, so any
+number of forward passes can be in flight at once and any number of
+backwards can be taken from one recorded forward (see
+:class:`repro.nn.tape.ForwardPass`).  The framework is deliberately
+*define-by-run over a fixed sequence*: DeepXplore only needs sequential
+(optionally residual) models, whole-layer activation recording, and
+gradients of arbitrary internal neurons with respect to the input — all
+of which a layer list supports without a general autograd graph.
 
 Neuron semantics (used by :mod:`repro.coverage`): layers advertise how many
 *neurons* they expose via :meth:`neuron_count` and map a raw layer output to
@@ -29,17 +34,32 @@ class Layer:
 
     def __init__(self, name=None):
         self.name = name or type(self).__name__.lower()
-        self._cache = None
 
     # -- core protocol -----------------------------------------------------
     def forward(self, x, training=False):
-        """Compute the layer output for ``x`` and cache for backward."""
+        """Compute the layer output for ``x``.
+
+        Returns ``(output, ctx)`` where ``ctx`` is an opaque backward
+        context (``None`` when the backward needs nothing).  The context
+        must be treated as immutable by :meth:`backward`.
+        """
         raise NotImplementedError
 
-    def backward(self, grad_out):
-        """Propagate ``grad_out`` to the layer input, accumulating
-        parameter gradients along the way."""
+    def backward(self, ctx, grad_out, accumulate=True):
+        """Propagate ``grad_out`` to the layer input.
+
+        ``ctx`` is the context returned by the :meth:`forward` call being
+        differentiated.  Parameter gradients are accumulated into
+        ``Parameter.grad`` only when ``accumulate`` is true — input-only
+        gradients (the DeepXplore hot path) skip that work entirely.
+        Must not mutate ``ctx`` or any other layer state.
+        """
         raise NotImplementedError
+
+    def apply(self, x, training=False):
+        """Inference convenience: :meth:`forward` without the context."""
+        out, _ = self.forward(x, training=training)
+        return out
 
     def parameters(self):
         """Trainable :class:`~repro.nn.parameter.Parameter` objects."""

@@ -1,4 +1,4 @@
-"""The :class:`Network` container: forward, recording, and input-gradients.
+"""The :class:`Network` container: a stateless layer stack plus the tape.
 
 This is the piece of the substrate DeepXplore actually depends on.  Keras
 gave the original authors three capabilities:
@@ -11,7 +11,15 @@ gave the original authors three capabilities:
    *input* (:meth:`Network.input_gradient_of_class`,
    :meth:`Network.input_gradient_of_neuron`).
 
-All three are provided here on top of the layer protocol.
+All three are provided on top of a single primitive: :meth:`Network.run`
+executes one recorded forward pass and returns an immutable
+:class:`~repro.nn.tape.ForwardPass` tape, off which outputs, neuron
+activations, and any number of input-gradients are derived without
+re-running the network.  No forward or backward state is ever left on
+the network or its layers, so concurrent tapes on the same network are
+safe and the engine is reentrant.  The ``predict`` / ``neuron_*`` /
+``input_gradient_*`` methods below are thin compatibility wrappers that
+each build one fresh tape.
 """
 
 from __future__ import annotations
@@ -21,6 +29,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import CoverageError, ShapeError
+from repro.nn import instrumentation
+from repro.nn.tape import ForwardPass
 
 __all__ = ["Network", "NeuronId", "LayerNeurons"]
 
@@ -79,7 +89,6 @@ class Network:
                 offset += count
             prev_shape = self._output_shapes[index]
         self.total_neurons = offset
-        self._recorded = None
 
     # -- introspection ------------------------------------------------------
     def parameters(self):
@@ -113,7 +122,7 @@ class Network:
                 return entry, flat_index - entry.offset
         raise CoverageError(f"corrupt neuron table for index {flat_index}")
 
-    # -- forward ------------------------------------------------------------
+    # -- execution ----------------------------------------------------------
     def _check_input(self, x):
         x = np.asarray(x, dtype=np.float64)
         if x.shape[1:] != self.input_shape:
@@ -122,22 +131,28 @@ class Network:
                 f"{', '.join(map(str, self.input_shape))}), got {x.shape}")
         return x
 
-    def forward(self, x, training=False, record=False):
-        """Run the network; optionally record every layer's raw output.
+    def run(self, x, training=False):
+        """Execute one recorded forward pass; returns a
+        :class:`~repro.nn.tape.ForwardPass` tape.
 
-        Recording is required before any of the backward-from-layer
-        methods below can be used.
+        The tape owns every layer's output and backward context, so the
+        oracle check, coverage update, and all input-gradients of one
+        ascent iteration derive from this single execution.
         """
         x = self._check_input(x)
-        outputs = [] if record else None
+        outputs = []
+        contexts = []
         out = x
         for layer in self.layers:
-            out = layer.forward(out, training=training)
-            if record:
-                outputs.append(out)
-        if record:
-            self._recorded = outputs
-        return out
+            out, ctx = layer.forward(out, training=training)
+            outputs.append(out)
+            contexts.append(ctx)
+        instrumentation.record_forward(self, x.shape[0])
+        return ForwardPass(self, x, outputs, contexts, training)
+
+    def forward(self, x, training=False):
+        """Run the network and return only its final output."""
+        return self.run(x, training=training).outputs()
 
     def predict(self, x, batch_size=256):
         """Inference in batches; never triggers training-mode behaviour."""
@@ -155,58 +170,34 @@ class Network:
         original DeepXplore's definition of a neuron's output value.
         """
         x = self._check_input(x)
-        rows = []
-        for start in range(0, x.shape[0], batch_size):
-            self.forward(x[start:start + batch_size], record=True)
-            cols = [self.layers[e.layer_index].neuron_outputs(
-                self._recorded[e.layer_index]) for e in self._neuron_layers]
-            rows.append(np.concatenate(cols, axis=1) if cols else
-                        np.zeros((x[start:start + batch_size].shape[0], 0)))
+        rows = [self.run(x[start:start + batch_size]).neuron_activations()
+                for start in range(0, x.shape[0], batch_size)]
         return np.concatenate(rows, axis=0)
 
-    # -- input gradients ------------------------------------------------------
-    def _backward_from(self, layer_index, grad):
-        for layer in reversed(self.layers[:layer_index + 1]):
-            grad = layer.backward(grad)
-        return grad
-
+    # -- input gradients (compatibility wrappers over a fresh tape) ---------
     def input_gradient_of_output(self, x, seed):
         """d(seed . output)/dx for a batched input ``x``.
 
         ``seed`` is broadcast against the network output; returns an array
         shaped like ``x``.
         """
-        x = self._check_input(x)
-        out = self.forward(x, training=False)
-        grad = np.broadcast_to(np.asarray(seed, dtype=np.float64),
-                               out.shape).copy()
-        return self._backward_from(len(self.layers) - 1, grad)
+        return self.run(x).gradient_of_output(seed)
 
     def input_gradient_of_class(self, x, class_index):
         """Gradient of ``output[:, class_index]`` with respect to ``x``."""
-        if self.output_shape != (int(np.prod(self.output_shape)),):
-            raise ShapeError(
-                f"{self.name}: class gradients need a flat output, "
-                f"got {self.output_shape}")
-        seed = np.zeros(self.output_shape, dtype=np.float64)
-        seed[class_index] = 1.0
-        return self.input_gradient_of_output(x, seed)
+        return self.run(x).gradient_of_class(class_index)
 
     def input_gradient_of_neuron(self, x, flat_neuron_index):
         """Gradient of one hidden neuron's scalar output w.r.t. ``x``."""
-        x = self._check_input(x)
-        entry, local = self.neuron_layer_of(flat_neuron_index)
-        self.forward(x, training=False, record=True)
-        layer = self.layers[entry.layer_index]
-        out_shape = self._output_shapes[entry.layer_index]
-        seed_one = layer.neuron_seed(out_shape, local)
-        grad = np.broadcast_to(seed_one, (x.shape[0],) + tuple(out_shape)).copy()
-        return self._backward_from(entry.layer_index, grad)
+        return self.run(x).gradient_of_neuron(flat_neuron_index)
 
     def neuron_value(self, x, flat_neuron_index):
-        """The scalar output of one neuron for batched input ``x``."""
-        acts = self.neuron_activations(np.asarray(x, dtype=np.float64))
-        return acts[:, flat_neuron_index]
+        """The scalar output of one neuron for batched input ``x``.
+
+        Routed through a tape and sliced: only the owning layer's neuron
+        outputs are computed, not the full activation table.
+        """
+        return self.run(x).neuron_value(flat_neuron_index)
 
     # -- serialization --------------------------------------------------------
     def state_dict(self):

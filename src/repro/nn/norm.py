@@ -58,13 +58,13 @@ class BatchNorm(Layer):
             self._reshape_stats(inv_std, x.ndim)
         out = self._reshape_stats(self.gamma.value, x.ndim) * x_hat + \
             self._reshape_stats(self.beta.value, x.ndim)
-        self._cache = (x_hat, inv_std, axes, training, x.ndim)
-        return out
+        return out, (x_hat, inv_std, axes, training, x.ndim)
 
-    def backward(self, grad_out):
-        x_hat, inv_std, axes, training, ndim = self._cache
-        self.gamma.grad += (grad_out * x_hat).sum(axis=axes)
-        self.beta.grad += grad_out.sum(axis=axes)
+    def backward(self, ctx, grad_out, accumulate=True):
+        x_hat, inv_std, axes, training, ndim = ctx
+        if accumulate:
+            self.gamma.grad += (grad_out * x_hat).sum(axis=axes)
+            self.beta.grad += grad_out.sum(axis=axes)
         gamma = self._reshape_stats(self.gamma.value, ndim)
         inv = self._reshape_stats(inv_std, ndim)
         grad_xhat = grad_out * gamma

@@ -41,11 +41,10 @@ class MaxPool2D(Layer):
                    .reshape(n, c, h // ph, w // pw, ph * pw))
         idx = windows.argmax(axis=-1)
         out = np.take_along_axis(windows, idx[..., None], axis=-1)[..., 0]
-        self._cache = (x.shape, idx)
-        return out
+        return out, (x.shape, idx)
 
-    def backward(self, grad_out):
-        input_shape, idx = self._cache
+    def backward(self, ctx, grad_out, accumulate=True):
+        input_shape, idx = ctx
         n, c, h, w = input_shape
         ph, pw = self.pool_size
         grad_windows = np.zeros((n, c, h // ph, w // pw, ph * pw),
@@ -81,11 +80,10 @@ class AvgPool2D(Layer):
         ph, pw = self.pool_size
         out = (x.reshape(n, c, h // ph, ph, w // pw, pw)
                .mean(axis=(3, 5)))
-        self._cache = x.shape
-        return out
+        return out, x.shape
 
-    def backward(self, grad_out):
-        n, c, h, w = self._cache
+    def backward(self, ctx, grad_out, accumulate=True):
+        n, c, h, w = ctx
         ph, pw = self.pool_size
         scale = 1.0 / (ph * pw)
         expanded = np.repeat(np.repeat(grad_out, ph, axis=2), pw, axis=3)
@@ -104,11 +102,10 @@ class GlobalAvgPool2D(Layer):
     """Average each channel over all spatial positions: (N,C,H,W)->(N,C)."""
 
     def forward(self, x, training=False):
-        self._cache = x.shape
-        return x.mean(axis=(2, 3))
+        return x.mean(axis=(2, 3)), x.shape
 
-    def backward(self, grad_out):
-        n, c, h, w = self._cache
+    def backward(self, ctx, grad_out, accumulate=True):
+        n, c, h, w = ctx
         return np.broadcast_to(
             grad_out[:, :, None, None] / (h * w), (n, c, h, w)).copy()
 

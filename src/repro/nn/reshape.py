@@ -13,11 +13,10 @@ class Flatten(Layer):
     """Collapse all feature axes: (N, ...) -> (N, prod(...))."""
 
     def forward(self, x, training=False):
-        self._cache = x.shape
-        return x.reshape(x.shape[0], -1)
+        return x.reshape(x.shape[0], -1), x.shape
 
-    def backward(self, grad_out):
-        return grad_out.reshape(self._cache)
+    def backward(self, ctx, grad_out, accumulate=True):
+        return grad_out.reshape(ctx)
 
     def output_shape(self, input_shape):
         return (int(np.prod(input_shape)),)

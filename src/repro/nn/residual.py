@@ -32,29 +32,36 @@ class Residual(Layer):
 
     def forward(self, x, training=False):
         out = x
+        body_ctxs = []
         for layer in self.body:
-            out = layer.forward(out, training=training)
+            out, ctx = layer.forward(out, training=training)
+            body_ctxs.append(ctx)
         skip = x
+        shortcut_ctxs = []
         for layer in self.shortcut:
-            skip = layer.forward(skip, training=training)
+            skip, ctx = layer.forward(skip, training=training)
+            shortcut_ctxs.append(ctx)
         if out.shape != skip.shape:
             raise ShapeError(
                 f"{self.name}: body output {out.shape} does not match "
                 f"shortcut output {skip.shape}; add a projection shortcut")
         z = out + skip
         a = self.activation.forward(z)
-        self._cache = (z, a)
-        return a
+        return a, (tuple(body_ctxs), tuple(shortcut_ctxs), z, a)
 
-    def backward(self, grad_out):
-        z, a = self._cache
+    def backward(self, ctx, grad_out, accumulate=True):
+        body_ctxs, shortcut_ctxs, z, a = ctx
         grad_z = self.activation.backward(grad_out, z, a)
         grad_body = grad_z
-        for layer in reversed(self.body):
-            grad_body = layer.backward(grad_body)
+        for layer, layer_ctx in zip(reversed(self.body),
+                                    reversed(body_ctxs)):
+            grad_body = layer.backward(layer_ctx, grad_body,
+                                       accumulate=accumulate)
         grad_skip = grad_z
-        for layer in reversed(self.shortcut):
-            grad_skip = layer.backward(grad_skip)
+        for layer, layer_ctx in zip(reversed(self.shortcut),
+                                    reversed(shortcut_ctxs)):
+            grad_skip = layer.backward(layer_ctx, grad_skip,
+                                       accumulate=accumulate)
         return grad_body + grad_skip
 
     def parameters(self):

@@ -41,9 +41,9 @@ class FixedScale(Layer):
             raise ShapeError(
                 f"{self.name}: expected features {self.mean.shape}, "
                 f"got {x.shape}")
-        return (x - self.mean) / self.std
+        return (x - self.mean) / self.std, None
 
-    def backward(self, grad_out):
+    def backward(self, ctx, grad_out, accumulate=True):
         return grad_out / self.std
 
     def buffers(self):

@@ -111,9 +111,9 @@ class Trainer:
             for start in range(0, x.shape[0], batch_size):
                 batch_idx = indices[start:start + batch_size]
                 self.optimizer.zero_grad(params)
-                outputs = self.network.forward(x[batch_idx], training=True)
-                loss_value, grad = self.loss(outputs, y[batch_idx])
-                self._backward(grad)
+                tape = self.network.run(x[batch_idx], training=True)
+                loss_value, grad = self.loss(tape.outputs(), y[batch_idx])
+                tape.backward(grad)
                 if clip_norm is not None:
                     clip_gradients(params, clip_norm)
                 self.optimizer.step(params)
@@ -136,8 +136,3 @@ class Trainer:
                         history["val_metric"][-1])):
                 break
         return history
-
-    def _backward(self, grad):
-        for layer in reversed(self.network.layers):
-            grad = layer.backward(grad)
-        return grad

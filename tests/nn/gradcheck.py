@@ -27,18 +27,19 @@ def check_layer_gradients(layer, x, rng, atol=1e-7, n_probe=6,
     loss: ``L = sum(W * layer(x))``.  Probes ``n_probe`` random input
     coordinates and parameter coordinates.
     """
-    out = layer.forward(x, training=training)
+    out, _ = layer.forward(x, training=training)
     weights = rng.normal(size=out.shape)
 
     def loss_of_input(x_probe):
-        return float((layer.forward(x_probe, training=training)
+        return float((layer.apply(x_probe, training=training)
                       * weights).sum())
 
-    # Analytic pass: forward (cached) then backward with dL/dout = weights.
+    # Analytic pass: forward (returning ctx) then backward with
+    # dL/dout = weights.
     for param in layer.parameters():
         param.zero_grad()
-    layer.forward(x, training=training)
-    grad_in = layer.backward(weights)
+    _, ctx = layer.forward(x, training=training)
+    grad_in = layer.backward(ctx, weights)
 
     flat_indices = [tuple(rng.integers(0, s) for s in x.shape)
                     for _ in range(n_probe)]

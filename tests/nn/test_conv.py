@@ -64,7 +64,7 @@ def test_conv_gradients(stride, padding):
 def test_conv_rejects_wrong_channels():
     layer = Conv2D(3, 4, 3, rng=0)
     with pytest.raises(ShapeError):
-        layer.forward(np.zeros((1, 2, 8, 8)))
+        layer.apply(np.zeros((1, 2, 8, 8)))
 
 
 def test_conv_output_shape_helper():
@@ -76,7 +76,7 @@ def test_neuron_semantics_channel_mean():
     rng = np.random.default_rng(4)
     layer = Conv2D(1, 2, 3, padding=1, activation="linear", rng=rng)
     x = rng.normal(size=(2, 1, 4, 4))
-    out = layer.forward(x)
+    out = layer.apply(x)
     neurons = layer.neuron_outputs(out)
     assert neurons.shape == (2, 2)
     np.testing.assert_allclose(neurons, out.mean(axis=(2, 3)))
@@ -89,5 +89,5 @@ def test_neuron_semantics_channel_mean():
 def test_asymmetric_kernel():
     rng = np.random.default_rng(5)
     layer = Conv2D(1, 2, (3, 5), rng=rng)
-    out = layer.forward(rng.normal(size=(1, 1, 8, 10)))
+    out = layer.apply(rng.normal(size=(1, 1, 8, 10)))
     assert out.shape == (1, 2, 6, 6)

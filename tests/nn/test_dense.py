@@ -13,7 +13,7 @@ def test_forward_shape_and_value():
     rng = np.random.default_rng(0)
     layer = Dense(4, 3, activation="linear", rng=rng)
     x = rng.normal(size=(5, 4))
-    out = layer.forward(x)
+    out = layer.apply(x)
     assert out.shape == (5, 3)
     expected = x @ layer.weight.value.T + layer.bias.value
     np.testing.assert_allclose(out, expected)
@@ -22,7 +22,7 @@ def test_forward_shape_and_value():
 def test_rejects_wrong_input_shape():
     layer = Dense(4, 3, rng=0)
     with pytest.raises(ShapeError):
-        layer.forward(np.zeros((2, 5)))
+        layer.apply(np.zeros((2, 5)))
 
 
 @pytest.mark.parametrize("activation", ["linear", "relu", "sigmoid", "tanh",
@@ -38,11 +38,11 @@ def test_gradients_accumulate_until_zeroed():
     rng = np.random.default_rng(2)
     layer = Dense(3, 2, activation="linear", rng=rng)
     x = rng.normal(size=(2, 3))
-    layer.forward(x)
-    layer.backward(np.ones((2, 2)))
+    _, ctx = layer.forward(x)
+    layer.backward(ctx, np.ones((2, 2)))
     first = layer.weight.grad.copy()
-    layer.forward(x)
-    layer.backward(np.ones((2, 2)))
+    _, ctx = layer.forward(x)
+    layer.backward(ctx, np.ones((2, 2)))
     np.testing.assert_allclose(layer.weight.grad, 2 * first)
     layer.weight.zero_grad()
     assert np.all(layer.weight.grad == 0.0)

@@ -30,9 +30,10 @@ Package map:
 * :mod:`repro.experiments` — one runner per paper table/figure
 """
 
-from repro.core import (DeepXplore, GeneratedTest, GenerationResult,
-                        Hyperparams, PAPER_HYPERPARAMS,
-                        constraint_for_dataset, majority_label)
+from repro.core import (BatchDeepXplore, Campaign, DeepXplore,
+                        GeneratedTest, GenerationResult, Hyperparams,
+                        PAPER_HYPERPARAMS, constraint_for_dataset,
+                        majority_label)
 from repro.coverage import NeuronCoverageTracker, coverage_of_inputs
 from repro.datasets import Dataset, dataset_names, load_dataset
 from repro.errors import ReproError
@@ -41,7 +42,8 @@ from repro.models import get_model, get_trio, zoo_names
 __version__ = "1.0.0"
 
 __all__ = [
-    "DeepXplore", "GeneratedTest", "GenerationResult", "Hyperparams",
+    "BatchDeepXplore", "Campaign", "DeepXplore", "GeneratedTest",
+    "GenerationResult", "Hyperparams",
     "PAPER_HYPERPARAMS", "constraint_for_dataset", "majority_label",
     "NeuronCoverageTracker", "coverage_of_inputs",
     "Dataset", "dataset_names", "load_dataset",

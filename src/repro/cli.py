@@ -23,9 +23,10 @@ import sys
 
 import numpy as np
 
-from repro.core import DeepXplore, PAPER_HYPERPARAMS, constraint_for_dataset
+from repro.core import PAPER_HYPERPARAMS, constraint_for_dataset
 from repro.datasets import dataset_names, load_dataset
 from repro.experiments import EXPERIMENTS
+from repro.experiments.common import make_engine
 from repro.models import TRIOS, get_trio, model_accuracy
 from repro.utils.ascii_art import side_by_side
 
@@ -52,6 +53,15 @@ def build_parser():
                      help="image constraint: light | occl | blackout")
     gen.add_argument("--seeds", type=int, default=40,
                      help="number of seed inputs")
+    gen.add_argument("--engine", default="sequential",
+                     choices=["sequential", "batch", "campaign"],
+                     help="sequential Algorithm 1, the vectorized batch "
+                          "engine, or a sharded multi-process campaign")
+    gen.add_argument("--workers", type=int, default=1,
+                     help="campaign worker processes (campaign engine only)")
+    gen.add_argument("--shard-size", type=int, default=16,
+                     help="seeds per campaign shard; part of the "
+                          "deterministic run identity, unlike --workers")
     gen.add_argument("--show", action="store_true",
                      help="render a seed/generated pair as ASCII art")
 
@@ -93,11 +103,17 @@ def _cmd_generate(args):
     seeds, _ = dataset.sample_seeds(
         min(args.seeds, dataset.x_test.shape[0]),
         np.random.default_rng(args.seed + 1))
-    engine = DeepXplore(
-        models, PAPER_HYPERPARAMS[args.dataset],
+    engine = make_engine(
+        args.engine, models, PAPER_HYPERPARAMS[args.dataset],
         constraint_for_dataset(dataset, kind=args.constraint),
-        task=dataset.task, rng=args.seed + 2)
+        dataset.task, args.seed + 2, workers=args.workers,
+        shard_size=args.shard_size)
     result = engine.run(seeds)
+    if args.engine == "campaign":
+        print(f"engine               : campaign "
+              f"(workers={args.workers}, shard_size={args.shard_size})")
+    else:
+        print(f"engine               : {args.engine}")
     print(f"seeds processed      : {result.seeds_processed}")
     print(f"differences found    : {result.difference_count}")
     print(f"  via gradient ascent: "

@@ -1,6 +1,7 @@
 """DeepXplore core: joint-optimization test generation (paper §3-§4)."""
 
 from repro.core.batch import BatchDeepXplore
+from repro.core.campaign import Campaign, CampaignShard, shard_corpus
 from repro.core.config import Hyperparams, PAPER_HYPERPARAMS
 from repro.core.constraints import (Constraint, DrebinConstraint,
                                     LightingConstraint, MultiRectOcclusion,
@@ -15,6 +16,7 @@ from repro.core.oracle import (ClassificationOracle, RegressionOracle,
 
 __all__ = [
     "BatchDeepXplore",
+    "Campaign", "CampaignShard", "shard_corpus",
     "Hyperparams", "PAPER_HYPERPARAMS",
     "Constraint", "DrebinConstraint", "LightingConstraint",
     "MultiRectOcclusion", "PdfFeatureConstraint", "SingleRectOcclusion",

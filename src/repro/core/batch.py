@@ -16,10 +16,11 @@ per-class sub-batch passes of the pre-tape implementation.
 
 Semantics relative to :class:`repro.core.DeepXplore`:
 
-* the per-seed random target model and the domain constraint state are
-  chosen once per batch run (one constraint instance serves the batch,
-  so patch positions are shared — use batch_size=1 if per-seed patches
-  matter);
+* each seed draws its own random target model, and constraints carrying
+  per-seed state (occlusion patch positions) are cloned per seed — every
+  seed ascends under its own independently drawn patches, matching the
+  sequential engine's semantics.  Stateless constraints keep the fully
+  vectorized single-instance path;
 * the coverage objective picks one shared set of uncovered neurons per
   iteration (as the sequential algorithm does per seed);
 * results are equivalent difference-inducing inputs, found at a fraction
@@ -106,6 +107,42 @@ class BatchDeepXplore:
         coverage.pick()
         return coverage.gradient_from_tapes(tapes)[rows]
 
+    # -- per-seed constraint state ----------------------------------------------
+    def _setup_constraints(self, x):
+        """Per-seed constraint instances when per-seed state matters.
+
+        A constraint whose :meth:`setup` draws randomness (occlusion
+        patches) is cloned once per active seed, so each seed ascends
+        under its own draw — the sequential engine's semantics.
+        Stateless constraints return ``None`` and keep the vectorized
+        single-instance path.
+        """
+        if not self.constraint.per_seed_state:
+            self.constraint.setup(x[0], self.rng)
+            return None
+        constraints = []
+        for i in range(x.shape[0]):
+            per_seed = self.constraint.clone()
+            per_seed.setup(x[i], self.rng)
+            constraints.append(per_seed)
+        return constraints
+
+    def _apply_constraints(self, constraints, grad, x):
+        if constraints is None:
+            return self.constraint.apply(grad, x)
+        out = np.empty_like(grad)
+        for i, per_seed in enumerate(constraints):
+            out[i] = per_seed.apply(grad[i:i + 1], x[i:i + 1])[0]
+        return out
+
+    def _project_constraints(self, constraints, x_new, x_prev):
+        if constraints is None:
+            return self.constraint.project(x_new, x_prev)
+        out = np.empty_like(x_new)
+        for i, per_seed in enumerate(constraints):
+            out[i] = per_seed.project(x_new[i:i + 1], x_prev[i:i + 1])[0]
+        return out
+
     # -- the batched loop ----------------------------------------------------------
     def run(self, seeds, max_tests=None):
         """Process all seeds in one vectorized ascent; returns results."""
@@ -147,7 +184,7 @@ class BatchDeepXplore:
         else:
             seed_classes = np.zeros(index_map.size, dtype=int)
         coverage = CoverageObjective(self.trackers, rng=self.rng)
-        self.constraint.setup(x[0], self.rng)
+        constraints = self._setup_constraints(x)
         # Rows of the current tapes' batch holding the active samples —
         # the seed tapes cover all seeds, later tapes only active ones.
         rows = np.asarray(active_idx)
@@ -158,9 +195,10 @@ class BatchDeepXplore:
             if self.hp.lambda2 > 0.0:
                 grad = grad + self.hp.lambda2 * \
                     self._coverage_gradient(tapes, rows, coverage)
-            grad = self.constraint.apply(grad, x)
+            grad = self._apply_constraints(constraints, grad, x)
             grad = normalize_gradient(grad)
-            x = self.constraint.project(x + self.hp.step * grad, x)
+            x = self._project_constraints(
+                constraints, x + self.hp.step * grad, x)
 
             tapes = self._run_models(x)
             outputs = [tape.outputs() for tape in tapes]
@@ -189,6 +227,8 @@ class BatchDeepXplore:
                 index_map = index_map[keep]
                 targets = targets[keep]
                 seed_classes = seed_classes[keep]
+                if constraints is not None:
+                    constraints = [c for c, k in zip(constraints, keep) if k]
                 rows = np.flatnonzero(keep)
                 if x.shape[0] == 0:
                     return self._finalize(result, start)

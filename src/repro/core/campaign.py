@@ -1,0 +1,230 @@
+"""Sharded generation campaigns: multi-process seed-corpus fan-out.
+
+A :class:`Campaign` splits a seed corpus into fixed-size shards, runs
+:class:`~repro.core.batch.BatchDeepXplore` on each shard — in worker
+processes when ``workers > 1`` — and merges the per-shard results into
+one :class:`~repro.core.generator.GenerationResult` plus one merged
+coverage tracker per model.  This is the scale-out layer the stateless
+``Network``/``ForwardPass`` substrate was built for: workers share
+nothing, so a campaign is embarrassingly parallel across shards.
+
+Determinism (see docs/ARCHITECTURE.md for the full rules):
+
+* **Sharding** depends only on the corpus and ``shard_size`` —
+  contiguous chunks in seed order — never on ``workers``.
+* **Randomness** per shard comes from
+  :func:`repro.utils.rng.spawn_seed_sequences`: shard *i* draws the same
+  stream whether it runs first on one worker or last on eight.
+* **Merging** is order-independent: tests carry global seed indices and
+  are re-ordered by them, coverage masks OR-combine.
+
+Together these make ``workers=N`` produce bit-identical tests and
+coverage to ``workers=1`` under the same seed, which
+``tests/core/test_campaign.py`` pins and
+``benchmarks/test_campaign_throughput.py`` times.
+
+Worker processes never retrain or touch the weight cache: models travel
+as architecture+weights payloads
+(:func:`repro.nn.config.network_to_payload`) and coverage comes back as
+plain ``state_dict()`` masks, so the only things crossing process
+boundaries are picklable dicts of numpy arrays.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.batch import BatchDeepXplore
+from repro.core.config import Hyperparams
+from repro.core.constraints import Constraint, Unconstrained
+from repro.core.generator import GenerationResult
+from repro.coverage import NeuronCoverageTracker
+from repro.errors import ConfigError
+from repro.nn.config import network_from_payload, network_to_payload
+from repro.utils.rng import rng_from_seed_sequence, spawn_seed_sequences
+
+__all__ = ["Campaign", "CampaignShard", "shard_corpus"]
+
+#: Default seeds per shard.  Independent of ``workers`` on purpose: the
+#: shard layout (and therefore every random draw) must not change when a
+#: campaign is re-run with a different degree of parallelism.
+DEFAULT_SHARD_SIZE = 16
+
+
+@dataclass(frozen=True)
+class CampaignShard:
+    """One unit of campaign work: a seed slice plus its random stream."""
+
+    shard_index: int
+    indices: np.ndarray          # global seed indices of this slice
+    seeds: np.ndarray            # the seed inputs themselves
+    seed_seq: np.random.SeedSequence
+
+
+def shard_corpus(seeds, shard_size=DEFAULT_SHARD_SIZE, seed=0):
+    """Split a seed corpus into deterministic contiguous shards.
+
+    Shard boundaries depend only on the corpus length and ``shard_size``;
+    each shard gets a spawned child of ``seed``'s SeedSequence.  The
+    returned shards are self-contained (they carry their global indices),
+    so any subset can be executed anywhere and merged later.
+    """
+    seeds = np.asarray(seeds, dtype=np.float64)
+    if shard_size < 1:
+        raise ConfigError(f"shard_size must be >= 1, got {shard_size}")
+    n = seeds.shape[0]
+    bounds = list(range(0, n, int(shard_size)))
+    seqs = spawn_seed_sequences(seed, len(bounds))
+    shards = []
+    for shard_index, start in enumerate(bounds):
+        stop = min(start + int(shard_size), n)
+        shards.append(CampaignShard(
+            shard_index=shard_index,
+            indices=np.arange(start, stop),
+            seeds=seeds[start:stop].copy(),
+            seed_seq=seqs[shard_index]))
+    return shards
+
+
+# -- worker side ----------------------------------------------------------------
+# Pool workers unpack the campaign spec once per process (initializer),
+# then process any number of shards against the cached models.  The
+# in-process path (workers=1) calls the very same two functions, so a
+# serial campaign exercises the identical code a parallel one does.
+
+_WORKER_STATE = {}
+
+
+def _init_worker(spec):
+    """Per-process setup: rebuild models from payloads, cache the spec."""
+    _WORKER_STATE["models"] = [network_from_payload(p)
+                               for p in spec["models"]]
+    _WORKER_STATE["spec"] = spec
+
+
+def _run_shard(shard):
+    """Run one shard through BatchDeepXplore; returns a picklable dict.
+
+    Trackers start empty per shard (the merge is an OR, so splitting
+    coverage across shards loses nothing), and generated tests are
+    rewritten to carry their *global* seed index before leaving the
+    worker.
+    """
+    spec = _WORKER_STATE["spec"]
+    models = _WORKER_STATE["models"]
+    trackers = [NeuronCoverageTracker.from_state(m, s, fresh=True)
+                for m, s in zip(models, spec["tracker_states"])]
+    engine = BatchDeepXplore(
+        models, spec["hp"], spec["constraint"].clone(), task=spec["task"],
+        trackers=trackers, rng=rng_from_seed_sequence(shard.seed_seq))
+    result = engine.run(shard.seeds)
+    for test in result.tests:
+        test.seed_index = int(shard.indices[test.seed_index])
+    return {"shard_index": shard.shard_index,
+            "result": result,
+            "coverage": [t.state_dict() for t in trackers]}
+
+
+# -- driver side ----------------------------------------------------------------
+class Campaign:
+    """Sharded, optionally multi-process DeepXplore campaign runner.
+
+    Parameters
+    ----------
+    models:
+        Two or more trained networks (as for the other engines).
+    hyperparams, constraint, task, trackers:
+        As in :class:`~repro.core.DeepXplore`.  Trackers passed in keep
+        any coverage they already hold; shard coverage merges into them.
+    workers:
+        Worker processes.  ``1`` runs shards in-process (still through
+        the worker code path); ``N > 1`` fans out over a process pool.
+    shard_size:
+        Seeds per shard.  Part of the campaign's deterministic identity —
+        changing it changes the random streams; changing ``workers``
+        does not.
+    seed:
+        Root of the campaign's SeedSequence tree.
+    mp_start_method:
+        ``multiprocessing`` start method (``"fork"``/``"spawn"``);
+        defaults to the platform default.
+    """
+
+    def __init__(self, models, hyperparams=None, constraint=None,
+                 task="classification", trackers=None, workers=1,
+                 shard_size=DEFAULT_SHARD_SIZE, seed=0,
+                 mp_start_method=None):
+        if len(models) < 2:
+            raise ConfigError("differential testing needs >= 2 models")
+        self.models = list(models)
+        self.hp = hyperparams or Hyperparams()
+        self.constraint = constraint or Unconstrained()
+        if not isinstance(self.constraint, Constraint):
+            raise ConfigError("constraint must be a Constraint instance")
+        self.task = task
+        if workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {workers}")
+        self.workers = int(workers)
+        if shard_size < 1:
+            raise ConfigError(f"shard_size must be >= 1, got {shard_size}")
+        self.shard_size = int(shard_size)
+        self.seed = seed
+        if trackers is None:
+            trackers = [NeuronCoverageTracker(m, threshold=self.hp.threshold)
+                        for m in self.models]
+        if len(trackers) != len(self.models):
+            raise ConfigError("need exactly one tracker per model")
+        self.trackers = list(trackers)
+        self.mp_start_method = mp_start_method
+
+    def _spec(self):
+        """The per-process campaign spec shipped to every worker."""
+        return {
+            "models": [network_to_payload(m) for m in self.models],
+            "hp": self.hp,
+            "constraint": self.constraint,
+            "task": self.task,
+            "tracker_states": [t.state_dict() for t in self.trackers],
+        }
+
+    def run(self, seeds):
+        """Shard ``seeds``, fan out, merge; returns a GenerationResult.
+
+        ``result.elapsed`` is the campaign's wall-clock (not the sum of
+        per-shard compute); each test's own ``elapsed`` is relative to
+        its shard's start.
+        """
+        start = time.perf_counter()
+        shards = shard_corpus(seeds, self.shard_size, seed=self.seed)
+        spec = self._spec()
+        if self.workers == 1 or len(shards) <= 1:
+            try:
+                _init_worker(spec)
+                outcomes = [_run_shard(shard) for shard in shards]
+            finally:
+                # Don't keep payload-rebuilt model copies alive in the
+                # module global after an in-process run.
+                _WORKER_STATE.clear()
+        else:
+            ctx = multiprocessing.get_context(self.mp_start_method)
+            with ctx.Pool(min(self.workers, len(shards)),
+                          initializer=_init_worker,
+                          initargs=(spec,)) as pool:
+                outcomes = pool.map(_run_shard, shards)
+        merged = GenerationResult()
+        for outcome in sorted(outcomes, key=lambda o: o["shard_index"]):
+            merged.merge(outcome["result"])
+            for tracker, state in zip(self.trackers, outcome["coverage"]):
+                tracker.merge(state)
+        merged.elapsed = time.perf_counter() - start
+        merged.coverage = {m.name: t.coverage()
+                           for m, t in zip(self.models, self.trackers)}
+        return merged
+
+    def mean_coverage(self):
+        """Mean neuron coverage across the tested models."""
+        return float(np.mean([t.coverage() for t in self.trackers]))

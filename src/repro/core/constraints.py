@@ -17,6 +17,8 @@ add-only manifest bits and the PDF count/length feature rules.
 
 from __future__ import annotations
 
+import copy
+
 import numpy as np
 
 from repro.errors import ConstraintError
@@ -34,6 +36,11 @@ class Constraint:
 
     name = "constraint"
 
+    #: True for constraints whose :meth:`setup` draws per-seed randomness
+    #: (e.g. patch positions).  Batched engines give each seed its own
+    #: :meth:`clone` of such constraints so seeds don't share state.
+    per_seed_state = False
+
     def setup(self, x0, rng):
         """Called once per seed before ascent starts (e.g. pick patches)."""
 
@@ -44,6 +51,15 @@ class Constraint:
     def project(self, x_new, x_prev):
         """Repair the post-step input into the valid domain."""
         return x_new
+
+    def clone(self):
+        """Independent copy with the same configuration.
+
+        Used as a per-seed template by batched engines and as a
+        per-shard template by campaigns; the copy's per-seed state (if
+        any) is re-drawn by the next :meth:`setup`.
+        """
+        return copy.deepcopy(self)
 
 
 class Unconstrained(Constraint):
@@ -83,6 +99,7 @@ class SingleRectOcclusion(Constraint):
     """
 
     name = "occl"
+    per_seed_state = True
 
     def __init__(self, height=6, width=6):
         if height < 1 or width < 1:
@@ -124,6 +141,7 @@ class MultiRectOcclusion(Constraint):
     """
 
     name = "blackout"
+    per_seed_state = True
 
     def __init__(self, size=3, count=4):
         if size < 1 or count < 1:

@@ -84,6 +84,28 @@ class GenerationResult:
             return np.empty((0,))
         return np.stack([t.x for t in self.tests])
 
+    def merge(self, other):
+        """Fold another result (e.g. a campaign shard's) into this one.
+
+        Tests keep the (globally unique) ``seed_index`` they were found
+        for, and the merged list is re-ordered by it, so merging shard
+        results in any order yields the same ``GenerationResult``.
+        Counters add; ``elapsed`` adds too and therefore means *total
+        compute seconds* after a merge — a parallel driver overwrites it
+        with its own wall-clock.  Coverage fractions cannot be combined
+        after the fact (a fraction forgets *which* neurons fired), so
+        ``coverage`` is cleared; the campaign recomputes it from the
+        merged trackers.  Returns ``self`` for chaining.
+        """
+        self.tests.extend(other.tests)
+        self.tests.sort(key=lambda t: t.seed_index)
+        self.seeds_processed += other.seeds_processed
+        self.seeds_disagreed += other.seeds_disagreed
+        self.seeds_exhausted += other.seeds_exhausted
+        self.elapsed += other.elapsed
+        self.coverage = {}
+        return self
+
 
 class DeepXplore:
     """Whitebox differential test generator (paper Algorithm 1).

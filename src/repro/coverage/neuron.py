@@ -67,6 +67,34 @@ class NeuronCoverageTracker:
             self._tracked[entry.offset:entry.offset + entry.count] = True
         self.covered = np.zeros(network.total_neurons, dtype=bool)
 
+    @classmethod
+    def from_state(cls, network, state, fresh=False):
+        """Rebuild a tracker from a :meth:`state_dict` snapshot.
+
+        ``network`` may be a different object than the snapshot's origin
+        (campaign workers rebuild models from payloads); it must match by
+        name and neuron count.  ``layer_filter`` callables don't cross
+        process boundaries, so the tracked mask is restored verbatim from
+        the snapshot instead.  With ``fresh=True`` the covered mask
+        starts empty — the per-shard configuration of campaign workers.
+        """
+        if (state["network"] != network.name
+                or state["total_neurons"] != network.total_neurons):
+            raise CoverageError(
+                f"tracker state of {state['network']!r} "
+                f"({state['total_neurons']} neurons) cannot rebuild over "
+                f"{network.name!r} ({network.total_neurons})")
+        tracker = cls(network, threshold=state["threshold"],
+                      scaled=state["scaled"])
+        tracker._tracked = np.asarray(state["tracked"], dtype=bool).copy()
+        tracker._entries = [
+            entry for entry in tracker._entries
+            if tracker._tracked[entry.offset:entry.offset + entry.count].all()
+        ]
+        if not fresh:
+            tracker.covered = np.asarray(state["covered"], dtype=bool).copy()
+        return tracker
+
     @property
     def tracked_count(self):
         """Number of neurons participating in coverage."""
@@ -130,11 +158,61 @@ class NeuronCoverageTracker:
         rng = as_rng(rng)
         return int(candidates[rng.integers(0, candidates.size)])
 
+    # -- merge protocol -----------------------------------------------------
+    # Coverage is an OR over boolean masks, so per-worker trackers can be
+    # shipped across process boundaries as plain dicts and OR-combined in
+    # any order (see docs/ARCHITECTURE.md, "Coverage merge semantics").
+
+    def state_dict(self):
+        """Picklable snapshot: configuration + the covered mask (copies)."""
+        return {
+            "network": self.network.name,
+            "total_neurons": self.network.total_neurons,
+            "threshold": self.threshold,
+            "scaled": self.scaled,
+            "tracked": self._tracked.copy(),
+            "covered": self.covered.copy(),
+        }
+
+    def _check_compatible(self, state):
+        """Merging requires the same criterion over the same architecture.
+
+        Workers rebuild networks from payloads, so object identity cannot
+        be required; name, neuron count, threshold/scaling, and the
+        tracked mask must match instead.
+        """
+        if (state["network"] != self.network.name
+                or state["total_neurons"] != self.network.total_neurons):
+            raise CoverageError(
+                f"cannot merge coverage of network {state['network']!r} "
+                f"({state['total_neurons']} neurons) into a tracker over "
+                f"{self.network.name!r} ({self.network.total_neurons})")
+        if (state["threshold"] != self.threshold
+                or bool(state["scaled"]) != self.scaled):
+            raise CoverageError(
+                "cannot merge trackers with different threshold/scaling — "
+                "they measure different coverage criteria")
+        if not np.array_equal(state["tracked"], self._tracked):
+            raise CoverageError(
+                "cannot merge trackers with different layer filters")
+
+    def load_state_dict(self, state):
+        """Replace this tracker's covered mask with a saved snapshot."""
+        self._check_compatible(state)
+        self.covered[...] = np.asarray(state["covered"], dtype=bool)
+
     def merge(self, other):
-        """Union coverage from another tracker over the same network."""
-        if other.network is not self.network:
-            raise CoverageError("cannot merge trackers of different networks")
-        self.covered |= other.covered
+        """Union coverage from another tracker (or its ``state_dict()``).
+
+        OR is commutative, associative, and idempotent, so merging
+        per-shard trackers in any order equals one tracker that saw the
+        union of their inputs.  Returns ``self`` for chaining.
+        """
+        state = other.state_dict() if isinstance(
+            other, NeuronCoverageTracker) else other
+        self._check_compatible(state)
+        self.covered |= np.asarray(state["covered"], dtype=bool)
+        return self
 
     def reset(self):
         self.covered[:] = False

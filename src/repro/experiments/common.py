@@ -10,10 +10,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
+from repro.core import BatchDeepXplore, Campaign, DeepXplore
 from repro.datasets.base import resolve_scale
+from repro.errors import ConfigError
 from repro.utils.tables import render_table
 
-__all__ = ["ExperimentResult", "seeds_for_scale", "SEED_BUDGETS"]
+__all__ = ["ExperimentResult", "seeds_for_scale", "SEED_BUDGETS",
+           "make_engine"]
 
 #: How many seed inputs experiments draw at each scale.  The paper uses
 #: 2,000 seeds for Table 2; ``full`` keeps that order of magnitude within
@@ -28,6 +33,33 @@ def seeds_for_scale(scale, maximum=None):
     if maximum is not None:
         budget = min(budget, maximum)
     return budget
+
+
+def make_engine(engine, models, hp, constraint, task, rng, workers=1,
+                shard_size=None, trackers=None):
+    """The one engine selector shared by experiments and the CLI.
+
+    ``engine`` is ``"sequential"`` (Algorithm 1 as the paper runs it),
+    ``"batch"`` (vectorized, same yield at a fraction of the wall-clock),
+    or ``"campaign"`` (sharded across ``workers`` processes).  Campaign
+    runs derive their determinism from an integer root seed, so ``rng``
+    must be an int for that engine; ``shard_size`` (campaign only)
+    defaults to the campaign's own.
+    """
+    if engine == "sequential":
+        return DeepXplore(models, hp, constraint, task=task, rng=rng,
+                          trackers=trackers)
+    if engine == "batch":
+        return BatchDeepXplore(models, hp, constraint, task=task, rng=rng,
+                               trackers=trackers)
+    if engine == "campaign":
+        if not isinstance(rng, (int, np.integer)):
+            raise ConfigError("campaign engine needs an integer seed")
+        kwargs = {} if shard_size is None else {"shard_size": shard_size}
+        return Campaign(models, hp, constraint, task=task, workers=workers,
+                        seed=int(rng), trackers=trackers, **kwargs)
+    raise ConfigError(
+        f"unknown engine {engine!r}; known: sequential, batch, campaign")
 
 
 @dataclass

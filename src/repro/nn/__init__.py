@@ -22,7 +22,8 @@ from repro.nn.activations import (
 )
 from repro.nn.config import (layer_from_config, layer_to_config,
                              load_network, network_from_config,
-                             network_to_config, save_network)
+                             network_from_payload, network_to_config,
+                             network_to_payload, save_network)
 from repro.nn.conv import Conv2D, col2im, conv_output_size, im2col
 from repro.nn.dense import Dense
 from repro.nn.dropout import Dropout
@@ -71,5 +72,6 @@ __all__ = [
     "FixedScale",
     "EarlyStopping", "Trainer", "accuracy", "mse", "steering_accuracy",
     "layer_from_config", "layer_to_config", "load_network",
-    "network_from_config", "network_to_config", "save_network",
+    "network_from_config", "network_from_payload", "network_to_config",
+    "network_to_payload", "save_network",
 ]

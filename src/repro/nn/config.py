@@ -27,7 +27,8 @@ from repro.nn.residual import Residual
 from repro.nn.scale import FixedScale
 
 __all__ = ["layer_to_config", "layer_from_config", "network_to_config",
-           "network_from_config", "save_network", "load_network"]
+           "network_from_config", "network_to_payload",
+           "network_from_payload", "save_network", "load_network"]
 
 
 def layer_to_config(layer):
@@ -120,6 +121,26 @@ def network_from_config(config):
     layers = [layer_from_config(c) for c in config["layers"]]
     return Network(layers, tuple(config["input_shape"]),
                    name=config.get("name", "network"))
+
+
+def network_to_payload(network):
+    """Architecture + trained weights as one picklable in-memory dict.
+
+    This is the worker-shipping path of campaign runs: the payload
+    crosses a process boundary (``multiprocessing``) and is rebuilt with
+    :func:`network_from_payload` — no disk file, no builder import, and
+    no retraining on the other side.  Weights are float64 copies, so the
+    rebuilt network computes bit-identical outputs.
+    """
+    return {"config": network_to_config(network),
+            "state": network.state_dict()}
+
+
+def network_from_payload(payload):
+    """Reconstruct a trained network from :func:`network_to_payload`."""
+    network = network_from_config(payload["config"])
+    network.load_state_dict(payload["state"])
+    return network
 
 
 def save_network(network, path):

@@ -1,0 +1,75 @@
+"""Documentation hygiene checks: intra-repo markdown link resolution.
+
+The docs subsystem (README.md, docs/*.md) cross-links files and
+anchors; this module verifies that every relative link points at a file
+that actually exists, so renames and moves fail CI instead of silently
+breaking the docs.  Used by ``tests/test_docs.py`` (tier 1) and
+``tools/check_docs.py`` (the CI docs job).
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+__all__ = ["iter_markdown_links", "broken_intra_repo_links",
+           "markdown_files"]
+
+# Inline links: [text](target). Images share the syntax ((!)[...]).
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def iter_markdown_links(text):
+    """Yield link targets from markdown ``text``, skipping code fences."""
+    in_fence = False
+    for line in text.splitlines():
+        if _FENCE_RE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _LINK_RE.finditer(line):
+            yield match.group(1)
+
+
+def markdown_files(root):
+    """The authored docs: README.md plus everything under ``docs/``.
+
+    Generated or extracted markdown at the top level (PAPERS.md,
+    SNIPPETS.md, report output) is out of scope — only files a human
+    maintains are held to the link contract.
+    """
+    found = []
+    readme = os.path.join(root, "README.md")
+    if os.path.exists(readme):
+        found.append(readme)
+    docs_dir = os.path.join(root, "docs")
+    if os.path.isdir(docs_dir):
+        for name in sorted(os.listdir(docs_dir)):
+            if name.endswith(".md"):
+                found.append(os.path.join(docs_dir, name))
+    return found
+
+
+def broken_intra_repo_links(root, files=None):
+    """Relative links that don't resolve, as ``(source, target)`` pairs.
+
+    External links (``http(s)://``, ``mailto:``) and pure in-page
+    anchors (``#section``) are out of scope; everything else must name
+    an existing file or directory relative to the markdown file that
+    contains it.
+    """
+    broken = []
+    for path in files or markdown_files(root):
+        with open(path, encoding="utf-8") as fh:
+            text = fh.read()
+        base = os.path.dirname(path)
+        for target in iter_markdown_links(text):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            resolved = os.path.normpath(
+                os.path.join(base, target.split("#")[0]))
+            if not os.path.exists(resolved):
+                broken.append((os.path.relpath(path, root), target))
+    return broken

@@ -10,7 +10,8 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["as_rng", "derive_rng", "spawn_rngs"]
+__all__ = ["as_rng", "derive_rng", "spawn_rngs", "spawn_seed_sequences",
+           "rng_from_seed_sequence"]
 
 
 def as_rng(seed_or_rng=None):
@@ -45,3 +46,24 @@ def spawn_rngs(rng, count):
     rng = as_rng(rng)
     seeds = rng.integers(0, 2**63, size=count)
     return [np.random.default_rng(int(s)) for s in seeds]
+
+
+def spawn_seed_sequences(seed, count):
+    """``count`` independent child :class:`numpy.random.SeedSequence`\\ s.
+
+    This is the sharding primitive of campaign runs: the children depend
+    only on ``seed`` (an int or a ``SeedSequence``) and their position,
+    never on how many worker processes execute them or in which order —
+    shard ``i`` draws the same random stream whether it runs first on one
+    worker or last on eight.  SeedSequence objects are picklable, so they
+    travel to worker processes as-is and are turned into generators at
+    the point of use with :func:`rng_from_seed_sequence`.
+    """
+    if not isinstance(seed, np.random.SeedSequence):
+        seed = np.random.SeedSequence(seed)
+    return seed.spawn(int(count))
+
+
+def rng_from_seed_sequence(seed_sequence):
+    """Instantiate the generator for one spawned child sequence."""
+    return np.random.default_rng(seed_sequence)

@@ -4,7 +4,8 @@ import numpy as np
 import pytest
 
 from repro.core import (BatchDeepXplore, DeepXplore, LightingConstraint,
-                        PAPER_HYPERPARAMS, constraint_for_dataset)
+                        PAPER_HYPERPARAMS, SingleRectOcclusion,
+                        constraint_for_dataset)
 from repro.errors import ConfigError
 
 
@@ -88,6 +89,57 @@ def test_feature_batch(pdf_trio, pdf_smoke):
     for test in result.tests:
         counts = test.x[mask]
         np.testing.assert_array_equal(counts, np.round(counts))
+
+
+def _changed_bounding_boxes(result, seeds):
+    """Bounding box of changed pixels for each ascent-found test."""
+    boxes = []
+    for test in result.tests:
+        if test.iterations == 0:
+            continue
+        delta = np.abs(test.x - seeds[test.seed_index])[0]
+        rows_hit, cols_hit = np.nonzero(delta > 1e-12)
+        if rows_hit.size:
+            boxes.append((rows_hit.min(), rows_hit.max(),
+                          cols_hit.min(), cols_hit.max()))
+    return boxes
+
+
+def test_occlusion_patches_are_per_seed(mnist_trio, mnist_smoke):
+    """Each seed ascends under its own patch draw: every generated test
+    changed only one 8x8 rectangle, and the rectangles differ across
+    seeds (the old engine shared one position batch-wide)."""
+    seeds, _ = mnist_smoke.sample_seeds(30, np.random.default_rng(13))
+    engine = BatchDeepXplore(mnist_trio, PAPER_HYPERPARAMS["mnist"],
+                             SingleRectOcclusion(8, 8), rng=14)
+    result = engine.run(seeds)
+    boxes = _changed_bounding_boxes(result, seeds)
+    assert len(boxes) >= 2
+    for top, bottom, left, right in boxes:
+        assert bottom - top + 1 <= 8
+        assert right - left + 1 <= 8
+    # 30 independent draws of an 8x8 position in 28x28 collide with
+    # probability ~(1/441)^(n-1); all-equal means shared state.
+    assert len(set(boxes)) > 1
+
+
+def test_batch_occlusion_matches_sequential_semantics(mnist_trio,
+                                                      mnist_smoke):
+    """Sequential-engine invariants hold for the batched engine too:
+    occlusion tests stay in [0, 1] and touch only their own patch."""
+    seeds, _ = mnist_smoke.sample_seeds(15, np.random.default_rng(14))
+    sequential = DeepXplore(mnist_trio, PAPER_HYPERPARAMS["mnist"],
+                            SingleRectOcclusion(8, 8), rng=15)
+    batch = BatchDeepXplore(mnist_trio, PAPER_HYPERPARAMS["mnist"],
+                            SingleRectOcclusion(8, 8), rng=15)
+    rs = sequential.run(seeds)
+    rb = batch.run(seeds)
+    for result in (rs, rb):
+        for top, bottom, left, right in _changed_bounding_boxes(result,
+                                                                seeds):
+            assert bottom - top + 1 <= 8 and right - left + 1 <= 8
+    # Comparable yield, as for the lighting constraint.
+    assert rb.difference_count >= rs.difference_count // 2 - 1
 
 
 def test_coverage_tracked(mnist_trio, mnist_smoke):

@@ -1,0 +1,210 @@
+"""Merge laws of the coverage criteria (the campaign's correctness core).
+
+Coverage merging must be a semilattice join: commutative, associative,
+idempotent, and equal to one tracker that saw the union of all inputs.
+These laws are what make sharded campaigns equivalent to serial runs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.coverage import (BoundaryCoverage, KMultisectionCoverage,
+                            NeuronCoverageTracker, NeuronProfile,
+                            TopKNeuronCoverage)
+from repro.errors import CoverageError
+from repro.nn import Dense, Network
+
+
+@pytest.fixture
+def net():
+    rng = np.random.default_rng(0)
+    return Network([
+        Dense(4, 6, rng=rng, name="h1"),
+        Dense(6, 3, activation="softmax", rng=rng, name="out"),
+    ], input_shape=(4,), name="mergenet")
+
+
+@pytest.fixture
+def batches(rng):
+    return [rng.random((5, 4)) for _ in range(3)]
+
+
+def _tracker_fed(net, inputs, threshold=0.5):
+    tracker = NeuronCoverageTracker(net, threshold=threshold)
+    for x in inputs:
+        tracker.update(x)
+    return tracker
+
+
+def test_merge_equals_union_of_inputs(net, batches):
+    """N trackers fed one batch each, merged == one tracker fed all."""
+    parts = [_tracker_fed(net, [x]) for x in batches]
+    merged = NeuronCoverageTracker(net, threshold=0.5)
+    for part in parts:
+        merged.merge(part)
+    whole = _tracker_fed(net, batches)
+    np.testing.assert_array_equal(merged.covered, whole.covered)
+    assert merged.coverage() == whole.coverage()
+
+
+def test_merge_is_order_independent(net, batches):
+    parts = [_tracker_fed(net, [x]) for x in batches]
+    forward = NeuronCoverageTracker(net, threshold=0.5)
+    for part in parts:
+        forward.merge(part)
+    backward = NeuronCoverageTracker(net, threshold=0.5)
+    for part in reversed(parts):
+        backward.merge(part)
+    np.testing.assert_array_equal(forward.covered, backward.covered)
+
+
+def test_merge_is_idempotent(net, batches):
+    a = _tracker_fed(net, batches[:1])
+    before = a.covered.copy()
+    a.merge(a.state_dict())
+    np.testing.assert_array_equal(a.covered, before)
+
+
+def test_merge_accepts_state_dict(net, batches):
+    """State dicts cross process boundaries; merging one == merging the
+    tracker it came from."""
+    a = _tracker_fed(net, batches[:1])
+    b = _tracker_fed(net, batches[1:])
+    via_tracker = a.clone().merge(b)
+    via_state = a.clone().merge(b.state_dict())
+    np.testing.assert_array_equal(via_tracker.covered, via_state.covered)
+
+
+def test_state_dict_roundtrip(net, batches):
+    a = _tracker_fed(net, batches)
+    twin = NeuronCoverageTracker(net, threshold=0.5)
+    twin.load_state_dict(a.state_dict())
+    np.testing.assert_array_equal(twin.covered, a.covered)
+    assert twin.coverage() == a.coverage()
+
+
+def test_state_dict_is_a_copy(net, batches):
+    a = _tracker_fed(net, batches[:1])
+    state = a.state_dict()
+    state["covered"][:] = True
+    assert not a.covered.all()
+
+
+def test_from_state_fresh_starts_empty(net, batches):
+    a = _tracker_fed(net, batches)
+    fresh = NeuronCoverageTracker.from_state(net, a.state_dict(), fresh=True)
+    assert fresh.covered_count() == 0
+    assert fresh.threshold == a.threshold
+    assert fresh.tracked_count == a.tracked_count
+
+
+def test_from_state_restores_layer_filter(net, batches):
+    filtered = NeuronCoverageTracker(net, threshold=0.5,
+                                     layer_filter=lambda l: l.name == "h1")
+    filtered.update(batches[0])
+    rebuilt = NeuronCoverageTracker.from_state(net, filtered.state_dict())
+    assert rebuilt.tracked_count == filtered.tracked_count
+    np.testing.assert_array_equal(rebuilt.covered, filtered.covered)
+
+
+def test_merge_rejects_threshold_mismatch(net):
+    a = NeuronCoverageTracker(net, threshold=0.5)
+    b = NeuronCoverageTracker(net, threshold=0.25)
+    with pytest.raises(CoverageError):
+        a.merge(b)
+
+
+def test_merge_rejects_layer_filter_mismatch(net):
+    a = NeuronCoverageTracker(net, threshold=0.5)
+    b = NeuronCoverageTracker(net, threshold=0.5,
+                              layer_filter=lambda l: l.name == "h1")
+    with pytest.raises(CoverageError):
+        a.merge(b)
+
+
+# -- extended criteria --------------------------------------------------------
+def test_profile_merge_widens_bounds(net, batches):
+    whole = NeuronProfile.from_data(net, np.concatenate(batches))
+    merged = NeuronProfile.from_data(net, batches[0])
+    for x in batches[1:]:
+        merged.merge(NeuronProfile.from_data(net, x))
+    np.testing.assert_allclose(merged.low, whole.low)
+    np.testing.assert_allclose(merged.high, whole.high)
+
+
+def test_profile_merge_rejects_shape_mismatch(net, rng):
+    """Same zoo name at a different scale means a different neuron
+    count — merging must raise, not broadcast."""
+    other = Network([
+        Dense(4, 9, rng=rng, name="h1"),
+        Dense(9, 3, activation="softmax", rng=rng, name="out"),
+    ], input_shape=(4,), name="mergenet")
+    a = NeuronProfile.from_data(net, rng.random((5, 4)))
+    b = NeuronProfile.from_data(other, rng.random((5, 4)))
+    with pytest.raises(CoverageError):
+        a.merge(b)
+
+
+def test_kmultisection_merge_equals_union(net, batches, rng):
+    profile = NeuronProfile.from_data(net, rng.random((30, 4)))
+    parts = []
+    for x in batches:
+        cov = KMultisectionCoverage(profile, k=5)
+        cov.update(x)
+        parts.append(cov)
+    merged = KMultisectionCoverage(profile, k=5)
+    for part in parts:
+        merged.merge(part)
+    whole = KMultisectionCoverage(profile, k=5)
+    for x in batches:
+        whole.update(x)
+    np.testing.assert_array_equal(merged.covered, whole.covered)
+
+
+def test_kmultisection_merge_rejects_k_mismatch(net, rng):
+    profile = NeuronProfile.from_data(net, rng.random((10, 4)))
+    a = KMultisectionCoverage(profile, k=5)
+    b = KMultisectionCoverage(profile, k=10)
+    with pytest.raises(CoverageError):
+        a.merge(b)
+
+
+def test_boundary_merge_equals_union(net, batches, rng):
+    profile = NeuronProfile.from_data(net, rng.random((10, 4)) * 0.3)
+    parts = []
+    for x in batches:
+        cov = BoundaryCoverage(profile)
+        cov.update(x)
+        parts.append(cov)
+    merged = BoundaryCoverage(profile)
+    for part in reversed(parts):
+        merged.merge(part.state_dict())
+    whole = BoundaryCoverage(profile)
+    for x in batches:
+        whole.update(x)
+    np.testing.assert_array_equal(merged.below, whole.below)
+    np.testing.assert_array_equal(merged.above, whole.above)
+
+
+def test_topk_merge_equals_union(net, batches):
+    parts = []
+    for x in batches:
+        cov = TopKNeuronCoverage(net, k=2)
+        cov.update(x)
+        parts.append(cov)
+    merged = TopKNeuronCoverage(net, k=2)
+    for part in parts:
+        merged.merge(part)
+    whole = TopKNeuronCoverage(net, k=2)
+    for x in batches:
+        whole.update(x)
+    np.testing.assert_array_equal(merged.hot, whole.hot)
+    assert merged.coverage() == whole.coverage()
+
+
+def test_topk_state_roundtrip(net, batches):
+    cov = TopKNeuronCoverage(net, k=2)
+    cov.update(batches[0])
+    twin = TopKNeuronCoverage(net, k=2)
+    twin.load_state_dict(cov.state_dict())
+    np.testing.assert_array_equal(twin.hot, cov.hot)

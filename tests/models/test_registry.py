@@ -4,8 +4,10 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigError
-from repro.models import (MODEL_ZOO, TRIOS, get_model, get_trio,
-                          model_accuracy, zoo_names)
+from repro.models import (MODEL_ZOO, TRIOS, get_model, get_model_payload,
+                          get_trio, get_trio_payloads, model_accuracy,
+                          zoo_names)
+from repro.nn import network_from_payload
 
 
 def test_zoo_has_fifteen_models():
@@ -31,6 +33,23 @@ def test_cached_model_deterministic(mnist_smoke):
     b = get_model("MNI_C1", scale="smoke", seed=0, dataset=mnist_smoke)
     x = mnist_smoke.x_test[:4]
     np.testing.assert_array_equal(a.predict(x), b.predict(x))
+
+
+def test_model_payload_rebuilds_trained_model(mnist_smoke):
+    payload = get_model_payload("MNI_C1", scale="smoke", seed=0,
+                                dataset=mnist_smoke)
+    rebuilt = network_from_payload(payload)
+    original = get_model("MNI_C1", scale="smoke", seed=0,
+                         dataset=mnist_smoke)
+    x = mnist_smoke.x_test[:4]
+    np.testing.assert_array_equal(rebuilt.predict(x), original.predict(x))
+
+
+def test_trio_payloads_cover_trio(mnist_smoke):
+    payloads = get_trio_payloads("mnist", scale="smoke", seed=0,
+                                 dataset=mnist_smoke)
+    names = [p["config"]["name"] for p in payloads]
+    assert names == TRIOS["mnist"]
 
 
 def test_trio_models_differ(mnist_trio, mnist_smoke):

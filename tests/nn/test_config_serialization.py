@@ -7,7 +7,8 @@ from repro.errors import ConfigError
 from repro.models import (build_dave_orig, build_lenet5, build_resnet,
                           build_vgg16)
 from repro.nn import (Dense, Layer, Network, load_network,
-                      network_from_config, network_to_config, save_network)
+                      network_from_config, network_from_payload,
+                      network_to_config, network_to_payload, save_network)
 
 
 @pytest.mark.parametrize("builder", [build_lenet5, build_vgg16,
@@ -35,6 +36,34 @@ def test_save_load_single_file(tmp_path):
     clone = load_network(path)
     np.testing.assert_allclose(clone.predict(x), expected)
     assert clone.name == net.name
+
+
+def test_payload_roundtrip_bit_identical():
+    """The campaign worker path: payload → rebuilt network computes the
+    exact same float64 outputs, no disk involved."""
+    net = build_lenet5(rng=np.random.default_rng(7))
+    clone = network_from_payload(network_to_payload(net))
+    x = np.random.default_rng(8).random((3, 1, 28, 28))
+    np.testing.assert_array_equal(clone.predict(x), net.predict(x))
+    assert clone.name == net.name
+
+
+def test_payload_survives_pickling():
+    import pickle
+    net = build_lenet5(rng=np.random.default_rng(9))
+    payload = pickle.loads(pickle.dumps(network_to_payload(net)))
+    clone = network_from_payload(payload)
+    x = np.random.default_rng(10).random((2, 1, 28, 28))
+    np.testing.assert_array_equal(clone.predict(x), net.predict(x))
+
+
+def test_payload_state_is_a_copy():
+    net = build_lenet5(rng=np.random.default_rng(11))
+    payload = network_to_payload(net)
+    name = next(iter(payload["state"]))
+    payload["state"][name][...] = 0.0
+    assert not np.array_equal(payload["state"][name],
+                              net.state_dict()[name])
 
 
 def test_load_plain_weights_file_rejected(tmp_path):

@@ -26,6 +26,17 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["experiment", "table99"])
 
+    def test_engine_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["generate", "mnist", "--engine",
+                                  "campaign", "--workers", "4",
+                                  "--shard-size", "8"])
+        assert args.engine == "campaign"
+        assert args.workers == 4
+        assert args.shard_size == 8
+        with pytest.raises(SystemExit):
+            parser.parse_args(["generate", "mnist", "--engine", "warp"])
+
 
 class TestCliCommands:
     def test_datasets(self, capsys):
@@ -37,6 +48,15 @@ class TestCliCommands:
         assert main(["--scale", "smoke", "generate", "mnist",
                      "--seeds", "8"]) == 0
         out = capsys.readouterr().out
+        assert "differences found" in out
+
+    @pytest.mark.parametrize("engine", ["batch", "campaign"])
+    def test_generate_engines(self, capsys, engine):
+        assert main(["--scale", "smoke", "generate", "mnist",
+                     "--seeds", "8", "--engine", engine,
+                     "--workers", "2", "--shard-size", "4"]) == 0
+        out = capsys.readouterr().out
+        assert f"engine               : {engine}" in out
         assert "differences found" in out
 
     def test_experiment(self, capsys):

@@ -1,0 +1,33 @@
+"""Docs stay truthful: links resolve, and the promised files exist."""
+
+import os
+
+from repro.utils.docs import (broken_intra_repo_links, iter_markdown_links,
+                              markdown_files)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def test_docs_files_exist():
+    for required in ("README.md", "docs/ARCHITECTURE.md",
+                     "docs/EXPERIMENTS.md"):
+        assert os.path.exists(os.path.join(REPO_ROOT, required)), required
+
+
+def test_markdown_files_found():
+    names = {os.path.basename(p) for p in markdown_files(REPO_ROOT)}
+    assert {"README.md", "ARCHITECTURE.md", "EXPERIMENTS.md"} <= names
+
+
+def test_iter_markdown_links_parses_inline_links():
+    text = ("See [the docs](docs/ARCHITECTURE.md) and "
+            "[section](README.md#running).\n"
+            "```\n[not a link](ignored.md) inside a fence\n```\n"
+            "External [site](https://example.com) too.")
+    assert list(iter_markdown_links(text)) == [
+        "docs/ARCHITECTURE.md", "README.md#running", "https://example.com"]
+
+
+def test_no_broken_intra_repo_links():
+    broken = broken_intra_repo_links(REPO_ROOT)
+    assert broken == [], f"broken markdown links: {broken}"

@@ -9,7 +9,8 @@ from hypothesis import strategies as st
 
 from repro.errors import ShapeError
 from repro.utils import (Stopwatch, as_rng, clip01, derive_rng, l1_distance,
-                         render_table, save_pgm, save_ppm, spawn_rngs,
+                         render_table, rng_from_seed_sequence, save_pgm,
+                         save_ppm, spawn_rngs, spawn_seed_sequences,
                          to_uint8)
 
 
@@ -39,6 +40,35 @@ class TestRng:
         assert len(children) == 4
         draws = [c.random() for c in children]
         assert len(set(draws)) == 4
+
+    def test_spawn_seed_sequences_deterministic(self):
+        a = spawn_seed_sequences(11, 5)
+        b = spawn_seed_sequences(11, 5)
+        assert len(a) == 5
+        for sa, sb in zip(a, b):
+            np.testing.assert_array_equal(
+                rng_from_seed_sequence(sa).integers(0, 1000, 8),
+                rng_from_seed_sequence(sb).integers(0, 1000, 8))
+
+    def test_spawn_seed_sequences_position_dependent(self):
+        # Child i's stream depends on position, not on siblings: the
+        # campaign relies on shard i drawing the same numbers no matter
+        # how many shards exist after it.
+        short = spawn_seed_sequences(11, 2)
+        long = spawn_seed_sequences(11, 6)
+        for sa, sb in zip(short, long):
+            np.testing.assert_array_equal(
+                rng_from_seed_sequence(sa).integers(0, 1000, 8),
+                rng_from_seed_sequence(sb).integers(0, 1000, 8))
+
+    def test_spawn_seed_sequences_survive_pickling(self):
+        import pickle
+        children = spawn_seed_sequences(11, 3)
+        for child in children:
+            thawed = pickle.loads(pickle.dumps(child))
+            np.testing.assert_array_equal(
+                rng_from_seed_sequence(thawed).integers(0, 1000, 8),
+                rng_from_seed_sequence(child).integers(0, 1000, 8))
 
 
 class TestTables:

@@ -1,0 +1,33 @@
+#!/usr/bin/env python
+"""CI docs check: every intra-repo markdown link must resolve.
+
+Scans README.md and docs/*.md for relative links pointing at missing
+files.  Exit code 1 (with a per-link report) on any broken link.
+
+Run:  PYTHONPATH=src python tools/check_docs.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src"))
+
+from repro.utils.docs import broken_intra_repo_links, markdown_files  # noqa: E402
+
+
+def main():
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    files = markdown_files(root)
+    broken = broken_intra_repo_links(root, files=files)
+    print(f"checked {len(files)} markdown files")
+    if broken:
+        for source, target in broken:
+            print(f"BROKEN  {source}: ({target})")
+        return 1
+    print("all intra-repo links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

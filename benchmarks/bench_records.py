@@ -1,0 +1,63 @@
+"""The BENCH_fuzz.json record sink.
+
+A plain module — not ``conftest.py`` — on purpose: pytest loads
+``conftest.py`` as its own plugin module, so a mutable global defined
+there exists twice once a benchmark imports ``benchmarks.conftest``.
+Everything here is imported under the single name
+``benchmarks.bench_records`` by both the conftest and the benchmarks,
+so there is exactly one record list.
+
+Every benchmark test gets a wall-clock record automatically (autouse
+fixture in ``conftest.py``); benchmarks with meaningful throughput
+numbers add labeled detail records via :func:`record_bench`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+BENCH_JSON_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                               os.pardir, "BENCH_fuzz.json")
+
+#: Records accumulated over the benchmark session, written at exit.
+_RECORDS = []
+
+
+def _current_test_name():
+    current = os.environ.get("PYTEST_CURRENT_TEST", "unknown")
+    return current.split(" ")[0]
+
+
+def record_bench(seconds, name=None, label=None, **metrics):
+    """Add one machine-readable benchmark record (see BENCH_fuzz.json).
+
+    ``name`` defaults to the currently running test; ``label``
+    distinguishes multiple records from one test (e.g. the cold and
+    warm phases of the fuzz loop).
+    """
+    name = name or _current_test_name()
+    if label:
+        name = f"{name}[{label}]"
+    record = {"name": name, "seconds": float(seconds)}
+    for key, value in metrics.items():
+        record[key] = float(value)
+    _RECORDS.append(record)
+    return record
+
+
+def write_records(scale, seed):
+    """Write all accumulated records to BENCH_fuzz.json (atomically
+    enough for a single writer; the file is fully rewritten)."""
+    if not _RECORDS:
+        return None
+    payload = {
+        "schema": 1,
+        "scale": scale,
+        "seed": seed,
+        "benchmarks": sorted(_RECORDS, key=lambda r: r["name"]),
+    }
+    with open(BENCH_JSON_PATH, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return BENCH_JSON_PATH

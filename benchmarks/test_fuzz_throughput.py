@@ -1,0 +1,78 @@
+"""Fuzz-loop throughput: seeds/second through resumable campaign waves.
+
+Times a fresh :class:`~repro.corpus.FuzzSession` driving several waves
+over a persistent corpus, then a *resumed* session continuing the same
+corpus.  Two properties are asserted:
+
+* the loop makes progress (waves complete, tests accumulate, coverage
+  merges into the store);
+* resuming is cheaper per round than starting cold — the whole point of
+  persisting coverage + scheduler state is that a second run never
+  re-pays for resolved seeds (pinned functionally via ``PassCounter``
+  in ``tests/corpus/test_session_resume.py``; here we record the
+  wall-clock side for the perf trajectory).
+
+Both phases land in ``BENCH_fuzz.json`` with seeds/sec throughput.
+"""
+
+import time
+
+from benchmarks.bench_records import record_bench
+from benchmarks.conftest import SCALE, SEED
+from repro.core import LightingConstraint, PAPER_HYPERPARAMS
+from repro.corpus import FuzzSession
+from repro.datasets import load_dataset
+from repro.models import get_trio
+
+ROUNDS_COLD = 3
+ROUNDS_TOTAL = 5
+WAVE_SIZE = 16
+SHARD_SIZE = 8
+POOL = 32
+
+
+def _session(corpus_dir, dataset, models):
+    return FuzzSession(corpus_dir, models, PAPER_HYPERPARAMS["mnist"],
+                       LightingConstraint(), wave_size=WAVE_SIZE,
+                       shard_size=SHARD_SIZE, seed=SEED + 31,
+                       dataset=dataset, initial_seed_count=POOL)
+
+
+def test_fuzz_throughput(benchmark, tmp_path):
+    dataset = load_dataset("mnist", scale=SCALE, seed=SEED)
+    models = get_trio("mnist", scale=SCALE, seed=SEED, dataset=dataset)
+    corpus_dir = tmp_path / "corpus"
+
+    def run_both():
+        cold_start = time.perf_counter()
+        cold = _session(corpus_dir, dataset, models).run(ROUNDS_COLD)
+        cold_elapsed = time.perf_counter() - cold_start
+        warm_start = time.perf_counter()
+        warm = _session(corpus_dir, dataset, models).run(ROUNDS_TOTAL)
+        warm_elapsed = time.perf_counter() - warm_start
+        return (cold, cold_elapsed), (warm, warm_elapsed)
+
+    (cold, cold_s), (warm, warm_s) = benchmark.pedantic(
+        run_both, rounds=1, iterations=1)
+
+    assert cold.waves_run == ROUNDS_COLD
+    assert cold.new_tests > 0
+    record_bench(cold_s, label="cold", waves=cold.waves_run,
+                 seeds_fuzzed=cold.seeds_fuzzed,
+                 seeds_per_sec=cold.seeds_fuzzed / max(cold_s, 1e-9),
+                 new_tests=cold.new_tests)
+    record_bench(warm_s, label="warm", waves=warm.waves_run,
+                 seeds_fuzzed=warm.seeds_fuzzed,
+                 seeds_per_sec=warm.seeds_fuzzed / max(warm_s, 1e-9),
+                 new_tests=warm.new_tests)
+
+    print()
+    print(f"cold: {cold.waves_run} wave(s), {cold.seeds_fuzzed} seeds, "
+          f"{cold.new_tests} new tests in {cold_s:.2f}s "
+          f"({cold.seeds_fuzzed / max(cold_s, 1e-9):.1f} seeds/s)")
+    print(f"warm: {warm.waves_run} wave(s), {warm.seeds_fuzzed} seeds, "
+          f"{warm.new_tests} new tests in {warm_s:.2f}s")
+    # Resume pays for fewer scheduled seeds per wave, never more.
+    if warm.waves_run:
+        assert (warm.seeds_fuzzed / warm.waves_run
+                <= cold.seeds_fuzzed / cold.waves_run)

@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Continuous fuzzing walkthrough: persist, kill, resume, distill.
+
+Demonstrates the corpus subsystem (docs/CORPUS.md) end to end:
+
+1. run a coverage-guided fuzz session over a persistent corpus store;
+2. run the same campaign in a second store but *kill it mid-wave*
+   (simulated), after part of the wave already hit the disk;
+3. resume the killed session and verify the two corpora are
+   **bit-identical** — same entries, same inputs, same merged coverage;
+4. continue fuzzing the survivor (a second run starts from the
+   persisted coverage and skips every resolved seed);
+5. distill the stored tests to a coverage-preserving regression suite.
+
+Run:  python examples/continuous_fuzzing.py
+"""
+
+import shutil
+
+import numpy as np
+
+from repro import (FuzzSession, PAPER_HYPERPARAMS, constraint_for_dataset,
+                   get_trio, load_dataset)
+from repro.corpus import CorpusStore
+
+SCALE = "smoke"
+ROUNDS = 3          # target total waves
+WAVE_SIZE = 8
+SHARD_SIZE = 4      # identity, like a campaign's
+ROOT_SEED = 42
+DEMO_DIR = "examples/corpus-demo"
+
+
+def make_session(corpus_dir, models, dataset, constraint):
+    """Sessions over the same dir resume each other; identity = seed,
+    wave_size, shard_size, constraint, model fingerprint."""
+    return FuzzSession(corpus_dir, models, PAPER_HYPERPARAMS["mnist"],
+                       constraint, wave_size=WAVE_SIZE,
+                       shard_size=SHARD_SIZE, seed=ROOT_SEED,
+                       dataset=dataset, initial_seed_count=24)
+
+
+def main():
+    print("Loading dataset and models (first run trains and caches)...")
+    dataset = load_dataset("mnist", scale=SCALE, seed=0)
+    models = get_trio("mnist", scale=SCALE, seed=0, dataset=dataset)
+    constraint = constraint_for_dataset(dataset)
+    shutil.rmtree(DEMO_DIR, ignore_errors=True)
+
+    # 1. An uninterrupted reference run.
+    print(f"\nReference run: {ROUNDS} waves into {DEMO_DIR}/ref")
+    reference = make_session(f"{DEMO_DIR}/ref", models, dataset, constraint)
+    print(reference.run(ROUNDS).render())
+
+    # 2. The same run, killed mid-wave: the third test write of the
+    #    second wave raises, leaving a partially persisted wave behind.
+    print("\nCrash run: killing the session mid-wave...")
+    crashed = make_session(f"{DEMO_DIR}/crash", models, dataset, constraint)
+    crashed.run(1)
+    real_add, test_adds = CorpusStore.add_entry, [0]
+
+    def dying_add(self, x, kind, **meta):
+        if kind == "test":
+            test_adds[0] += 1
+            if test_adds[0] > 2:
+                raise KeyboardInterrupt("simulated kill")
+        return real_add(self, x, kind, **meta)
+
+    CorpusStore.add_entry = dying_add
+    try:
+        crashed.run(ROUNDS)
+        raise AssertionError("the simulated kill never fired")
+    except KeyboardInterrupt:
+        print("  ...killed with a wave half-persisted")
+    finally:
+        CorpusStore.add_entry = real_add
+
+    # 3. Resume in a fresh session (what a restarted process would do).
+    resumed = make_session(f"{DEMO_DIR}/crash", models, dataset, constraint)
+    print(f"  resumed at round {resumed.completed_rounds}, "
+          f"continuing to {ROUNDS}")
+    resumed.run(ROUNDS)
+
+    ref_store = CorpusStore(f"{DEMO_DIR}/ref")
+    crash_store = CorpusStore(f"{DEMO_DIR}/crash")
+    assert ([dict(e) for e in ref_store.entries()]
+            == [dict(e) for e in crash_store.entries()])
+    for entry in ref_store.entries():
+        np.testing.assert_array_equal(ref_store.load_input(entry["hash"]),
+                                      crash_store.load_input(entry["hash"]))
+    ref_cov, crash_cov = (ref_store.coverage_states(),
+                          crash_store.coverage_states())
+    for name in ref_cov:
+        np.testing.assert_array_equal(ref_cov[name]["covered"],
+                                      crash_cov[name]["covered"])
+    print("  kill + resume is bit-identical to the uninterrupted run ✓")
+
+    # 4. Keep going: the saved corpus schedules only unresolved seeds.
+    print(f"\nSecond run over the saved corpus (target {ROUNDS + 2}):")
+    second = make_session(f"{DEMO_DIR}/crash", models, dataset, constraint)
+    print(second.run(ROUNDS + 2).render())
+
+    # 5. Distill the archived tests to a minimal regression suite.
+    kept, dropped = second.distill()
+    print(f"\nDistilled: kept {kept} test(s), dropped {dropped} entries")
+    print()
+    print(second.store.describe())
+    print(f"mean neuron coverage: {second.mean_coverage():.1%}")
+
+
+if __name__ == "__main__":
+    main()

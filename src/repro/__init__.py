@@ -25,6 +25,7 @@ Package map:
 * :mod:`repro.models` — the 15-model zoo of Table 1
 * :mod:`repro.coverage` — neuron coverage and the code-coverage contrast
 * :mod:`repro.core` — objectives, constraints, Algorithm 1
+* :mod:`repro.corpus` — persistent corpus store + coverage-guided fuzzing
 * :mod:`repro.baselines` — random and adversarial testing
 * :mod:`repro.analysis` — diversity, overlap, SSIM, pollution, retraining
 * :mod:`repro.experiments` — one runner per paper table/figure
@@ -34,6 +35,7 @@ from repro.core import (BatchDeepXplore, Campaign, DeepXplore,
                         GeneratedTest, GenerationResult, Hyperparams,
                         PAPER_HYPERPARAMS, constraint_for_dataset,
                         majority_label)
+from repro.corpus import CorpusStore, FuzzReport, FuzzSession, SeedScheduler
 from repro.coverage import NeuronCoverageTracker, coverage_of_inputs
 from repro.datasets import Dataset, dataset_names, load_dataset
 from repro.errors import ReproError
@@ -45,6 +47,7 @@ __all__ = [
     "BatchDeepXplore", "Campaign", "DeepXplore", "GeneratedTest",
     "GenerationResult", "Hyperparams",
     "PAPER_HYPERPARAMS", "constraint_for_dataset", "majority_label",
+    "CorpusStore", "FuzzReport", "FuzzSession", "SeedScheduler",
     "NeuronCoverageTracker", "coverage_of_inputs",
     "Dataset", "dataset_names", "load_dataset",
     "ReproError",

@@ -47,7 +47,10 @@ def minimize_suite(networks, inputs, threshold=0.0, scaled=True):
     remaining = set(range(inputs.shape[0]))
     while covered.sum() < target.sum():
         best, best_gain = None, 0
-        for index in remaining:
+        # Iterate in sorted order so equal-gain ties always break toward
+        # the lowest index: corpus distillation replays minimization on
+        # reopened stores and must pick the same subset every time.
+        for index in sorted(remaining):
             gain = int((active[index] & ~covered).sum())
             if gain > best_gain:
                 best, best_gain = index, gain

@@ -7,7 +7,16 @@ Commands
 ``zoo``
     Train/load the 15-model zoo and print the Table 1 summary.
 ``generate``
-    Run DeepXplore on one dataset and report differences + coverage.
+    Run DeepXplore on one dataset and report differences + coverage;
+    ``--corpus DIR`` persists the results, ``--resume`` additionally
+    starts from the corpus's saved coverage.
+``fuzz``
+    Run a resumable coverage-guided fuzzing session over a persistent
+    corpus (waves of sharded campaigns; killed sessions resume
+    bit-identically).
+``corpus``
+    Inspect (``info``), fold together (``merge``), or shrink
+    (``distill``) corpus stores.
 ``experiment``
     Run one named experiment (table1..table12, figure8..figure10,
     pollution) and print its table.
@@ -19,14 +28,19 @@ Commands
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 import numpy as np
 
 from repro.core import PAPER_HYPERPARAMS, constraint_for_dataset
+from repro.corpus import CorpusStore, FuzzSession, corpus_fingerprint
+from repro.coverage import NeuronCoverageTracker
 from repro.datasets import dataset_names, load_dataset
+from repro.errors import ReproError
 from repro.experiments import EXPERIMENTS
 from repro.experiments.common import make_engine
+from repro.extensions.seed_selection import strategy_names
 from repro.models import TRIOS, get_trio, model_accuracy
 from repro.utils.ascii_art import side_by_side
 
@@ -64,6 +78,51 @@ def build_parser():
                           "deterministic run identity, unlike --workers")
     gen.add_argument("--show", action="store_true",
                      help="render a seed/generated pair as ASCII art")
+    gen.add_argument("--corpus", metavar="DIR",
+                     help="persist seeds, tests, and coverage into a "
+                          "corpus store at DIR")
+    gen.add_argument("--resume", action="store_true",
+                     help="start from the coverage saved in --corpus "
+                          "instead of from zero")
+
+    fuzz = sub.add_parser(
+        "fuzz", help="resumable coverage-guided fuzzing over a corpus")
+    fuzz.add_argument("dataset", choices=dataset_names())
+    fuzz.add_argument("--corpus", metavar="DIR", required=True,
+                      help="corpus store directory (created if absent)")
+    fuzz.add_argument("--rounds", type=int, default=4,
+                      help="target total waves for the corpus; a resumed "
+                           "or interrupted session continues toward it")
+    fuzz.add_argument("--wave-size", type=int, default=16,
+                      help="seeds scheduled per wave (identity)")
+    fuzz.add_argument("--workers", type=int, default=1,
+                      help="campaign worker processes (throughput only)")
+    fuzz.add_argument("--shard-size", type=int, default=16,
+                      help="seeds per campaign shard (identity)")
+    fuzz.add_argument("--constraint", default="default",
+                      help="image constraint: light | occl | blackout")
+    fuzz.add_argument("--seed-strategy", default="random",
+                      choices=strategy_names(),
+                      help="how the initial seed pool is drawn")
+    fuzz.add_argument("--initial-seeds", type=int, default=64,
+                      help="initial seed-pool size for a fresh corpus")
+    fuzz.add_argument("--distill", action="store_true",
+                      help="after fuzzing, shrink the stored tests to a "
+                           "coverage-preserving subset")
+
+    corpus = sub.add_parser("corpus", help="inspect/merge/distill a corpus")
+    corpus_sub = corpus.add_subparsers(dest="corpus_command", required=True)
+    info = corpus_sub.add_parser("info", help="summarize a corpus store")
+    info.add_argument("corpus_dir")
+    merge = corpus_sub.add_parser(
+        "merge", help="fold source corpora into a destination store")
+    merge.add_argument("dest")
+    merge.add_argument("sources", nargs="+")
+    distill = corpus_sub.add_parser(
+        "distill", help="shrink stored tests to a coverage-preserving "
+                        "subset (greedy set-cover)")
+    distill.add_argument("corpus_dir")
+    distill.add_argument("dataset", choices=dataset_names())
 
     exp = sub.add_parser("experiment", help="run one paper experiment")
     exp.add_argument("experiment_id", choices=sorted(EXPERIMENTS))
@@ -97,18 +156,52 @@ def _cmd_zoo(args):
 
 
 def _cmd_generate(args):
+    if args.resume and not args.corpus:
+        print("error: --resume needs --corpus DIR", file=sys.stderr)
+        return 2
     dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
     models = get_trio(args.dataset, scale=args.scale, seed=args.seed,
                       dataset=dataset)
+    hp = PAPER_HYPERPARAMS[args.dataset]
     seeds, _ = dataset.sample_seeds(
         min(args.seeds, dataset.x_test.shape[0]),
         np.random.default_rng(args.seed + 1))
+    store = trackers = None
+    if args.corpus:
+        store = CorpusStore(args.corpus)
+        store.bind_config(corpus_fingerprint(models, hp, dataset.task))
+        trackers = [NeuronCoverageTracker(m, threshold=hp.threshold)
+                    for m in models]
+        if args.resume:
+            persisted = store.coverage_states()
+            for model, tracker in zip(models, trackers):
+                if model.name in persisted:
+                    tracker.load_state_dict(persisted[model.name])
     engine = make_engine(
-        args.engine, models, PAPER_HYPERPARAMS[args.dataset],
+        args.engine, models, hp,
         constraint_for_dataset(dataset, kind=args.constraint),
         dataset.task, args.seed + 2, workers=args.workers,
-        shard_size=args.shard_size)
+        shard_size=args.shard_size, trackers=trackers)
     result = engine.run(seeds)
+    if store is not None:
+        seed_hashes = [store.add_entry(x, "seed", origin=int(i))[0]
+                       for i, x in enumerate(seeds)]
+        added = 0
+        for test in result.tests:
+            _, was_new = store.add_entry(
+                test.x, "test", origin=seed_hashes[test.seed_index],
+                iterations=int(test.iterations),
+                predictions=np.asarray(test.predictions).tolist(),
+                seed_class=test.seed_class)
+            added += int(was_new)
+        # OR-merge into the persisted snapshots: without --resume the
+        # trackers started empty, and committing them raw would shrink
+        # the corpus's accumulated coverage.
+        store.commit(coverage_states=store.merge_coverage(
+            {m.name: t.state_dict() for m, t in zip(models, trackers)}),
+            fuzz_state=store.fuzz_state())
+        print(f"corpus               : {store.path} "
+              f"(+{added} tests, {len(store)} entries)")
     if args.engine == "campaign":
         print(f"engine               : campaign "
               f"(workers={args.workers}, shard_size={args.shard_size})")
@@ -131,6 +224,74 @@ def _cmd_generate(args):
     return 0
 
 
+def _cmd_fuzz(args):
+    dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    models = get_trio(args.dataset, scale=args.scale, seed=args.seed,
+                      dataset=dataset)
+    session = FuzzSession(
+        args.corpus, models, PAPER_HYPERPARAMS[args.dataset],
+        constraint_for_dataset(dataset, kind=args.constraint),
+        task=dataset.task, wave_size=args.wave_size, workers=args.workers,
+        shard_size=args.shard_size, seed=args.seed, dataset=dataset,
+        seed_strategy=args.seed_strategy,
+        initial_seed_count=args.initial_seeds)
+    if args.rounds <= session.completed_rounds:
+        print(f"corpus already at {session.completed_rounds} round(s); "
+              f"raise --rounds to fuzz further")
+    report = session.run(args.rounds)
+    print(report.render())
+    if args.distill:
+        kept, dropped = session.distill()
+        print(f"distilled: kept {kept} test(s), dropped {dropped} entries")
+    print(session.store.describe())
+    print(f"mean neuron coverage : {session.mean_coverage():.1%}")
+    return 0
+
+
+def _cmd_corpus(args):
+    if args.corpus_command == "info":
+        print(CorpusStore(args.corpus_dir, create=False).describe())
+        return 0
+    if args.corpus_command == "merge":
+        # Sources must already exist (create=False) and agree on their
+        # config fingerprints — both checked up front, so a typo'd path
+        # or a mixed-trio merge fails before the destination is touched
+        # rather than leaving it half-merged.  Only the destination may
+        # be created.
+        sources = [CorpusStore(source, create=False)
+                   for source in args.sources]
+        dest = CorpusStore(args.dest)
+        configs = {json.dumps(s.config, sort_keys=True): s.path
+                   for s in [dest] + sources if s.config is not None}
+        if len(configs) > 1:
+            print("error: corpora were built against different "
+                  "configs and cannot merge:", file=sys.stderr)
+            for config, path in sorted(configs.items()):
+                print(f"  {path}: {config}", file=sys.stderr)
+            return 1
+        added = sum(dest.merge(source) for source in sources)
+        print(f"merged {len(args.sources)} corpora into {dest.path} "
+              f"(+{added} entries, {len(dest)} total)")
+        return 0
+    store = CorpusStore(args.corpus_dir, create=False)   # distill
+    dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+    models = get_trio(args.dataset, scale=args.scale, seed=args.seed,
+                      dataset=dataset)
+    hp = PAPER_HYPERPARAMS[args.dataset]
+    threshold = (store.config or {}).get("threshold", hp.threshold)
+    # Validate the rebuilt models against the store's fingerprint BEFORE
+    # deleting anything: distilling with the wrong trio (or the wrong
+    # --scale) would measure set-cover against the wrong networks and
+    # unlink coverage-essential tests.
+    fingerprint = corpus_fingerprint(models, hp, dataset.task)
+    fingerprint["threshold"] = float(threshold)
+    store.bind_config(fingerprint)
+    kept, dropped = store.distill(models, threshold=threshold)
+    print(f"distilled {store.path}: kept {kept} test(s), "
+          f"dropped {dropped} entries")
+    return 0
+
+
 def _cmd_experiment(args):
     result = EXPERIMENTS[args.experiment_id](scale=args.scale,
                                              seed=args.seed)
@@ -150,15 +311,27 @@ _COMMANDS = {
     "datasets": _cmd_datasets,
     "zoo": _cmd_zoo,
     "generate": _cmd_generate,
+    "fuzz": _cmd_fuzz,
+    "corpus": _cmd_corpus,
     "experiment": _cmd_experiment,
     "report": _cmd_report,
 }
 
 
 def main(argv=None):
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Library errors (:class:`~repro.errors.ReproError` — a missing
+    corpus path, an incompatible store, a bad configuration) are user
+    errors at the CLI boundary: one line on stderr, exit 1, no
+    traceback.
+    """
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -150,6 +150,11 @@ class BatchDeepXplore:
         n = seeds.shape[0]
         result = GenerationResult()
         start = time.perf_counter()
+        if n == 0:
+            # An empty corpus is a clean no-op result, not a reshape
+            # crash deep in the forward pass (campaign shards and fuzz
+            # waves may legitimately drain to nothing).
+            return self._finalize(result, start)
 
         # Seeds the models already disagree on are immediate tests.
         tapes = self._run_models(seeds)

@@ -47,7 +47,8 @@ from repro.errors import ConfigError
 from repro.nn.config import network_from_payload, network_to_payload
 from repro.utils.rng import rng_from_seed_sequence, spawn_seed_sequences
 
-__all__ = ["Campaign", "CampaignShard", "shard_corpus"]
+__all__ = ["Campaign", "CampaignShard", "shard_corpus",
+           "DEFAULT_SHARD_SIZE"]
 
 #: Default seeds per shard.  Independent of ``workers`` on purpose: the
 #: shard layout (and therefore every random draw) must not change when a
@@ -72,6 +73,12 @@ def shard_corpus(seeds, shard_size=DEFAULT_SHARD_SIZE, seed=0):
     each shard gets a spawned child of ``seed``'s SeedSequence.  The
     returned shards are self-contained (they carry their global indices),
     so any subset can be executed anywhere and merged later.
+
+    Edge cases are part of the contract (pinned in
+    ``tests/core/test_campaign.py``): an empty corpus yields zero shards
+    (and a campaign over it a clean empty result), and
+    ``shard_size > len(corpus)`` yields exactly one shard holding the
+    whole corpus.
     """
     seeds = np.asarray(seeds, dtype=np.float64)
     if shard_size < 1:
@@ -109,14 +116,18 @@ def _init_worker(spec):
 def _run_shard(shard):
     """Run one shard through BatchDeepXplore; returns a picklable dict.
 
-    Trackers start empty per shard (the merge is an OR, so splitting
-    coverage across shards loses nothing), and generated tests are
-    rewritten to carry their *global* seed index before leaving the
-    worker.
+    Worker trackers start from the driver's coverage state, so the
+    coverage objective steers ascent toward neurons *genuinely* still
+    uncovered — a campaign resumed over persisted coverage (``generate
+    --resume``, fuzz waves) must not chase neurons earlier runs already
+    lit up.  The merge back into the driver is an OR, so seeding every
+    shard with the same prior loses nothing and double-counts nothing.
+    Generated tests are rewritten to carry their *global* seed index
+    before leaving the worker.
     """
     spec = _WORKER_STATE["spec"]
     models = _WORKER_STATE["models"]
-    trackers = [NeuronCoverageTracker.from_state(m, s, fresh=True)
+    trackers = [NeuronCoverageTracker.from_state(m, s)
                 for m, s in zip(models, spec["tracker_states"])]
     engine = BatchDeepXplore(
         models, spec["hp"], spec["constraint"].clone(), task=spec["task"],
@@ -139,7 +150,9 @@ class Campaign:
         Two or more trained networks (as for the other engines).
     hyperparams, constraint, task, trackers:
         As in :class:`~repro.core.DeepXplore`.  Trackers passed in keep
-        any coverage they already hold; shard coverage merges into them.
+        any coverage they already hold; shard workers *start from* that
+        coverage (so the coverage objective targets genuinely uncovered
+        neurons) and shard results merge back into them.
     workers:
         Worker processes.  ``1`` runs shards in-process (still through
         the worker code path); ``N > 1`` fans out over a process pool.

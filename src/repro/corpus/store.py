@@ -1,0 +1,468 @@
+"""On-disk, content-addressed corpus store.
+
+A :class:`CorpusStore` is the persistence layer that turns one-shot
+generation runs into an ever-growing campaign: every seed and every
+difference-inducing test lives in the store, together with the merged
+per-model coverage reached so far, and any later run (``repro fuzz``,
+``repro generate --resume``) picks up exactly where the corpus left off.
+
+Layout (everything under one directory)::
+
+    corpus/
+      MANIFEST.json            # store version + config fingerprint + counters
+      checkpoint.json          # commit point: coverage generation + fuzz state
+      meta.jsonl               # one JSON record per entry, append-only
+      inputs/<hash>.npy        # content-addressed input arrays
+      coverage/<model>.g<N>.npz  # versioned merged coverage snapshots
+
+Invariants:
+
+* **Content addressing** — an entry's identity is the SHA-256 of its
+  input array (shape + dtype + bytes).  Adding an input twice is a
+  no-op, which makes every absorb idempotent: replaying a partially
+  persisted wave converges to the same store.
+* **Atomic writes** — every file lands via write-to-temp +
+  ``os.replace``; ``meta.jsonl`` is append-only with a flush+fsync per
+  record, and a truncated trailing line (a crash mid-append) is ignored
+  on load.
+* **Versioned commit point** — coverage snapshots are written under a
+  fresh generation number *first*, then ``checkpoint.json`` flips to
+  reference them in one atomic replace.  A crash between the two leaves
+  the previous checkpoint (and its snapshot files) fully intact, which
+  is what makes :class:`~repro.corpus.session.FuzzSession` resume
+  bit-identically.
+* **Merge laws** — persisted coverage merges with
+  :func:`repro.coverage.merge_state_dicts` (OR: commutative,
+  associative, idempotent), the same laws campaign shard-merging rests
+  on, so stores built shard-wise or machine-wise fold together exactly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import re
+import tempfile
+
+import numpy as np
+
+from repro.analysis.minimize import minimize_suite
+from repro.coverage import merge_state_dicts
+from repro.errors import ConfigError
+
+__all__ = ["CorpusStore", "CorpusEntry", "corpus_fingerprint", "input_hash"]
+
+STORE_VERSION = 1
+
+_SAFE_NAME = re.compile(r"[^A-Za-z0-9_.-]")
+
+
+def corpus_fingerprint(models, hyperparams, task):
+    """The config dict a corpus store is pinned to (``bind_config``).
+
+    One definition shared by :class:`~repro.corpus.session.FuzzSession`
+    and the CLI so ``generate --corpus`` and ``fuzz`` over the same
+    directory can never drift apart on fingerprint shape.  Neuron
+    counts participate: same-named models at different scales are
+    different architectures, and their corpora must not mix.
+    """
+    return {"models": [m.name for m in models],
+            "neurons": [int(m.total_neurons) for m in models],
+            "threshold": float(hyperparams.threshold),
+            "scaled": True,
+            "task": task}
+
+
+def input_hash(x):
+    """Content address of one input array: SHA-256 over shape+dtype+bytes.
+
+    Inputs are canonicalized to contiguous ``float64`` (the dtype every
+    engine works in) so the hash is stable across the list/array/dtype
+    forms a caller might hold.
+    """
+    x = np.ascontiguousarray(np.asarray(x, dtype=np.float64))
+    digest = hashlib.sha256()
+    digest.update(repr((x.shape, str(x.dtype))).encode("utf-8"))
+    digest.update(x.tobytes())
+    return digest.hexdigest()
+
+
+def _atomic_write_bytes(path, payload):
+    """Write ``payload`` to ``path`` atomically (temp file + replace)."""
+    directory = os.path.dirname(path)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+
+
+def _atomic_write_json(path, obj):
+    _atomic_write_bytes(path, (json.dumps(obj, indent=2, sort_keys=True)
+                               + "\n").encode("utf-8"))
+
+
+def _coverage_to_npz_bytes(state):
+    """Serialize one tracker ``state_dict`` to ``.npz`` bytes.
+
+    Boolean masks go in as arrays; the scalar config rides along as a
+    JSON string in a 0-d unicode array, so nothing needs pickling.
+    """
+    config = json.dumps({
+        "network": state["network"],
+        "total_neurons": int(state["total_neurons"]),
+        "threshold": float(state["threshold"]),
+        "scaled": bool(state["scaled"]),
+    })
+    buffer = io.BytesIO()
+    np.savez(buffer,
+             config=np.array(config),
+             tracked=np.asarray(state["tracked"], dtype=bool),
+             covered=np.asarray(state["covered"], dtype=bool))
+    return buffer.getvalue()
+
+
+def _coverage_from_npz(path):
+    with np.load(path, allow_pickle=False) as data:
+        config = json.loads(str(data["config"][()]))
+        state = dict(config)
+        state["tracked"] = np.asarray(data["tracked"], dtype=bool)
+        state["covered"] = np.asarray(data["covered"], dtype=bool)
+    return state
+
+
+class CorpusEntry(dict):
+    """One corpus record (a dict with attribute sugar for common keys)."""
+
+    @property
+    def hash(self):
+        return self["hash"]
+
+    @property
+    def kind(self):
+        return self["kind"]
+
+
+class CorpusStore:
+    """Persistent content-addressed corpus + merged coverage.
+
+    Single-writer: one process (the fuzz session or CLI command) owns
+    the store at a time.  Readers of a quiescent store are always safe.
+    """
+
+    def __init__(self, path, create=True):
+        self.path = os.path.abspath(path)
+        if not create and not os.path.isdir(self.path):
+            # Read-only callers (corpus info, merge sources, distill)
+            # must not fabricate an empty store at a typo'd path and
+            # then report success over it.
+            raise ConfigError(f"no corpus store at {path}")
+        if os.path.exists(self.path) and not os.path.isdir(self.path):
+            raise ConfigError(
+                f"corpus path {path} exists and is not a directory")
+        self.inputs_dir = os.path.join(self.path, "inputs")
+        self.coverage_dir = os.path.join(self.path, "coverage")
+        self.meta_path = os.path.join(self.path, "meta.jsonl")
+        self.manifest_path = os.path.join(self.path, "MANIFEST.json")
+        self.checkpoint_path = os.path.join(self.path, "checkpoint.json")
+        os.makedirs(self.inputs_dir, exist_ok=True)
+        os.makedirs(self.coverage_dir, exist_ok=True)
+        # Version-check the manifest BEFORE parsing meta/checkpoint: a
+        # future-format store must fail with this clean ConfigError, not
+        # whatever KeyError the version-1 parsers hit first.
+        manifest = self._load_manifest()
+        if manifest.get("version", STORE_VERSION) != STORE_VERSION:
+            raise ConfigError(
+                f"corpus store at {self.path} has version "
+                f"{manifest.get('version')!r}; this build reads "
+                f"version {STORE_VERSION}")
+        self._config = manifest.get("config")
+        self._entries = {}          # hash -> CorpusEntry, insertion-ordered
+        self._load_meta()
+        self._checkpoint = self._load_checkpoint()
+
+    # -- loading ------------------------------------------------------------
+    def _load_meta(self):
+        if not os.path.exists(self.meta_path):
+            return
+        with open(self.meta_path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    # A crash mid-append can truncate the final line;
+                    # the entry's .npy may exist but unreferenced files
+                    # are harmless and re-adding is idempotent.
+                    continue
+                self._entries[record["hash"]] = CorpusEntry(record)
+
+    def _load_checkpoint(self):
+        if not os.path.exists(self.checkpoint_path):
+            return {"version": STORE_VERSION, "coverage_gen": 0,
+                    "coverage": {}, "fuzz": None}
+        with open(self.checkpoint_path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+
+    def _load_manifest(self):
+        if not os.path.exists(self.manifest_path):
+            return {"version": STORE_VERSION, "config": None}
+        with open(self.manifest_path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+
+    # -- config fingerprint -------------------------------------------------
+    def bind_config(self, config):
+        """Pin (or validate) the store's config fingerprint.
+
+        ``config`` is a JSON-safe dict naming what the corpus was built
+        against (model names, coverage threshold/scaling, task).  The
+        first binder writes it; later binders must match — feeding a
+        corpus built for one model trio into another is a
+        :class:`ConfigError`, not silently wrong coverage.
+        """
+        config = json.loads(json.dumps(config))  # normalize to JSON types
+        if self._config is None:
+            self._config = config
+            self._write_manifest()
+        elif self._config != config:
+            raise ConfigError(
+                f"corpus at {self.path} was built with config "
+                f"{self._config!r}; refusing to reuse it with {config!r}")
+        return self._config
+
+    @property
+    def config(self):
+        return self._config
+
+    # -- entries ------------------------------------------------------------
+    def __len__(self):
+        return len(self._entries)
+
+    def __contains__(self, entry_hash):
+        return entry_hash in self._entries
+
+    def entries(self, kind=None):
+        """All entries in insertion order, optionally filtered by kind."""
+        if kind is None:
+            return list(self._entries.values())
+        return [e for e in self._entries.values() if e["kind"] == kind]
+
+    def get(self, entry_hash):
+        return self._entries[entry_hash]
+
+    def input_path(self, entry_hash):
+        return os.path.join(self.inputs_dir, f"{entry_hash}.npy")
+
+    def load_input(self, entry_hash):
+        return np.load(self.input_path(entry_hash), allow_pickle=False)
+
+    def load_inputs(self, hashes):
+        """Stack the inputs for ``hashes`` into one batch array."""
+        return np.stack([self.load_input(h) for h in hashes])
+
+    def add_entry(self, x, kind, **meta):
+        """Persist one input; returns ``(hash, added)``.
+
+        Idempotent: an input already in the store (by content hash) is
+        not re-written and its metadata is not duplicated, so replaying
+        a partially persisted wave converges.  The ``.npy`` lands
+        atomically *before* the ``meta.jsonl`` record references it.
+        """
+        x = np.ascontiguousarray(np.asarray(x, dtype=np.float64))
+        entry_hash = input_hash(x)
+        if entry_hash in self._entries:
+            return entry_hash, False
+        buffer = io.BytesIO()
+        np.save(buffer, x)
+        _atomic_write_bytes(self.input_path(entry_hash), buffer.getvalue())
+        record = {"hash": entry_hash, "kind": str(kind)}
+        record.update(json.loads(json.dumps(meta)))
+        with open(self.meta_path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._entries[entry_hash] = CorpusEntry(record)
+        return entry_hash, True
+
+    # -- coverage + checkpoint commits --------------------------------------
+    def coverage_states(self):
+        """The committed per-model coverage snapshots, ``{name: state}``."""
+        states = {}
+        for name, rel_path in self._checkpoint.get("coverage", {}).items():
+            states[name] = _coverage_from_npz(os.path.join(self.path,
+                                                           rel_path))
+        return states
+
+    def fuzz_state(self):
+        """The committed fuzz-session state (or ``None``)."""
+        return self._checkpoint.get("fuzz")
+
+    def commit(self, coverage_states=None, fuzz_state=None):
+        """Atomically commit coverage snapshots + session state.
+
+        Order is the crash-safety contract: (1) write every snapshot
+        under a fresh generation number, (2) atomically replace
+        ``checkpoint.json`` to reference them, (3) garbage-collect
+        snapshots of other generations.  A crash anywhere leaves the
+        store at exactly the previous commit.
+
+        ``coverage_states`` maps model name to a tracker ``state_dict``;
+        when ``None`` the previously committed snapshots are kept.
+        """
+        gen = int(self._checkpoint.get("coverage_gen", 0)) + 1
+        if coverage_states is None:
+            coverage_refs = dict(self._checkpoint.get("coverage", {}))
+            gen = int(self._checkpoint.get("coverage_gen", 0))
+        else:
+            coverage_refs = {}
+            for name, state in coverage_states.items():
+                safe = _SAFE_NAME.sub("_", name)
+                rel_path = os.path.join("coverage", f"{safe}.g{gen}.npz")
+                _atomic_write_bytes(os.path.join(self.path, rel_path),
+                                    _coverage_to_npz_bytes(state))
+                coverage_refs[name] = rel_path
+        checkpoint = {"version": STORE_VERSION, "coverage_gen": gen,
+                      "coverage": coverage_refs, "fuzz": fuzz_state}
+        _atomic_write_json(self.checkpoint_path, checkpoint)
+        self._checkpoint = checkpoint
+        self._gc_coverage()
+        self._write_manifest()
+
+    def _gc_coverage(self):
+        """Remove snapshots the committed checkpoint no longer references."""
+        keep = {os.path.basename(p)
+                for p in self._checkpoint.get("coverage", {}).values()}
+        for name in os.listdir(self.coverage_dir):
+            if name.endswith(".npz") and name not in keep:
+                os.unlink(os.path.join(self.coverage_dir, name))
+
+    def merge_coverage(self, states):
+        """Committed snapshots ⊕ ``states`` (no commit; caller commits).
+
+        Models without a committed snapshot pass through unchanged.
+        """
+        merged = self.coverage_states()
+        for name, state in states.items():
+            if name in merged:
+                merged[name] = merge_state_dicts(merged[name], state)
+            else:
+                merged[name] = state
+        return merged
+
+    def _write_manifest(self):
+        kinds = {}
+        for entry in self._entries.values():
+            kinds[entry["kind"]] = kinds.get(entry["kind"], 0) + 1
+        _atomic_write_json(self.manifest_path, {
+            "version": STORE_VERSION,
+            "config": self._config,
+            "entries": len(self._entries),
+            "by_kind": kinds,
+            "coverage_gen": self._checkpoint.get("coverage_gen", 0),
+        })
+
+    # -- store-level merge --------------------------------------------------
+    def merge(self, other):
+        """Fold another store (or store directory) into this one.
+
+        Entries dedup by content hash (other's insertion order is
+        preserved for new entries); coverage snapshots OR-merge under
+        the PR-2 laws.  The other store's fuzz-session state is *not*
+        imported — scheduling state only makes sense against the store
+        that produced it.  Returns the number of entries added.
+        """
+        if not isinstance(other, CorpusStore):
+            other = CorpusStore(other, create=False)
+        if other.config is not None:
+            # Adopts the config when this store has none (fresh merge
+            # destination); otherwise a mismatch is a ConfigError.
+            self.bind_config(other.config)
+        # Validate + compute the merged coverage BEFORE copying any
+        # entry: merge_coverage is pure and raises CoverageError on a
+        # criterion/architecture mismatch, so an incompatible source
+        # fails without polluting this store.
+        merged_coverage = self.merge_coverage(other.coverage_states())
+        added = 0
+        for entry in other.entries():
+            if entry["hash"] in self._entries:
+                # Content address already present — skip the .npy read
+                # and re-hash entirely (overlapping corpora are the
+                # common case after sharded fuzzing).
+                continue
+            meta = {k: v for k, v in entry.items()
+                    if k not in ("hash", "kind")}
+            _, was_new = self.add_entry(other.load_input(entry["hash"]),
+                                        entry["kind"], **meta)
+            added += int(was_new)
+        self.commit(coverage_states=merged_coverage,
+                    fuzz_state=self.fuzz_state())
+        return added
+
+    # -- distillation -------------------------------------------------------
+    def distill(self, networks, threshold=0.0, scaled=True, keep_seeds=True):
+        """Shrink the corpus to a coverage-preserving subset.
+
+        Greedy set-cover (:func:`repro.analysis.minimize.minimize_suite`)
+        over the stored *test* entries: the kept subset standalone-covers
+        every neuron the full test set covers on ``networks``.  Seed
+        entries are kept by default (they are the fuzzable frontier, not
+        redundant artifacts).  The committed *merged* coverage is left
+        untouched — it also remembers ascent-path activations that no
+        stored input reproduces, and forgetting it would make later
+        sessions re-chase covered neurons.
+
+        Returns ``(kept, dropped)`` entry counts (over test entries).
+        """
+        tests = self.entries(kind="test") if keep_seeds else self.entries()
+        if not tests:
+            return 0, 0
+        hashes = [entry["hash"] for entry in tests]
+        inputs = self.load_inputs(hashes)
+        chosen, _ = minimize_suite(networks, inputs, threshold=threshold,
+                                   scaled=scaled)
+        keep_hashes = {hashes[i] for i in chosen}
+        if keep_seeds:
+            keep_hashes |= {e["hash"] for e in self.entries(kind="seed")}
+        dropped = [h for h in self._entries if h not in keep_hashes]
+        self._entries = {h: e for h, e in self._entries.items()
+                         if h in keep_hashes}
+        lines = "".join(json.dumps(dict(e), sort_keys=True) + "\n"
+                        for e in self._entries.values())
+        _atomic_write_bytes(self.meta_path, lines.encode("utf-8"))
+        for entry_hash in dropped:
+            path = self.input_path(entry_hash)
+            if os.path.exists(path):
+                os.unlink(path)
+        self._write_manifest()
+        return len(keep_hashes & set(hashes)), len(dropped)
+
+    def describe(self):
+        """One-paragraph human summary (the ``corpus info`` command)."""
+        kinds = {}
+        for entry in self._entries.values():
+            kinds[entry["kind"]] = kinds.get(entry["kind"], 0) + 1
+        coverage = self.coverage_states()
+        lines = [f"corpus at {self.path}",
+                 f"  entries : {len(self._entries)} "
+                 + " ".join(f"{k}={v}" for k, v in sorted(kinds.items()))]
+        for name, state in sorted(coverage.items()):
+            tracked = int(state["tracked"].sum())
+            covered = int((state["covered"] & state["tracked"]).sum())
+            frac = covered / tracked if tracked else 0.0
+            lines.append(f"  coverage: {name} {covered}/{tracked} "
+                         f"({frac:.1%})")
+        fuzz = self.fuzz_state()
+        if fuzz:
+            lines.append(f"  fuzz    : {fuzz.get('completed_rounds', 0)} "
+                         f"round(s) completed, root seed "
+                         f"{fuzz.get('root_seed')}")
+        return "\n".join(lines)

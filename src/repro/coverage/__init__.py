@@ -4,9 +4,12 @@ traditional code coverage it is contrasted against."""
 from repro.coverage.code import CodeCoverage
 from repro.coverage.extended import (BoundaryCoverage, KMultisectionCoverage,
                                      NeuronProfile, TopKNeuronCoverage)
-from repro.coverage.neuron import (NeuronCoverageTracker, coverage_of_inputs,
+from repro.coverage.neuron import (NeuronCoverageTracker,
+                                   check_states_compatible,
+                                   coverage_of_inputs, merge_state_dicts,
                                    scale_layerwise)
 
 __all__ = ["CodeCoverage", "NeuronCoverageTracker", "coverage_of_inputs",
            "scale_layerwise", "BoundaryCoverage", "KMultisectionCoverage",
-           "NeuronProfile", "TopKNeuronCoverage"]
+           "NeuronProfile", "TopKNeuronCoverage", "check_states_compatible",
+           "merge_state_dicts"]

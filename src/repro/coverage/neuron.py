@@ -22,7 +22,49 @@ from repro.nn.tape import ForwardPass, scale_layerwise
 from repro.utils.rng import as_rng
 
 __all__ = ["NeuronCoverageTracker", "scale_layerwise", "coverage_of_inputs",
-           "raw_activations"]
+           "raw_activations", "check_states_compatible", "merge_state_dicts"]
+
+
+def check_states_compatible(a, b):
+    """Raise :class:`CoverageError` unless two tracker snapshots are merge-
+    compatible (same network name, neuron count, threshold/scaling, and
+    tracked-layer mask).
+
+    Snapshot-level — no :class:`~repro.nn.network.Network` object needed —
+    so persisted coverage (e.g. a corpus store's ``coverage/*.npz``) can be
+    validated and merged without rebuilding models.
+    """
+    if (a["network"] != b["network"]
+            or int(a["total_neurons"]) != int(b["total_neurons"])):
+        raise CoverageError(
+            f"cannot merge coverage of network {b['network']!r} "
+            f"({b['total_neurons']} neurons) into coverage of "
+            f"{a['network']!r} ({a['total_neurons']})")
+    if (float(a["threshold"]) != float(b["threshold"])
+            or bool(a["scaled"]) != bool(b["scaled"])):
+        raise CoverageError(
+            "cannot merge trackers with different threshold/scaling — "
+            "they measure different coverage criteria")
+    if not np.array_equal(np.asarray(a["tracked"], dtype=bool),
+                          np.asarray(b["tracked"], dtype=bool)):
+        raise CoverageError(
+            "cannot merge trackers with different layer filters")
+
+
+def merge_state_dicts(a, b):
+    """OR-merge two tracker snapshots into a new snapshot (PR-2 merge laws:
+    commutative, associative, idempotent).  Inputs are not mutated."""
+    check_states_compatible(a, b)
+    merged = {
+        "network": a["network"],
+        "total_neurons": int(a["total_neurons"]),
+        "threshold": float(a["threshold"]),
+        "scaled": bool(a["scaled"]),
+        "tracked": np.asarray(a["tracked"], dtype=bool).copy(),
+        "covered": (np.asarray(a["covered"], dtype=bool)
+                    | np.asarray(b["covered"], dtype=bool)),
+    }
+    return merged
 
 
 def raw_activations(network, x, batch_size=256):
@@ -76,7 +118,8 @@ class NeuronCoverageTracker:
         name and neuron count.  ``layer_filter`` callables don't cross
         process boundaries, so the tracked mask is restored verbatim from
         the snapshot instead.  With ``fresh=True`` the covered mask
-        starts empty — the per-shard configuration of campaign workers.
+        starts empty — a tracker with the snapshot's *criterion* but
+        none of its history.
         """
         if (state["network"] != network.name
                 or state["total_neurons"] != network.total_neurons):
@@ -179,22 +222,17 @@ class NeuronCoverageTracker:
 
         Workers rebuild networks from payloads, so object identity cannot
         be required; name, neuron count, threshold/scaling, and the
-        tracked mask must match instead.
+        tracked mask must match instead (snapshot-level check shared with
+        :func:`check_states_compatible`).  The header dict references the
+        live masks rather than ``state_dict()`` copies — this runs once
+        per shard per model on every campaign merge.
         """
-        if (state["network"] != self.network.name
-                or state["total_neurons"] != self.network.total_neurons):
-            raise CoverageError(
-                f"cannot merge coverage of network {state['network']!r} "
-                f"({state['total_neurons']} neurons) into a tracker over "
-                f"{self.network.name!r} ({self.network.total_neurons})")
-        if (state["threshold"] != self.threshold
-                or bool(state["scaled"]) != self.scaled):
-            raise CoverageError(
-                "cannot merge trackers with different threshold/scaling — "
-                "they measure different coverage criteria")
-        if not np.array_equal(state["tracked"], self._tracked):
-            raise CoverageError(
-                "cannot merge trackers with different layer filters")
+        check_states_compatible(
+            {"network": self.network.name,
+             "total_neurons": self.network.total_neurons,
+             "threshold": self.threshold,
+             "scaled": self.scaled,
+             "tracked": self._tracked}, state)
 
     def load_state_dict(self, state):
         """Replace this tracker's covered mask with a saved snapshot."""

@@ -42,9 +42,11 @@ def make_engine(engine, models, hp, constraint, task, rng, workers=1,
     ``engine`` is ``"sequential"`` (Algorithm 1 as the paper runs it),
     ``"batch"`` (vectorized, same yield at a fraction of the wall-clock),
     or ``"campaign"`` (sharded across ``workers`` processes).  Campaign
-    runs derive their determinism from an integer root seed, so ``rng``
-    must be an int for that engine; ``shard_size`` (campaign only)
-    defaults to the campaign's own.
+    runs derive their determinism from a root seed, so ``rng`` must be an
+    integer or a :class:`numpy.random.SeedSequence` (so drivers that
+    spawn per-round children, like fuzz waves, can pass one through) for
+    that engine; ``shard_size``
+    (campaign only) defaults to the campaign's own.
     """
     if engine == "sequential":
         return DeepXplore(models, hp, constraint, task=task, rng=rng,
@@ -53,11 +55,16 @@ def make_engine(engine, models, hp, constraint, task, rng, workers=1,
         return BatchDeepXplore(models, hp, constraint, task=task, rng=rng,
                                trackers=trackers)
     if engine == "campaign":
-        if not isinstance(rng, (int, np.integer)):
-            raise ConfigError("campaign engine needs an integer seed")
+        if isinstance(rng, (int, np.integer)):
+            seed = int(rng)
+        elif isinstance(rng, np.random.SeedSequence):
+            seed = rng
+        else:
+            raise ConfigError(
+                "campaign engine needs an integer seed or a SeedSequence")
         kwargs = {} if shard_size is None else {"shard_size": shard_size}
         return Campaign(models, hp, constraint, task=task, workers=workers,
-                        seed=int(rng), trackers=trackers, **kwargs)
+                        seed=seed, trackers=trackers, **kwargs)
     raise ConfigError(
         f"unknown engine {engine!r}; known: sequential, batch, campaign")
 

@@ -17,7 +17,12 @@ from repro.errors import ConfigError
 from repro.utils.rng import as_rng
 
 __all__ = ["select_seeds", "random_seeds", "class_balanced_seeds",
-           "low_confidence_seeds"]
+           "low_confidence_seeds", "strategy_names"]
+
+
+def strategy_names():
+    """The registered strategy names (CLI ``--seed-strategy`` choices)."""
+    return sorted(_STRATEGIES)
 
 
 def random_seeds(dataset, count, rng=None, models=None):

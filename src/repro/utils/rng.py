@@ -59,7 +59,15 @@ def spawn_seed_sequences(seed, count):
     travel to worker processes as-is and are turned into generators at
     the point of use with :func:`rng_from_seed_sequence`.
     """
-    if not isinstance(seed, np.random.SeedSequence):
+    if isinstance(seed, np.random.SeedSequence):
+        # Spawn from a reconstructed copy: SeedSequence.spawn advances
+        # the parent's n_children_spawned, and mutating the caller's
+        # sequence would make repeated spawns draw different children —
+        # they must depend only on (entropy, spawn_key) and position.
+        seed = np.random.SeedSequence(entropy=seed.entropy,
+                                      spawn_key=seed.spawn_key,
+                                      pool_size=seed.pool_size)
+    else:
         seed = np.random.SeedSequence(seed)
     return seed.spawn(int(count))
 

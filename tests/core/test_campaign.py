@@ -46,6 +46,52 @@ def test_shard_rngs_independent_per_shard(rng):
     assert len(set(streams)) == len(streams)
 
 
+def test_shard_corpus_empty_corpus_yields_no_shards():
+    assert shard_corpus([], shard_size=4) == []
+    assert shard_corpus(np.empty((0, 28, 28, 1)), shard_size=4) == []
+
+
+def test_shard_corpus_shard_larger_than_corpus_is_one_shard(rng):
+    seeds = rng.random((3, 5))
+    shards = shard_corpus(seeds, shard_size=99, seed=1)
+    assert len(shards) == 1
+    np.testing.assert_array_equal(shards[0].seeds, seeds)
+    np.testing.assert_array_equal(shards[0].indices, np.arange(3))
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_campaign_empty_corpus_is_clean_empty_result(
+        mnist_trio, mnist_smoke, workers):
+    """Regression: an empty corpus (a drained fuzz wave, a filtered-out
+    seed set) must be a no-op result, not a crash."""
+    empty = np.empty((0,) + mnist_smoke.x_test.shape[1:])
+    result = _campaign(mnist_trio, workers=workers).run(empty)
+    assert result.difference_count == 0
+    assert result.seeds_processed == 0
+    assert set(result.coverage) == {m.name for m in mnist_trio}
+
+
+def test_batch_engine_empty_corpus_is_clean_empty_result(mnist_trio,
+                                                         mnist_smoke):
+    """Regression: BatchDeepXplore used to die in a size-0 reshape."""
+    from repro.core import BatchDeepXplore
+    empty = np.empty((0,) + mnist_smoke.x_test.shape[1:])
+    result = BatchDeepXplore(mnist_trio, PAPER_HYPERPARAMS["mnist"],
+                             LightingConstraint()).run(empty)
+    assert result.difference_count == 0
+    assert result.seeds_processed == 0
+    assert result.seeds_exhausted == 0
+
+
+def test_campaign_shard_larger_than_corpus_runs_single_shard(
+        mnist_trio, mnist_smoke):
+    seeds, _ = mnist_smoke.sample_seeds(5, np.random.default_rng(8))
+    big = Campaign(mnist_trio, PAPER_HYPERPARAMS["mnist"],
+                   LightingConstraint(), shard_size=500, seed=17)
+    result = big.run(seeds)
+    assert result.seeds_processed == 5
+
+
 def test_requires_two_models(lenet1):
     with pytest.raises(ConfigError):
         Campaign([lenet1])
@@ -113,6 +159,29 @@ def test_campaign_merges_into_existing_trackers(mnist_trio, mnist_smoke):
     prior = trackers[0].covered.copy()
     _campaign(mnist_trio, workers=1, trackers=trackers).run(seeds)
     assert (trackers[0].covered & prior).sum() == prior.sum()
+
+
+def test_shard_workers_start_from_driver_coverage(mnist_trio, mnist_smoke):
+    """Regression: worker trackers used to start fresh per shard, so a
+    campaign resumed over prior coverage (generate --resume, fuzz
+    waves) still pointed its coverage objective at neurons earlier runs
+    had already covered.  Shards must inherit the driver's coverage —
+    the OR-merge back makes that lossless."""
+    from repro.core import campaign as campaign_mod
+    seeds, _ = mnist_smoke.sample_seeds(6, np.random.default_rng(11))
+    trackers = [NeuronCoverageTracker(m, threshold=0.0) for m in mnist_trio]
+    trackers[0].update(seeds[:2])
+    prior = trackers[0].covered.copy()
+    assert prior.any()
+    campaign = _campaign(mnist_trio, workers=1, trackers=trackers)
+    shard = shard_corpus(seeds, shard_size=6, seed=17)[0]
+    try:
+        campaign_mod._init_worker(campaign._spec())
+        outcome = campaign_mod._run_shard(shard)
+    finally:
+        campaign_mod._WORKER_STATE.clear()
+    covered = np.asarray(outcome["coverage"][0]["covered"], dtype=bool)
+    assert (covered & prior).sum() == prior.sum()
 
 
 def test_campaign_with_per_seed_constraint(mnist_trio, mnist_smoke):

@@ -1,0 +1,222 @@
+"""FuzzSession: resumability, crash recovery, and corpus-reuse economics.
+
+The acceptance contract (ISSUE 4): a session killed at any instant —
+including mid-wave, after some tests of the wave were already persisted
+— resumes to a corpus *bit-identical* to an uninterrupted run with the
+same seed, for workers ∈ {1, 2}; and a second fuzz run over a saved
+corpus starts from the persisted coverage and scheduler state, spending
+strictly fewer forward passes than the first run did.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import PAPER_HYPERPARAMS, LightingConstraint
+from repro.corpus import CorpusStore, FuzzSession
+from repro.errors import ConfigError
+from repro.nn.instrumentation import PassCounter
+
+WAVE, SHARD, SEED, POOL = 8, 4, 7, 16
+
+
+def make_session(path, models, dataset=None, workers=1, wave_size=WAVE,
+                 shard_size=SHARD, seed=SEED):
+    return FuzzSession(path, models, PAPER_HYPERPARAMS["mnist"],
+                       LightingConstraint(), wave_size=wave_size,
+                       workers=workers, shard_size=shard_size, seed=seed,
+                       dataset=dataset, initial_seed_count=POOL)
+
+
+def assert_stores_identical(path_a, path_b):
+    a, b = CorpusStore(path_a), CorpusStore(path_b)
+    assert [dict(e) for e in a.entries()] == [dict(e) for e in b.entries()]
+    for entry in a.entries():
+        np.testing.assert_array_equal(a.load_input(entry["hash"]),
+                                      b.load_input(entry["hash"]))
+    cov_a, cov_b = a.coverage_states(), b.coverage_states()
+    assert set(cov_a) == set(cov_b)
+    for name in cov_a:
+        np.testing.assert_array_equal(cov_a[name]["covered"],
+                                      cov_b[name]["covered"])
+    assert a.fuzz_state() == b.fuzz_state()
+
+
+def test_fresh_sessions_are_reproducible(tmp_path, mnist_trio, mnist_smoke):
+    ra = make_session(tmp_path / "a", mnist_trio, mnist_smoke).run(3)
+    rb = make_session(tmp_path / "b", mnist_trio, mnist_smoke).run(3)
+    assert ra.new_tests == rb.new_tests > 0
+    assert_stores_identical(tmp_path / "a", tmp_path / "b")
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_kill_midwave_then_resume_is_bit_identical(
+        tmp_path, mnist_trio, mnist_smoke, monkeypatch, workers):
+    """The tentpole invariant: a SIGKILL-style interruption mid-wave —
+    after some of the wave's tests already hit the disk but before the
+    wave's checkpoint — loses nothing and changes nothing."""
+    reference = make_session(tmp_path / "ref", mnist_trio, mnist_smoke,
+                             workers=workers)
+    reference.run(3)
+
+    killed = make_session(tmp_path / "kill", mnist_trio, mnist_smoke,
+                          workers=workers)
+    killed.run(1)
+    real_add = CorpusStore.add_entry
+    test_adds = {"n": 0}
+
+    def bomb(self, x, kind, **meta):
+        if kind == "test":
+            test_adds["n"] += 1
+            if test_adds["n"] > 2:   # die with a wave partially persisted
+                raise KeyboardInterrupt("simulated kill")
+        return real_add(self, x, kind, **meta)
+
+    monkeypatch.setattr(CorpusStore, "add_entry", bomb)
+    with pytest.raises(KeyboardInterrupt):
+        killed.run(3)
+    monkeypatch.setattr(CorpusStore, "add_entry", real_add)
+
+    resumed = make_session(tmp_path / "kill", mnist_trio, mnist_smoke,
+                           workers=workers)
+    assert resumed.completed_rounds < 3   # the kill really lost a wave
+    resumed.run(3)
+    assert_stores_identical(tmp_path / "ref", tmp_path / "kill")
+
+
+def test_kill_during_initial_pool_draw_then_resume(tmp_path, mnist_trio,
+                                                   mnist_smoke, monkeypatch):
+    """Regression: a kill while the initial seed pool was being drawn
+    used to leave a partial pool that a resumed session silently
+    fuzzed as if complete.  The pre-draw checkpoint marker makes the
+    resume finish the (deterministic, idempotent) draw instead."""
+    make_session(tmp_path / "ref", mnist_trio, mnist_smoke).run(2)
+
+    real_add = CorpusStore.add_entry
+    seed_adds = {"n": 0}
+
+    def bomb(self, x, kind, **meta):
+        if kind == "seed":
+            seed_adds["n"] += 1
+            if seed_adds["n"] > 5:   # die with 5 of POOL seeds on disk
+                raise KeyboardInterrupt("simulated kill")
+        return real_add(self, x, kind, **meta)
+
+    monkeypatch.setattr(CorpusStore, "add_entry", bomb)
+    with pytest.raises(KeyboardInterrupt):
+        make_session(tmp_path / "kill", mnist_trio, mnist_smoke)
+    monkeypatch.setattr(CorpusStore, "add_entry", real_add)
+    assert len(CorpusStore(tmp_path / "kill").entries(kind="seed")) == 5
+
+    resumed = make_session(tmp_path / "kill", mnist_trio, mnist_smoke)
+    assert len(resumed.store.entries(kind="seed")) == POOL
+    resumed.run(2)
+    assert_stores_identical(tmp_path / "ref", tmp_path / "kill")
+
+
+def test_interrupted_pool_draw_needs_a_seed_source(tmp_path, mnist_trio,
+                                                   mnist_smoke, monkeypatch):
+    real_add = CorpusStore.add_entry
+
+    def bomb(self, x, kind, **meta):
+        if kind == "seed":
+            raise KeyboardInterrupt("simulated kill")
+        return real_add(self, x, kind, **meta)
+
+    monkeypatch.setattr(CorpusStore, "add_entry", bomb)
+    with pytest.raises(KeyboardInterrupt):
+        make_session(tmp_path / "c", mnist_trio, mnist_smoke)
+    monkeypatch.setattr(CorpusStore, "add_entry", real_add)
+    # Resuming without a seed source cannot finish the draw.
+    with pytest.raises(ConfigError):
+        make_session(tmp_path / "c", mnist_trio)
+    # Resuming with different pool parameters would draw a different
+    # pool than the interrupted session intended.
+    with pytest.raises(ConfigError):
+        FuzzSession(tmp_path / "c", mnist_trio,
+                    PAPER_HYPERPARAMS["mnist"], LightingConstraint(),
+                    wave_size=WAVE, shard_size=SHARD, seed=SEED,
+                    dataset=mnist_smoke, initial_seed_count=POOL + 1)
+    # The matching source finishes the draw and the session runs.
+    session = make_session(tmp_path / "c", mnist_trio, mnist_smoke)
+    assert len(session.store.entries(kind="seed")) == POOL
+    session.run(1)
+
+
+def test_worker_count_never_changes_the_corpus(tmp_path, mnist_trio,
+                                               mnist_smoke):
+    make_session(tmp_path / "w1", mnist_trio, mnist_smoke, workers=1).run(3)
+    make_session(tmp_path / "w2", mnist_trio, mnist_smoke, workers=2).run(3)
+    assert_stores_identical(tmp_path / "w1", tmp_path / "w2")
+
+
+def test_second_run_reuses_persisted_progress(tmp_path, mnist_trio,
+                                              mnist_smoke):
+    """Run 2 starts from the saved coverage + scheduler: resolved seeds
+    never re-run, so it spends strictly fewer forwards than run 1."""
+    with PassCounter() as first:
+        session = make_session(tmp_path / "c", mnist_trio, mnist_smoke)
+        report1 = session.run(2)
+    assert report1.waves_run == 2
+    retired = session.scheduler.retired_count()
+    assert retired > 0            # something resolved, so run 2 must save
+
+    with PassCounter() as second:
+        resumed = make_session(tmp_path / "c", mnist_trio, mnist_smoke)
+        report2 = resumed.run(4)
+    assert resumed.completed_rounds > 2
+    # Strictly fewer forward passes and strictly fewer samples pushed
+    # through the models, for the same number of waves.
+    assert report2.waves_run <= report1.waves_run
+    assert second.total_forwards() < first.total_forwards()
+    assert (sum(second.forward_samples.values())
+            < sum(first.forward_samples.values()))
+    # And it really started from the persisted coverage, not from zero.
+    persisted = CorpusStore(tmp_path / "c").coverage_states()
+    for model, tracker in zip(resumed.models, resumed.trackers):
+        assert tracker.covered_count() >= int(
+            (persisted[model.name]["covered"]
+             & persisted[model.name]["tracked"]).sum())
+
+
+def test_resume_validates_identity(tmp_path, mnist_trio, mnist_smoke):
+    make_session(tmp_path / "c", mnist_trio, mnist_smoke).run(1)
+    with pytest.raises(ConfigError):
+        make_session(tmp_path / "c", mnist_trio, wave_size=WAVE + 1)
+    with pytest.raises(ConfigError):
+        make_session(tmp_path / "c", mnist_trio, shard_size=SHARD + 1)
+    with pytest.raises(ConfigError):
+        make_session(tmp_path / "c", mnist_trio, seed=SEED + 1)
+    # Same identity resumes fine, with no dataset needed.
+    make_session(tmp_path / "c", mnist_trio)
+
+
+def test_empty_store_without_seed_source_raises(tmp_path, mnist_trio):
+    with pytest.raises(ConfigError):
+        make_session(tmp_path / "c", mnist_trio)
+
+
+def test_session_over_pre_seeded_store(tmp_path, mnist_trio, mnist_smoke):
+    """A corpus seeded by another tool (e.g. generate --corpus) fuzzes
+    without a dataset: the stored seed entries are the pool."""
+    store = CorpusStore(tmp_path / "c")
+    seeds, _ = mnist_smoke.sample_seeds(6, np.random.default_rng(0))
+    for i, x in enumerate(seeds):
+        store.add_entry(x, "seed", origin=int(i))
+    session = make_session(tmp_path / "c", mnist_trio)
+    report = session.run(1)
+    assert report.waves_run == 1
+    assert report.waves[0]["wave_size"] == 6
+
+
+def test_distill_prunes_store_and_scheduler(tmp_path, mnist_trio,
+                                            mnist_smoke):
+    session = make_session(tmp_path / "c", mnist_trio, mnist_smoke)
+    session.run(2)
+    tests_before = len(session.store.entries(kind="test"))
+    assert tests_before > 0
+    kept, dropped = session.distill()
+    assert kept + dropped == tests_before
+    assert len(session.store.entries(kind="test")) == kept
+    # Scheduler pool shrank with the store and the session still runs.
+    assert len(session.scheduler) == len(session.store.entries())
+    session.run(3)

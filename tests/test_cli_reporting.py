@@ -37,6 +37,17 @@ class TestParser:
         with pytest.raises(SystemExit):
             parser.parse_args(["generate", "mnist", "--engine", "warp"])
 
+    def test_fuzz_and_corpus_registered(self):
+        parser = build_parser()
+        args = parser.parse_args(["fuzz", "mnist", "--corpus", "/tmp/c",
+                                  "--rounds", "3", "--wave-size", "8"])
+        assert (args.command, args.rounds, args.wave_size) == ("fuzz", 3, 8)
+        with pytest.raises(SystemExit):
+            parser.parse_args(["fuzz", "mnist"])   # --corpus is required
+        args = parser.parse_args(["corpus", "merge", "dst", "a", "b"])
+        assert args.corpus_command == "merge"
+        assert args.sources == ["a", "b"]
+
 
 class TestCliCommands:
     def test_datasets(self, capsys):
@@ -58,6 +69,97 @@ class TestCliCommands:
         out = capsys.readouterr().out
         assert f"engine               : {engine}" in out
         assert "differences found" in out
+
+    def test_fuzz_resumes_and_reports(self, tmp_path, capsys):
+        corpus = str(tmp_path / "corpus")
+        argv = ["--scale", "smoke", "fuzz", "mnist", "--corpus", corpus,
+                "--wave-size", "6", "--shard-size", "4",
+                "--initial-seeds", "8"]
+        assert main(argv + ["--rounds", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "1 wave(s)" in out
+        # Second invocation continues the same corpus to a higher target.
+        assert main(argv + ["--rounds", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "2 round(s) completed" in out
+        assert main(["corpus", "info", corpus]) == 0
+        assert "entries" in capsys.readouterr().out
+
+    def test_generate_into_corpus_and_resume(self, tmp_path, capsys):
+        corpus = str(tmp_path / "corpus")
+        assert main(["--scale", "smoke", "generate", "mnist", "--seeds",
+                     "8", "--corpus", corpus]) == 0
+        assert "corpus" in capsys.readouterr().out
+        assert main(["--scale", "smoke", "generate", "mnist", "--seeds",
+                     "8", "--engine", "batch", "--corpus", corpus,
+                     "--resume"]) == 0
+        capsys.readouterr()
+        assert main(["--scale", "smoke", "generate", "mnist",
+                     "--resume"]) == 2   # --resume needs --corpus
+
+    def test_corpus_commands_reject_missing_paths(self, tmp_path, capsys):
+        """info/merge-sources/distill are read-only: a typo'd path is a
+        clean one-line error, not a fabricated empty store."""
+        missing = str(tmp_path / "nope")
+        assert main(["corpus", "info", missing]) == 1
+        assert "error:" in capsys.readouterr().err
+        assert main(["corpus", "merge", str(tmp_path / "dest"), missing]) == 1
+        assert "error:" in capsys.readouterr().err
+        assert not (tmp_path / "nope").exists()
+
+    def test_corpus_merge_rejects_mixed_configs_up_front(self, tmp_path,
+                                                         capsys):
+        """A config mismatch between sources must fail before anything
+        is merged, not abort halfway leaving dest partially merged."""
+        from repro.corpus import CorpusStore
+        a = CorpusStore(tmp_path / "a")
+        a.bind_config({"models": ["X"], "threshold": 0.0})
+        a.add_entry(np.zeros((3,)), "seed", origin=0)
+        b = CorpusStore(tmp_path / "b")
+        b.bind_config({"models": ["Y"], "threshold": 0.0})
+        b.add_entry(np.ones((3,)), "seed", origin=0)
+        assert main(["corpus", "merge", str(tmp_path / "dest"),
+                     str(tmp_path / "a"), str(tmp_path / "b")]) == 1
+        assert "different" in capsys.readouterr().err
+        assert len(CorpusStore(tmp_path / "dest")) == 0
+
+    def test_corpus_distill_validates_models_before_deleting(self, tmp_path,
+                                                             capsys):
+        """Distilling against the wrong trio must fail before any test
+        input is unlinked — set-cover over the wrong networks would
+        delete coverage-essential tests."""
+        from repro.corpus import CorpusStore
+        corpus = str(tmp_path / "corpus")
+        assert main(["--scale", "smoke", "generate", "mnist", "--seeds",
+                     "10", "--corpus", corpus]) == 0
+        capsys.readouterr()
+        tests_before = len(CorpusStore(corpus).entries(kind="test"))
+        assert tests_before > 0
+        assert main(["--scale", "smoke", "corpus", "distill", corpus,
+                     "driving"]) == 1
+        assert "error:" in capsys.readouterr().err
+        assert len(CorpusStore(corpus).entries(kind="test")) == tests_before
+
+    def test_generate_corpus_coverage_is_monotone(self, tmp_path, capsys):
+        """Regression: a second generate WITHOUT --resume starts its
+        trackers empty; committing them raw used to overwrite (shrink)
+        the corpus's accumulated coverage instead of OR-merging."""
+        from repro.corpus import CorpusStore
+        corpus = str(tmp_path / "corpus")
+
+        def covered_counts():
+            states = CorpusStore(corpus).coverage_states()
+            return {name: int((s["covered"] & s["tracked"]).sum())
+                    for name, s in states.items()}
+
+        assert main(["--scale", "smoke", "generate", "mnist",
+                     "--seeds", "12", "--corpus", corpus]) == 0
+        before = covered_counts()
+        assert main(["--scale", "smoke", "generate", "mnist",
+                     "--seeds", "4", "--corpus", corpus]) == 0
+        capsys.readouterr()
+        after = covered_counts()
+        assert all(after[name] >= count for name, count in before.items())
 
     def test_experiment(self, capsys):
         assert main(["--scale", "smoke", "experiment", "table7"]) == 0

@@ -61,6 +61,26 @@ class TestRng:
                 rng_from_seed_sequence(sa).integers(0, 1000, 8),
                 rng_from_seed_sequence(sb).integers(0, 1000, 8))
 
+    def test_spawn_seed_sequences_does_not_mutate_caller(self):
+        # Regression: SeedSequence.spawn advances the parent's
+        # n_children_spawned, so spawning must work on a copy — a
+        # campaign engine re-run with the same SeedSequence seed (and
+        # fuzz rounds re-deriving children on resume) must draw
+        # identical streams every time.
+        root = np.random.SeedSequence(11)
+        a = spawn_seed_sequences(root, 3)
+        assert root.n_children_spawned == 0
+        b = spawn_seed_sequences(root, 3)
+        for sa, sb in zip(a, b):
+            np.testing.assert_array_equal(
+                rng_from_seed_sequence(sa).integers(0, 1000, 8),
+                rng_from_seed_sequence(sb).integers(0, 1000, 8))
+        # And the int path agrees with the SeedSequence path.
+        for sa, sb in zip(a, spawn_seed_sequences(11, 3)):
+            np.testing.assert_array_equal(
+                rng_from_seed_sequence(sa).integers(0, 1000, 8),
+                rng_from_seed_sequence(sb).integers(0, 1000, 8))
+
     def test_spawn_seed_sequences_survive_pickling(self):
         import pickle
         children = spawn_seed_sequences(11, 3)

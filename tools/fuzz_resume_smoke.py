@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""CI smoke check: kill a fuzz session mid-wave, resume, assert identity.
+
+Runs a tiny two-round fuzz campaign twice into temp stores — once
+uninterrupted, once killed mid-wave (simulated after part of a wave is
+already persisted) and then resumed — and asserts the two corpora are
+bit-identical: same entry records in the same order, same input bytes,
+same merged coverage masks, same fuzz state.  This is the corpus
+subsystem's resume contract (docs/CORPUS.md) at CLI-smoke scale; the
+full matrix (workers ∈ {1, 2}, forward-pass accounting) lives in
+``tests/corpus/test_session_resume.py``.
+
+Exit code 0 on success, non-zero (with a diff summary) on any mismatch.
+
+Usage:  PYTHONPATH=src python tools/fuzz_resume_smoke.py
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+
+import numpy as np
+
+from repro import (FuzzSession, PAPER_HYPERPARAMS, constraint_for_dataset,
+                   get_trio, load_dataset)
+from repro.corpus import CorpusStore
+
+ROUNDS = 2
+WAVE_SIZE = 8
+SHARD_SIZE = 4
+ROOT_SEED = 11
+POOL = 16
+
+
+def make_session(corpus_dir, models, dataset, constraint):
+    return FuzzSession(corpus_dir, models, PAPER_HYPERPARAMS["mnist"],
+                       constraint, wave_size=WAVE_SIZE,
+                       shard_size=SHARD_SIZE, seed=ROOT_SEED,
+                       dataset=dataset, initial_seed_count=POOL)
+
+
+def run_killed_then_resumed(corpus_dir, models, dataset, constraint):
+    """First invocation dies mid-wave; second resumes to the target."""
+    session = make_session(corpus_dir, models, dataset, constraint)
+    real_add, test_adds = CorpusStore.add_entry, [0]
+
+    def dying_add(self, x, kind, **meta):
+        if kind == "test":
+            test_adds[0] += 1
+            if test_adds[0] > 1:   # die with the wave half-persisted
+                raise KeyboardInterrupt("simulated kill")
+        return real_add(self, x, kind, **meta)
+
+    CorpusStore.add_entry = dying_add
+    try:
+        session.run(ROUNDS)
+        raise SystemExit("smoke setup broken: the simulated kill never "
+                         "fired (no wave produced two tests?)")
+    except KeyboardInterrupt:
+        pass
+    finally:
+        CorpusStore.add_entry = real_add
+
+    resumed = make_session(corpus_dir, models, dataset, constraint)
+    print(f"  killed mid-wave; resumed at round "
+          f"{resumed.completed_rounds}, continuing to {ROUNDS}")
+    resumed.run(ROUNDS)
+
+
+def compare(ref_dir, crash_dir):
+    failures = []
+    ref, crash = CorpusStore(ref_dir), CorpusStore(crash_dir)
+    if [dict(e) for e in ref.entries()] != [dict(e) for e in
+                                            crash.entries()]:
+        failures.append(
+            f"entry records differ: {len(ref)} vs {len(crash)} entries")
+    else:
+        for entry in ref.entries():
+            a = ref.load_input(entry["hash"])
+            b = crash.load_input(entry["hash"])
+            if not np.array_equal(a, b):
+                failures.append(f"input bytes differ for {entry['hash']}")
+    ref_cov, crash_cov = ref.coverage_states(), crash.coverage_states()
+    if set(ref_cov) != set(crash_cov):
+        failures.append(f"coverage models differ: {sorted(ref_cov)} vs "
+                        f"{sorted(crash_cov)}")
+    for name in sorted(set(ref_cov) & set(crash_cov)):
+        if not np.array_equal(ref_cov[name]["covered"],
+                              crash_cov[name]["covered"]):
+            failures.append(f"merged coverage mask differs for {name}")
+    if ref.fuzz_state() != crash.fuzz_state():
+        failures.append("fuzz checkpoint state differs")
+    return failures
+
+
+def main():
+    print("fuzz-resume smoke: tiny corpus, "
+          f"{ROUNDS} rounds, kill + resume, determinism assert")
+    dataset = load_dataset("mnist", scale="smoke", seed=0)
+    models = get_trio("mnist", scale="smoke", seed=0, dataset=dataset)
+    constraint = constraint_for_dataset(dataset)
+    with tempfile.TemporaryDirectory() as workdir:
+        ref_dir, crash_dir = f"{workdir}/ref", f"{workdir}/crash"
+        report = make_session(ref_dir, models, dataset,
+                              constraint).run(ROUNDS)
+        print(f"  reference: {report.waves_run} wave(s), "
+              f"{report.new_tests} new test(s)")
+        run_killed_then_resumed(crash_dir, models, dataset, constraint)
+        failures = compare(ref_dir, crash_dir)
+    if failures:
+        print("FAIL: interrupted+resumed corpus diverged from the "
+              "uninterrupted run:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("OK: kill + resume is bit-identical to the uninterrupted run")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

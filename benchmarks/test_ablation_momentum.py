@@ -9,9 +9,9 @@ import numpy as np
 import pytest
 
 from benchmarks.conftest import SCALE, SEED
-from repro.core import DeepXplore, PAPER_HYPERPARAMS, LightingConstraint
+from repro.core import (DeepXplore, LightingConstraint, MomentumRule,
+                        PAPER_HYPERPARAMS)
 from repro.datasets import load_dataset
-from repro.extensions import MomentumDeepXplore
 from repro.models import get_trio
 from repro.utils.tables import render_table
 
@@ -24,8 +24,8 @@ def test_ablation_momentum(benchmark, beta):
     hp = PAPER_HYPERPARAMS["mnist"]
 
     def run():
-        engine = MomentumDeepXplore(models, hp, LightingConstraint(),
-                                    beta=beta, rng=37)
+        engine = DeepXplore(models, hp, LightingConstraint(), rng=37,
+                            rule=MomentumRule(beta))
         return engine.run(seeds)
 
     result = benchmark.pedantic(run, rounds=1, iterations=1)

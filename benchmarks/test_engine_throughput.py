@@ -1,0 +1,149 @@
+"""Unified-engine benchmark: no regression vs the pre-refactor batch
+engine, plus the vanilla-vs-momentum iterations-to-difference record.
+
+Writes ``BENCH_engine.json`` at the repo root (the engine counterpart
+of ``BENCH_fuzz.json``).  Wall-clock numbers are recorded for trend
+data; the *assertions* pin forward-pass counts, which are deterministic
+and machine-independent: the unified engine must spend no more forwards
+(and push no more samples through the models) than the pre-refactor
+``BatchDeepXplore`` did on the identical scenario.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.bench_records import record_bench
+from benchmarks.conftest import SCALE, SEED
+from repro.core import (AscentEngine, LightingConstraint, MomentumRule,
+                        PAPER_HYPERPARAMS)
+from repro.datasets import load_dataset
+from repro.models import get_trio
+from repro.nn.instrumentation import PassCounter
+from repro.utils.tables import render_table
+
+BENCH_ENGINE_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), os.pardir,
+    "BENCH_engine.json")
+
+#: Pre-refactor baseline: a one-off ``PassCounter`` measurement of the
+#: seed tree's (commit 3fa3108) ``BatchDeepXplore.run`` over the exact
+#: scenario below — 40 MNIST smoke seeds drawn with rng 71, engine rng
+#: 73, paper hyperparams, lighting constraint.  Because the unified
+#: vanilla engine is pinned bit-identical to that code
+#: (tests/core/test_engine.py), re-measuring with the current engine
+#: (``absorb_exhausted=False``) reproduces these numbers exactly.
+PRE_REFACTOR_FORWARDS = 93
+PRE_REFACTOR_FORWARD_SAMPLES = 2208
+
+_RECORDS = []
+
+
+@pytest.fixture(scope="module", autouse=True)
+def write_engine_records():
+    yield
+    if not _RECORDS:
+        return
+    payload = {
+        "schema": 1,
+        "scale": SCALE,
+        "seed": SEED,
+        "baseline": {
+            "forwards": PRE_REFACTOR_FORWARDS,
+            "forward_samples": PRE_REFACTOR_FORWARD_SAMPLES,
+        },
+        "benchmarks": sorted(_RECORDS, key=lambda r: r["name"]),
+    }
+    with open(BENCH_ENGINE_PATH, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def _scenario():
+    dataset = load_dataset("mnist", scale=SCALE, seed=SEED)
+    models = get_trio("mnist", scale=SCALE, seed=SEED, dataset=dataset)
+    seeds, _ = dataset.sample_seeds(40, np.random.default_rng(71))
+    return models, seeds, PAPER_HYPERPARAMS["mnist"]
+
+
+def test_unified_engine_no_regression(benchmark):
+    """Unified vectorized engine vs the pre-refactor batch baseline."""
+    models, seeds, hp = _scenario()
+
+    def run():
+        # absorb_exhausted=False matches the baseline's accounting
+        # exactly (the absorb costs no forwards either way, but keep the
+        # comparison apples-to-apples).
+        engine = AscentEngine(models, hp, LightingConstraint(), rng=73,
+                              absorb_exhausted=False)
+        with PassCounter() as passes:
+            start = time.perf_counter()
+            result = engine.run(seeds)
+            elapsed = time.perf_counter() - start
+        return result, elapsed, passes
+
+    (result, elapsed, passes) = benchmark.pedantic(run, rounds=1,
+                                                   iterations=1)
+    forwards = passes.total_forwards()
+    samples = sum(passes.forward_samples.values())
+    seeds_per_sec = seeds.shape[0] / max(elapsed, 1e-9)
+    _RECORDS.append({
+        "name": "unified-engine[vanilla-batch]",
+        "seconds": round(elapsed, 4),
+        "seeds_per_sec": round(seeds_per_sec, 2),
+        "forwards": int(forwards),
+        "forward_samples": int(samples),
+        "differences": result.difference_count,
+    })
+    record_bench(elapsed, label="unified-vanilla",
+                 seeds_per_sec=seeds_per_sec, forwards=forwards)
+    print()
+    print(render_table(
+        ["engine", "seeds/s", "forwards", "samples", "# diffs"],
+        [["unified", round(seeds_per_sec, 1), forwards, samples,
+          result.difference_count],
+         ["pre-refactor batch", "-", PRE_REFACTOR_FORWARDS,
+          PRE_REFACTOR_FORWARD_SAMPLES, "-"]],
+        title="[engine] unified vs pre-refactor batch"))
+    assert result.difference_count > 0
+    assert forwards <= PRE_REFACTOR_FORWARDS
+    assert samples <= PRE_REFACTOR_FORWARD_SAMPLES
+
+
+def test_vanilla_vs_momentum_iterations(benchmark):
+    """Iterations-to-difference, vanilla vs momentum, same seeds/RNG."""
+    models, seeds, hp = _scenario()
+
+    def run():
+        rows = {}
+        for label, rule in (("vanilla", None),
+                            ("momentum", MomentumRule(0.9))):
+            engine = AscentEngine(models, hp, LightingConstraint(),
+                                  rng=73, rule=rule)
+            start = time.perf_counter()
+            result = engine.run(seeds)
+            elapsed = time.perf_counter() - start
+            ascent = [t.iterations for t in result.tests
+                      if t.iterations > 0]
+            rows[label] = {
+                "seconds": round(elapsed, 4),
+                "differences": result.difference_count,
+                "mean_iterations": (round(float(np.mean(ascent)), 2)
+                                    if ascent else None),
+            }
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    for label, row in rows.items():
+        _RECORDS.append({"name": f"ascent-rule[{label}]", **row})
+    print()
+    print(render_table(
+        ["rule", "# diffs", "mean iterations", "seconds"],
+        [[label, row["differences"],
+          row["mean_iterations"] if row["mean_iterations"] is not None
+          else "-", row["seconds"]] for label, row in rows.items()],
+        title="[engine] vanilla vs momentum iterations-to-difference"))
+    assert all(row["differences"] > 0 for row in rows.values())

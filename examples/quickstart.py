@@ -7,6 +7,10 @@ lighting constraint.  Prints the difference-inducing inputs found, the
 neuron coverage achieved, and writes one seed/generated image pair next
 to this script.
 
+The engine comes from ``make_engine`` — the same selector behind the
+CLI's ``--engine``/``--ascent`` flags: try ``ENGINE = "batch"`` for the
+vectorized driver or ``ASCENT = "momentum"`` for heavy-ball ascent.
+
 Run:  python examples/quickstart.py
 """
 
@@ -14,11 +18,13 @@ import os
 
 import numpy as np
 
-from repro import (DeepXplore, PAPER_HYPERPARAMS, constraint_for_dataset,
-                   get_trio, load_dataset)
+from repro import (PAPER_HYPERPARAMS, constraint_for_dataset, get_trio,
+                   load_dataset, make_engine)
 from repro.utils.imageops import save_pgm
 
-SCALE = "smoke"   # bump to "small"/"full" for bigger runs
+SCALE = "smoke"    # bump to "small"/"full" for bigger runs
+ENGINE = "sequential"   # or "batch" / "campaign"
+ASCENT = "vanilla"      # or "momentum"
 
 
 def main():
@@ -30,8 +36,9 @@ def main():
               f"{model.parameter_count()} parameters")
 
     seeds, _ = dataset.sample_seeds(40, rng=np.random.default_rng(7))
-    engine = DeepXplore(models, PAPER_HYPERPARAMS["mnist"],
-                        constraint_for_dataset(dataset), rng=11)
+    engine = make_engine(ENGINE, models, PAPER_HYPERPARAMS["mnist"],
+                         constraint_for_dataset(dataset),
+                         dataset.task, 11, ascent=ASCENT)
     result = engine.run(seeds)
 
     print(f"\nProcessed {result.seeds_processed} seeds in "

@@ -6,17 +6,23 @@ optimization for generating difference-inducing corner-case inputs.
 
 Quickstart::
 
-    from repro import (load_dataset, get_trio, DeepXplore,
+    from repro import (load_dataset, get_trio, make_engine,
                        PAPER_HYPERPARAMS, constraint_for_dataset)
 
     dataset = load_dataset("mnist", scale="small")
     models = get_trio("mnist", scale="small", dataset=dataset)
     seeds, _ = dataset.sample_seeds(50, rng=0)
-    engine = DeepXplore(models, PAPER_HYPERPARAMS["mnist"],
-                        constraint_for_dataset(dataset))
+    engine = make_engine("batch", models, PAPER_HYPERPARAMS["mnist"],
+                         constraint_for_dataset(dataset),
+                         "classification", rng=0)
     result = engine.run(seeds)
     print(result.difference_count, "difference-inducing inputs,",
           f"{engine.mean_coverage():.1%} neuron coverage")
+
+``make_engine`` selects the driver (``"sequential"`` batch-of-1 /
+``"batch"`` vectorized / ``"campaign"`` multi-process) and, via
+``ascent="momentum"``, the per-iteration update rule; every combination
+runs the same unified :class:`~repro.core.AscentEngine` loop.
 
 Package map:
 
@@ -31,10 +37,12 @@ Package map:
 * :mod:`repro.experiments` — one runner per paper table/figure
 """
 
-from repro.core import (BatchDeepXplore, Campaign, DeepXplore,
-                        GeneratedTest, GenerationResult, Hyperparams,
-                        PAPER_HYPERPARAMS, constraint_for_dataset,
-                        majority_label)
+from repro.core import (AscentEngine, AscentRule, BatchDeepXplore,
+                        Campaign, DeepXplore, GeneratedTest,
+                        GenerationResult, Hyperparams, MomentumRule,
+                        PAPER_HYPERPARAMS, VanillaRule,
+                        constraint_for_dataset, majority_label, make_engine,
+                        make_rule)
 from repro.corpus import CorpusStore, FuzzReport, FuzzSession, SeedScheduler
 from repro.coverage import NeuronCoverageTracker, coverage_of_inputs
 from repro.datasets import Dataset, dataset_names, load_dataset
@@ -44,8 +52,9 @@ from repro.models import get_model, get_trio, zoo_names
 __version__ = "1.0.0"
 
 __all__ = [
-    "BatchDeepXplore", "Campaign", "DeepXplore", "GeneratedTest",
-    "GenerationResult", "Hyperparams",
+    "AscentEngine", "AscentRule", "BatchDeepXplore", "Campaign",
+    "DeepXplore", "GeneratedTest", "GenerationResult", "Hyperparams",
+    "MomentumRule", "VanillaRule", "make_engine", "make_rule",
     "PAPER_HYPERPARAMS", "constraint_for_dataset", "majority_label",
     "CorpusStore", "FuzzReport", "FuzzSession", "SeedScheduler",
     "NeuronCoverageTracker", "coverage_of_inputs",

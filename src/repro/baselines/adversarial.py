@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.engine import run_ascent
 from repro.errors import ConfigError
 from repro.utils.rng import as_rng
 
@@ -38,27 +39,31 @@ def _loss_gradient(network, x, labels):
 
 def fgsm(network, x, labels, epsilon=0.1):
     """Fast Gradient Sign Method: one signed step up the loss surface."""
-    if epsilon <= 0:
-        raise ConfigError(f"epsilon must be positive, got {epsilon}")
-    x = np.asarray(x, dtype=np.float64)
-    labels = np.asarray(labels)
-    grad = _loss_gradient(network, x, labels)
-    return np.clip(x + epsilon * np.sign(grad), 0.0, 1.0)
+    return iterative_fgsm(network, x, labels, epsilon=epsilon, steps=1)
 
 
 def iterative_fgsm(network, x, labels, epsilon=0.1, steps=5):
     """Basic iterative method: repeated small FGSM steps, clipped to an
-    epsilon ball around the seed."""
+    epsilon ball around the seed.
+
+    Iterates through the repo's one ascent loop
+    (:func:`repro.core.engine.run_ascent`) with the sign direction and
+    an epsilon-ball projection; the vanilla rule is FGSM's update.
+    """
+    if epsilon <= 0:
+        raise ConfigError(f"epsilon must be positive, got {epsilon}")
     x = np.asarray(x, dtype=np.float64)
     labels = np.asarray(labels)
-    step = epsilon / steps
-    adv = x.copy()
-    for _ in range(steps):
-        grad = _loss_gradient(network, adv, labels)
-        adv = adv + step * np.sign(grad)
-        adv = np.clip(adv, x - epsilon, x + epsilon)
-        adv = np.clip(adv, 0.0, 1.0)
-    return adv
+
+    def gradient(adv, iteration):
+        return _loss_gradient(network, adv, labels)
+
+    def project(adv_new, adv_prev):
+        adv_new = np.clip(adv_new, x - epsilon, x + epsilon)
+        return np.clip(adv_new, 0.0, 1.0)
+
+    return run_ascent(x.copy(), steps, gradient, step=epsilon / steps,
+                      direction=np.sign, project=project)
 
 
 def adversarial_inputs(network, dataset, count, epsilon=0.1, rng=None,

@@ -33,13 +33,13 @@ import sys
 
 import numpy as np
 
-from repro.core import PAPER_HYPERPARAMS, constraint_for_dataset
+from repro.core import (ASCENT_RULES, PAPER_HYPERPARAMS,
+                        constraint_for_dataset, make_engine, make_rule)
 from repro.corpus import CorpusStore, FuzzSession, corpus_fingerprint
 from repro.coverage import NeuronCoverageTracker
 from repro.datasets import dataset_names, load_dataset
 from repro.errors import ReproError
 from repro.experiments import EXPERIMENTS
-from repro.experiments.common import make_engine
 from repro.extensions.seed_selection import strategy_names
 from repro.models import TRIOS, get_trio, model_accuracy
 from repro.utils.ascii_art import side_by_side
@@ -76,6 +76,12 @@ def build_parser():
     gen.add_argument("--shard-size", type=int, default=16,
                      help="seeds per campaign shard; part of the "
                           "deterministic run identity, unlike --workers")
+    gen.add_argument("--ascent", default="vanilla", choices=ASCENT_RULES,
+                     help="per-iteration update rule: the paper's vanilla "
+                          "step or heavy-ball momentum (any engine)")
+    gen.add_argument("--beta", type=float, default=None,
+                     help="momentum coefficient in [0, 1) "
+                          "(--ascent momentum only; default 0.9)")
     gen.add_argument("--show", action="store_true",
                      help="render a seed/generated pair as ASCII art")
     gen.add_argument("--corpus", metavar="DIR",
@@ -99,6 +105,12 @@ def build_parser():
                       help="campaign worker processes (throughput only)")
     fuzz.add_argument("--shard-size", type=int, default=16,
                       help="seeds per campaign shard (identity)")
+    fuzz.add_argument("--ascent", default="vanilla", choices=ASCENT_RULES,
+                      help="per-iteration update rule (identity: a corpus "
+                           "fuzzed with momentum resumes with momentum)")
+    fuzz.add_argument("--beta", type=float, default=None,
+                      help="momentum coefficient in [0, 1) "
+                           "(--ascent momentum only; default 0.9)")
     fuzz.add_argument("--constraint", default="default",
                       help="image constraint: light | occl | blackout")
     fuzz.add_argument("--seed-strategy", default="random",
@@ -181,7 +193,8 @@ def _cmd_generate(args):
         args.engine, models, hp,
         constraint_for_dataset(dataset, kind=args.constraint),
         dataset.task, args.seed + 2, workers=args.workers,
-        shard_size=args.shard_size, trackers=trackers)
+        shard_size=args.shard_size, trackers=trackers,
+        ascent=args.ascent, beta=args.beta)
     result = engine.run(seeds)
     if store is not None:
         seed_hashes = [store.add_entry(x, "seed", origin=int(i))[0]
@@ -204,9 +217,11 @@ def _cmd_generate(args):
               f"(+{added} tests, {len(store)} entries)")
     if args.engine == "campaign":
         print(f"engine               : campaign "
-              f"(workers={args.workers}, shard_size={args.shard_size})")
+              f"(workers={args.workers}, shard_size={args.shard_size}, "
+              f"ascent={engine.rule.identity()})")
     else:
-        print(f"engine               : {args.engine}")
+        print(f"engine               : {args.engine} "
+              f"(ascent={engine.rule.identity()})")
     print(f"seeds processed      : {result.seeds_processed}")
     print(f"differences found    : {result.difference_count}")
     print(f"  via gradient ascent: "
@@ -232,7 +247,8 @@ def _cmd_fuzz(args):
         args.corpus, models, PAPER_HYPERPARAMS[args.dataset],
         constraint_for_dataset(dataset, kind=args.constraint),
         task=dataset.task, wave_size=args.wave_size, workers=args.workers,
-        shard_size=args.shard_size, seed=args.seed, dataset=dataset,
+        shard_size=args.shard_size, seed=args.seed,
+        rule=make_rule(args.ascent, beta=args.beta), dataset=dataset,
         seed_strategy=args.seed_strategy,
         initial_seed_count=args.initial_seeds)
     if args.rounds <= session.completed_rounds:

@@ -1,13 +1,16 @@
 """DeepXplore core: joint-optimization test generation (paper §3-§4)."""
 
-from repro.core.batch import BatchDeepXplore
 from repro.core.campaign import Campaign, CampaignShard, shard_corpus
 from repro.core.config import Hyperparams, PAPER_HYPERPARAMS
 from repro.core.constraints import (Constraint, DrebinConstraint,
                                     LightingConstraint, MultiRectOcclusion,
                                     PdfFeatureConstraint, SingleRectOcclusion,
                                     Unconstrained, constraint_for_dataset)
-from repro.core.generator import DeepXplore, GeneratedTest, GenerationResult
+from repro.core.engine import (ASCENT_RULES, AscentEngine, AscentRule,
+                               BatchDeepXplore, DeepXplore, GeneratedTest,
+                               GenerationResult, MomentumRule, VanillaRule,
+                               make_rule, run_ascent)
+from repro.core.factory import make_engine
 from repro.core.objectives import (CoverageObjective, DifferentialObjective,
                                    JointObjective,
                                    RegressionDifferentialObjective)
@@ -15,7 +18,9 @@ from repro.core.oracle import (ClassificationOracle, RegressionOracle,
                                majority_label, make_oracle)
 
 __all__ = [
-    "BatchDeepXplore",
+    "ASCENT_RULES", "AscentEngine", "AscentRule", "BatchDeepXplore",
+    "MomentumRule", "VanillaRule", "make_engine", "make_rule",
+    "run_ascent",
     "Campaign", "CampaignShard", "shard_corpus",
     "Hyperparams", "PAPER_HYPERPARAMS",
     "Constraint", "DrebinConstraint", "LightingConstraint",

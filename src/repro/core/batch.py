@@ -1,256 +1,15 @@
-"""Batched test generation: many seeds per ascent loop.
+"""Historical home of the vectorized generator.
 
-Algorithm 1 processes one seed at a time; every iteration pays a full
-forward/backward pass over each model for a single input.  Batching
-amortizes that cost: all active seeds step together, finished seeds are
-retired from the batch, and per-seed bookkeeping (target model, seed
-class, iteration of first difference) is tracked vectorized.
-
-Execution model: each loop iteration records exactly one
-:class:`~repro.nn.tape.ForwardPass` per model over the active batch.
-The tape feeds the oracle check, both objective gradients, and coverage
-absorption of newly difference-inducing samples.  The differential term
-is one backward per model — per-sample target signs and seed classes are
-folded into a single per-sample gradient seed matrix, replacing the
-per-class sub-batch passes of the pre-tape implementation.
-
-Semantics relative to :class:`repro.core.DeepXplore`:
-
-* each seed draws its own random target model, and constraints carrying
-  per-seed state (occlusion patch positions) are cloned per seed — every
-  seed ascends under its own independently drawn patches, matching the
-  sequential engine's semantics.  Stateless constraints keep the fully
-  vectorized single-instance path;
-* the coverage objective picks one shared set of uncovered neurons per
-  iteration (as the sequential algorithm does per seed);
-* results are equivalent difference-inducing inputs, found at a fraction
-  of the wall-clock (see ``benchmarks/test_batch_throughput.py`` and
-  ``benchmarks/test_forward_reuse.py``).
+The batched ascent loop that used to live here *became* the unified
+engine: :class:`~repro.core.engine.BatchDeepXplore` is a thin alias of
+:class:`~repro.core.engine.AscentEngine`, whose ``run`` processes a
+whole seed set in one vectorized ascent with retire-and-compact of
+finished seeds.  This module re-exports the name so existing imports
+keep working; it contains no ascent loop of its own.
 """
 
 from __future__ import annotations
 
-import time
-
-import numpy as np
-
-from repro.core.config import Hyperparams
-from repro.core.constraints import Unconstrained
-from repro.core.generator import (GeneratedTest, GenerationResult,
-                                  normalize_gradient)
-from repro.core.objectives import CoverageObjective
-from repro.core.oracle import make_oracle
-from repro.coverage import NeuronCoverageTracker
-from repro.errors import ConfigError
-from repro.utils.rng import as_rng
+from repro.core.engine import BatchDeepXplore
 
 __all__ = ["BatchDeepXplore"]
-
-
-class BatchDeepXplore:
-    """Vectorized variant of the DeepXplore generator."""
-
-    def __init__(self, models, hyperparams=None, constraint=None,
-                 task="classification", trackers=None, rng=None):
-        if len(models) < 2:
-            raise ConfigError("differential testing needs >= 2 models")
-        self.models = list(models)
-        self.hp = hyperparams or Hyperparams()
-        self.constraint = constraint or Unconstrained()
-        self.task = task
-        self.oracle = make_oracle(self.models, task)
-        self.rng = as_rng(rng)
-        if trackers is None:
-            trackers = [NeuronCoverageTracker(m, threshold=self.hp.threshold)
-                        for m in self.models]
-        if len(trackers) != len(self.models):
-            raise ConfigError("need exactly one tracker per model")
-        self.trackers = list(trackers)
-
-    # -- objective pieces, batched ----------------------------------------------
-    def _run_models(self, x):
-        """One recorded forward pass per model over the active batch."""
-        return [model.run(x) for model in self.models]
-
-    def _differential_gradient(self, tapes, rows, targets, seed_classes):
-        """Per-sample gradient of obj1 with per-sample target models.
-
-        ``rows`` maps active samples to rows of the tapes' batch (the
-        batch may still contain just-retired samples); the returned
-        gradient covers only the active rows.  One backward per model:
-        the per-sample seed matrix carries each sample's class column and
-        target sign, so no per-class sub-batching is needed.
-        """
-        lam = self.hp.lambda1
-        batch = tapes[0].batch_size
-        grad = None
-        if self.task == "regression":
-            out_ndim = len(self.models[0].output_shape)
-            for k, tape in enumerate(tapes):
-                sign = np.zeros((batch,) + (1,) * out_ndim)
-                sign[rows] = np.where(
-                    targets == k, -lam, 1.0).reshape((-1,) + (1,) * out_ndim)
-                g = tape.gradient_of_output(
-                    np.broadcast_to(sign, (batch,)
-                                    + tuple(self.models[0].output_shape)))
-                grad = g if grad is None else grad + g
-            return grad[rows]
-        n_classes = self.models[0].output_shape[0]
-        for k, tape in enumerate(tapes):
-            seed = np.zeros((batch, n_classes))
-            seed[rows, seed_classes] = np.where(targets == k, -lam, 1.0)
-            g = tape.gradient_of_output(seed)
-            grad = g if grad is None else grad + g
-        return grad[rows]
-
-    def _coverage_gradient(self, tapes, rows, coverage):
-        coverage.pick()
-        return coverage.gradient_from_tapes(tapes)[rows]
-
-    # -- per-seed constraint state ----------------------------------------------
-    def _setup_constraints(self, x):
-        """Per-seed constraint instances when per-seed state matters.
-
-        A constraint whose :meth:`setup` draws randomness (occlusion
-        patches) is cloned once per active seed, so each seed ascends
-        under its own draw — the sequential engine's semantics.
-        Stateless constraints return ``None`` and keep the vectorized
-        single-instance path.
-        """
-        if not self.constraint.per_seed_state:
-            self.constraint.setup(x[0], self.rng)
-            return None
-        constraints = []
-        for i in range(x.shape[0]):
-            per_seed = self.constraint.clone()
-            per_seed.setup(x[i], self.rng)
-            constraints.append(per_seed)
-        return constraints
-
-    def _apply_constraints(self, constraints, grad, x):
-        if constraints is None:
-            return self.constraint.apply(grad, x)
-        out = np.empty_like(grad)
-        for i, per_seed in enumerate(constraints):
-            out[i] = per_seed.apply(grad[i:i + 1], x[i:i + 1])[0]
-        return out
-
-    def _project_constraints(self, constraints, x_new, x_prev):
-        if constraints is None:
-            return self.constraint.project(x_new, x_prev)
-        out = np.empty_like(x_new)
-        for i, per_seed in enumerate(constraints):
-            out[i] = per_seed.project(x_new[i:i + 1], x_prev[i:i + 1])[0]
-        return out
-
-    # -- the batched loop ----------------------------------------------------------
-    def run(self, seeds, max_tests=None):
-        """Process all seeds in one vectorized ascent; returns results."""
-        seeds = np.asarray(seeds, dtype=np.float64)
-        n = seeds.shape[0]
-        result = GenerationResult()
-        start = time.perf_counter()
-        if n == 0:
-            # An empty corpus is a clean no-op result, not a reshape
-            # crash deep in the forward pass (campaign shards and fuzz
-            # waves may legitimately drain to nothing).
-            return self._finalize(result, start)
-
-        # Seeds the models already disagree on are immediate tests.
-        tapes = self._run_models(seeds)
-        outputs = [tape.outputs() for tape in tapes]
-        pre_differs = self.oracle.differs_from_outputs(outputs)
-        pre_preds = self.oracle.predictions_from_outputs(outputs)
-        active_idx = []
-        for i in range(n):
-            if pre_differs[i]:
-                test = GeneratedTest(
-                    x=seeds[i].copy(), seed_index=i, iterations=0,
-                    predictions=pre_preds[:, i], seed_class=None,
-                    elapsed=time.perf_counter() - start)
-                result.tests.append(test)
-                result.seeds_disagreed += 1
-            else:
-                active_idx.append(i)
-        if result.seeds_disagreed:
-            self._absorb_tapes(tapes, np.flatnonzero(pre_differs))
-        result.seeds_processed = n
-
-        if not active_idx or (max_tests is not None
-                              and len(result.tests) >= max_tests):
-            return self._finalize(result, start)
-
-        x = seeds[active_idx].copy()
-        index_map = np.asarray(active_idx)
-        targets = self.rng.integers(0, len(self.models),
-                                    size=index_map.size)
-        if self.task == "classification":
-            seed_classes = outputs[0][active_idx].argmax(axis=1)
-        else:
-            seed_classes = np.zeros(index_map.size, dtype=int)
-        coverage = CoverageObjective(self.trackers, rng=self.rng)
-        constraints = self._setup_constraints(x)
-        # Rows of the current tapes' batch holding the active samples —
-        # the seed tapes cover all seeds, later tapes only active ones.
-        rows = np.asarray(active_idx)
-
-        for iteration in range(1, self.hp.max_iterations + 1):
-            grad = self._differential_gradient(tapes, rows, targets,
-                                               seed_classes)
-            if self.hp.lambda2 > 0.0:
-                grad = grad + self.hp.lambda2 * \
-                    self._coverage_gradient(tapes, rows, coverage)
-            grad = self._apply_constraints(constraints, grad, x)
-            grad = normalize_gradient(grad)
-            x = self._project_constraints(
-                constraints, x + self.hp.step * grad, x)
-
-            tapes = self._run_models(x)
-            outputs = [tape.outputs() for tape in tapes]
-            differs = self.oracle.differs_from_outputs(outputs)
-            rows = np.arange(x.shape[0])
-            if differs.any():
-                preds = self.oracle.predictions_from_outputs(outputs)
-                finished = np.flatnonzero(differs)
-                for pos in finished:
-                    test = GeneratedTest(
-                        x=x[pos].copy(),
-                        seed_index=int(index_map[pos]),
-                        iterations=iteration,
-                        predictions=preds[:, pos],
-                        seed_class=(int(seed_classes[pos])
-                                    if self.task == "classification"
-                                    else None),
-                        elapsed=time.perf_counter() - start)
-                    result.tests.append(test)
-                self._absorb_tapes(tapes, finished)
-                if (max_tests is not None
-                        and len(result.tests) >= max_tests):
-                    return self._finalize(result, start)
-                keep = ~differs
-                x = x[keep]
-                index_map = index_map[keep]
-                targets = targets[keep]
-                seed_classes = seed_classes[keep]
-                if constraints is not None:
-                    constraints = [c for c, k in zip(constraints, keep) if k]
-                rows = np.flatnonzero(keep)
-                if x.shape[0] == 0:
-                    return self._finalize(result, start)
-        result.seeds_exhausted = int(x.shape[0])
-        return self._finalize(result, start)
-
-    def _absorb_tapes(self, tapes, rows):
-        """Fold difference-inducing rows of the iteration's tapes into
-        each model's coverage — no re-execution."""
-        for tracker, tape in zip(self.trackers, tapes):
-            tracker.update_from_tape(tape, rows=rows)
-
-    def _finalize(self, result, start):
-        result.elapsed = time.perf_counter() - start
-        result.coverage = {m.name: t.coverage()
-                           for m, t in zip(self.models, self.trackers)}
-        return result
-
-    def mean_coverage(self):
-        return float(np.mean([t.coverage() for t in self.trackers]))

@@ -1,9 +1,11 @@
 """Sharded generation campaigns: multi-process seed-corpus fan-out.
 
 A :class:`Campaign` splits a seed corpus into fixed-size shards, runs
-:class:`~repro.core.batch.BatchDeepXplore` on each shard — in worker
-processes when ``workers > 1`` — and merges the per-shard results into
-one :class:`~repro.core.generator.GenerationResult` plus one merged
+the vectorized :class:`~repro.core.engine.AscentEngine` on each shard —
+in worker processes when ``workers > 1``, under any
+:class:`~repro.core.engine.AscentRule` — and merges the per-shard
+results into one :class:`~repro.core.engine.GenerationResult` plus one
+merged
 coverage tracker per model.  This is the scale-out layer the stateless
 ``Network``/``ForwardPass`` substrate was built for: workers share
 nothing, so a campaign is embarrassingly parallel across shards.
@@ -38,10 +40,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.batch import BatchDeepXplore
 from repro.core.config import Hyperparams
 from repro.core.constraints import Constraint, Unconstrained
-from repro.core.generator import GenerationResult
+from repro.core.engine import (AscentEngine, AscentRule, GenerationResult,
+                               VanillaRule)
 from repro.coverage import NeuronCoverageTracker
 from repro.errors import ConfigError
 from repro.nn.config import network_from_payload, network_to_payload
@@ -129,9 +131,11 @@ def _run_shard(shard):
     models = _WORKER_STATE["models"]
     trackers = [NeuronCoverageTracker.from_state(m, s)
                 for m, s in zip(models, spec["tracker_states"])]
-    engine = BatchDeepXplore(
+    engine = AscentEngine(
         models, spec["hp"], spec["constraint"].clone(), task=spec["task"],
-        trackers=trackers, rng=rng_from_seed_sequence(shard.seed_seq))
+        trackers=trackers, rng=rng_from_seed_sequence(shard.seed_seq),
+        rule=spec["rule"].clone(),
+        absorb_exhausted=spec["absorb_exhausted"])
     result = engine.run(shard.seeds)
     for test in result.tests:
         test.seed_index = int(shard.indices[test.seed_index])
@@ -162,6 +166,16 @@ class Campaign:
         does not.
     seed:
         Root of the campaign's SeedSequence tree.
+    rule:
+        The :class:`~repro.core.engine.AscentRule` every shard ascends
+        under (each shard gets its own clone, so per-seed rule state
+        never crosses shard boundaries); defaults to the vanilla rule.
+        Like ``shard_size``, part of the deterministic identity.
+    absorb_exhausted:
+        Engine coverage accounting per shard (see
+        :class:`~repro.core.engine.AscentEngine`); ``False`` is the
+        paper-exact mode.  Also part of the deterministic identity —
+        it changes what later waves' coverage objectives chase.
     mp_start_method:
         ``multiprocessing`` start method (``"fork"``/``"spawn"``);
         defaults to the platform default.
@@ -169,8 +183,8 @@ class Campaign:
 
     def __init__(self, models, hyperparams=None, constraint=None,
                  task="classification", trackers=None, workers=1,
-                 shard_size=DEFAULT_SHARD_SIZE, seed=0,
-                 mp_start_method=None):
+                 shard_size=DEFAULT_SHARD_SIZE, seed=0, rule=None,
+                 absorb_exhausted=True, mp_start_method=None):
         if len(models) < 2:
             raise ConfigError("differential testing needs >= 2 models")
         self.models = list(models)
@@ -186,6 +200,10 @@ class Campaign:
             raise ConfigError(f"shard_size must be >= 1, got {shard_size}")
         self.shard_size = int(shard_size)
         self.seed = seed
+        self.rule = rule if rule is not None else VanillaRule()
+        if not isinstance(self.rule, AscentRule):
+            raise ConfigError("rule must be an AscentRule instance")
+        self.absorb_exhausted = bool(absorb_exhausted)
         if trackers is None:
             trackers = [NeuronCoverageTracker(m, threshold=self.hp.threshold)
                         for m in self.models]
@@ -201,6 +219,8 @@ class Campaign:
             "hp": self.hp,
             "constraint": self.constraint,
             "task": self.task,
+            "rule": self.rule,
+            "absorb_exhausted": self.absorb_exhausted,
             "tracker_states": [t.state_dict() for t in self.trackers],
         }
 

@@ -1,286 +1,19 @@
-"""Algorithm 1: gradient-ascent test generation via joint optimization.
+"""Historical home of the sequential Algorithm 1 driver.
 
-The :class:`DeepXplore` driver cycles through unlabeled seed inputs; for
-each seed it repeatedly (1) builds the joint objective's input-gradient,
-(2) rewrites it through the domain constraint, (3) takes an ascent step,
-and (4) asks the differential oracle whether the models now disagree.
-Difference-inducing inputs are collected and folded into each model's
-neuron-coverage tracker.
-
-Execution model: every ascent iteration records exactly one
-:class:`~repro.nn.tape.ForwardPass` per model (``Network.run``).  The
-same tape feeds the differential objective, the coverage objective, the
-oracle check, and — when a difference is found — the tracker update, so
-no model is ever run twice for the same input.
+The per-seed ascent loop that used to live here was unified into
+:mod:`repro.core.engine`: :class:`~repro.core.engine.DeepXplore` is now
+a batch-of-1 facade over the single vectorized
+:class:`~repro.core.engine.AscentEngine`, bit-identical to the old
+sequential implementation under fixed RNG (pinned in
+``tests/core/test_engine.py``).  This module re-exports the public
+names so existing imports keep working; it contains no ascent loop of
+its own.
 """
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-
-import numpy as np
-
-from repro.core.config import Hyperparams
-from repro.core.constraints import Constraint, Unconstrained
-from repro.core.objectives import (CoverageObjective, DifferentialObjective,
-                                   JointObjective,
-                                   RegressionDifferentialObjective)
-from repro.core.oracle import make_oracle
-from repro.coverage import NeuronCoverageTracker
-from repro.errors import ConfigError
-from repro.utils.rng import as_rng
+from repro.core.engine import (DeepXplore, GeneratedTest, GenerationResult,
+                               normalize_gradient)
 
 __all__ = ["DeepXplore", "GeneratedTest", "GenerationResult",
            "normalize_gradient"]
-
-
-def normalize_gradient(grad):
-    """RMS-normalize a batched gradient (per sample).
-
-    The original DeepXplore implementation divides every gradient by its
-    root-mean-square before stepping (``normalize`` in the released
-    code), which makes the step size ``s`` meaningful across models and
-    objectives whose raw gradient magnitudes differ by orders of
-    magnitude.
-    """
-    batch = grad.shape[0]
-    flat = grad.reshape(batch, -1)
-    rms = np.sqrt((flat ** 2).mean(axis=1, keepdims=True))
-    shape = (batch,) + (1,) * (grad.ndim - 1)
-    return grad / (rms.reshape(shape) + 1e-8)
-
-
-@dataclass
-class GeneratedTest:
-    """One difference-inducing input found by the generator."""
-
-    x: np.ndarray               # the generated input (no batch axis)
-    seed_index: int             # which seed it came from
-    iterations: int             # ascent iterations used (0 = seed differed)
-    predictions: np.ndarray     # per-model predictions on x
-    seed_class: object          # seed's agreed class (None for regression)
-    elapsed: float              # seconds from seed start to difference
-
-
-@dataclass
-class GenerationResult:
-    """Outcome of a generation run over a seed set."""
-
-    tests: list = field(default_factory=list)
-    seeds_processed: int = 0
-    seeds_disagreed: int = 0     # seeds the models already disagreed on
-    seeds_exhausted: int = 0     # seeds that hit max_iterations
-    elapsed: float = 0.0
-    coverage: dict = field(default_factory=dict)  # model name -> NCov
-
-    @property
-    def difference_count(self):
-        return len(self.tests)
-
-    def test_inputs(self):
-        """Stack all generated inputs into one array."""
-        if not self.tests:
-            return np.empty((0,))
-        return np.stack([t.x for t in self.tests])
-
-    def merge(self, other):
-        """Fold another result (e.g. a campaign shard's) into this one.
-
-        Tests keep the (globally unique) ``seed_index`` they were found
-        for, and the merged list is re-ordered by it, so merging shard
-        results in any order yields the same ``GenerationResult``.
-        Counters add; ``elapsed`` adds too and therefore means *total
-        compute seconds* after a merge — a parallel driver overwrites it
-        with its own wall-clock.  Coverage fractions cannot be combined
-        after the fact (a fraction forgets *which* neurons fired), so
-        ``coverage`` is cleared; the campaign recomputes it from the
-        merged trackers.  Returns ``self`` for chaining.
-        """
-        self.tests.extend(other.tests)
-        self.tests.sort(key=lambda t: t.seed_index)
-        self.seeds_processed += other.seeds_processed
-        self.seeds_disagreed += other.seeds_disagreed
-        self.seeds_exhausted += other.seeds_exhausted
-        self.elapsed += other.elapsed
-        self.coverage = {}
-        return self
-
-
-class DeepXplore:
-    """Whitebox differential test generator (paper Algorithm 1).
-
-    Parameters
-    ----------
-    models:
-        Two or more trained networks with identical input domains.
-    hyperparams:
-        :class:`~repro.core.config.Hyperparams`; paper defaults per
-        dataset live in ``PAPER_HYPERPARAMS``.
-    constraint:
-        A :class:`~repro.core.constraints.Constraint`; defaults to
-        pixel clipping only.
-    task:
-        ``"classification"`` or ``"regression"``.
-    trackers:
-        Optional pre-existing coverage trackers (one per model); created
-        fresh otherwise.  Sharing trackers across runs accumulates
-        coverage, which is how Table 8 measures time-to-full-coverage.
-    """
-
-    def __init__(self, models, hyperparams=None, constraint=None,
-                 task="classification", trackers=None, rng=None,
-                 update_coverage_with_tests=True, coverage_factory=None):
-        if len(models) < 2:
-            raise ConfigError("differential testing needs >= 2 models")
-        self.models = list(models)
-        self.hp = hyperparams or Hyperparams()
-        self.constraint = constraint or Unconstrained()
-        if not isinstance(self.constraint, Constraint):
-            raise ConfigError("constraint must be a Constraint instance")
-        self.task = task
-        self.oracle = make_oracle(self.models, task)
-        self.rng = as_rng(rng)
-        if trackers is None:
-            trackers = [NeuronCoverageTracker(m, threshold=self.hp.threshold)
-                        for m in self.models]
-        if len(trackers) != len(self.models):
-            raise ConfigError("need exactly one tracker per model")
-        self.trackers = list(trackers)
-        self.update_coverage_with_tests = bool(update_coverage_with_tests)
-        # Pluggable obj2: callable(trackers, rng) -> coverage objective
-        # implementing pick()/value()/gradient().  Default = Algorithm 1's
-        # one-neuron-per-model rule; extensions supply variants.
-        self.coverage_factory = coverage_factory or (
-            lambda trackers, rng: CoverageObjective(trackers, rng=rng))
-
-    # -- single-seed ascent -------------------------------------------------------
-    def _differential_objective(self, x, target_index, seed_class):
-        if self.task == "regression":
-            return RegressionDifferentialObjective(
-                self.models, target_index, self.hp.lambda1)
-        return DifferentialObjective(
-            self.models, target_index, seed_class, self.hp.lambda1)
-
-    def _run_models(self, x):
-        """One recorded forward pass per model (the iteration's tapes)."""
-        return [model.run(x) for model in self.models]
-
-    def generate_from_seed(self, seed_x, seed_index=0):
-        """Run gradient ascent from one seed; returns a test or ``None``.
-
-        ``seed_x`` is a single input without batch axis.
-        """
-        start = time.perf_counter()
-        x = np.asarray(seed_x, dtype=np.float64)[None, ...]
-        # Line 4-5: the seed's agreed class (skip ascent if models already
-        # disagree — the seed itself is difference-inducing).
-        tapes = self._run_models(x)
-        outputs = [tape.outputs() for tape in tapes]
-        if bool(self.oracle.differs_from_outputs(outputs)[0]):
-            test = GeneratedTest(
-                x=x[0].copy(), seed_index=seed_index, iterations=0,
-                predictions=self.oracle.predictions_from_outputs(
-                    outputs)[:, 0],
-                seed_class=None, elapsed=time.perf_counter() - start)
-            self._absorb_tapes(tapes)
-            return test
-        seed_class = None
-        if self.task == "classification":
-            seed_class = int(outputs[0].argmax(axis=1)[0])
-        # Line 6: randomly pick the model to push away from the rest.
-        target_index = int(self.rng.integers(0, len(self.models)))
-        objective = JointObjective(
-            self._differential_objective(x, target_index, seed_class),
-            self.coverage_factory(self.trackers, self.rng),
-            self.hp.lambda2)
-        self.constraint.setup(x[0], self.rng)
-
-        for iteration in range(1, self.hp.max_iterations + 1):
-            grad = objective.step_gradient_from_tapes(tapes)  # line 11
-            grad = self.constraint.apply(grad, x)      # line 13
-            # Normalizing after the constraint keeps the effective step
-            # size s meaningful regardless of how much of the gradient
-            # the constraint masked away.
-            grad = normalize_gradient(grad)
-            x = self.constraint.project(x + self.hp.step * grad, x)  # line 14
-            # The stepped input's tapes serve the oracle check now and, if
-            # the models still agree, the next iteration's gradients.
-            tapes = self._run_models(x)
-            outputs = [tape.outputs() for tape in tapes]
-            if bool(self.oracle.differs_from_outputs(outputs)[0]):  # line 15
-                test = GeneratedTest(
-                    x=x[0].copy(), seed_index=seed_index,
-                    iterations=iteration,
-                    predictions=self.oracle.predictions_from_outputs(
-                        outputs)[:, 0],
-                    seed_class=seed_class,
-                    elapsed=time.perf_counter() - start)
-                self._absorb_tapes(tapes)
-                return test
-        return None
-
-    def _absorb_tapes(self, tapes):
-        """Line 18: fold a new difference-inducing input into coverage,
-        reusing the tapes that already exist for it.
-
-        ``update`` accepts tapes directly, so custom trackers only need
-        the classic ``update`` protocol.
-        """
-        if not self.update_coverage_with_tests:
-            return
-        for tracker, tape in zip(self.trackers, tapes):
-            tracker.update(tape)
-
-    # -- seed-set driver ----------------------------------------------------------
-    def run(self, seeds, desired_coverage=None, max_tests=None,
-            cycle=False, max_seed_visits=None):
-        """Process a seed set (the paper's main loop, lines 3-21).
-
-        Stops when seeds are exhausted (or, with ``cycle=True``, keeps
-        cycling through them as Algorithm 1's ``cycle(x in seed_set)``
-        does) until ``desired_coverage`` (mean NCov across models),
-        ``max_tests``, or the ``max_seed_visits`` budget is reached.
-        """
-        seeds = np.asarray(seeds, dtype=np.float64)
-        result = GenerationResult()
-        start = time.perf_counter()
-        indices = range(seeds.shape[0])
-        while True:
-            for i in indices:
-                if self._done(result, desired_coverage, max_tests):
-                    break
-                if (max_seed_visits is not None
-                        and result.seeds_processed >= max_seed_visits):
-                    break
-                test = self.generate_from_seed(seeds[i], seed_index=i)
-                result.seeds_processed += 1
-                if test is None:
-                    result.seeds_exhausted += 1
-                elif test.iterations == 0:
-                    result.seeds_disagreed += 1
-                    result.tests.append(test)
-                else:
-                    result.tests.append(test)
-            budget_hit = (max_seed_visits is not None
-                          and result.seeds_processed >= max_seed_visits)
-            if (not cycle or budget_hit
-                    or self._done(result, desired_coverage, max_tests)):
-                break
-        result.elapsed = time.perf_counter() - start
-        result.coverage = {m.name: t.coverage()
-                           for m, t in zip(self.models, self.trackers)}
-        return result
-
-    def _done(self, result, desired_coverage, max_tests):
-        if max_tests is not None and len(result.tests) >= max_tests:
-            return True
-        if desired_coverage is not None:
-            mean_cov = float(np.mean([t.coverage() for t in self.trackers]))
-            if mean_cov >= desired_coverage:
-                return True
-        return False
-
-    def mean_coverage(self):
-        """Mean neuron coverage across the tested models."""
-        return float(np.mean([t.coverage() for t in self.trackers]))

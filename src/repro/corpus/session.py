@@ -13,10 +13,13 @@ the same tests (same trackers, same spawned RNG stream), and the
 idempotent absorb converges to exactly the uninterrupted store.
 
 Determinism identity (``ConfigError`` to change on resume): the root
-``seed``, ``wave_size``, ``shard_size``, the constraint kind, and the
+``seed``, ``wave_size``, ``shard_size``, the constraint kind, the
+ascent rule (``rule.identity()``, e.g. ``momentum(beta=0.9)``), the
+engine's exhausted-tape accounting (``absorb_exhausted``), and the
 store's config fingerprint (model names, coverage threshold, task).
 ``workers`` is throughput only, exactly as for campaigns: a wave is a
-campaign, and campaigns are worker-count invariant.
+campaign, and campaigns are worker-count invariant.  Corpora written
+before rules existed resume as ``vanilla``.
 
 Round *i* always draws the *i*-th spawned child of the root seed
 (:func:`repro.utils.rng.spawn_seed_sequences` children depend on
@@ -34,6 +37,7 @@ import numpy as np
 from repro.core.campaign import Campaign, DEFAULT_SHARD_SIZE
 from repro.core.config import Hyperparams
 from repro.core.constraints import Unconstrained
+from repro.core.engine import AscentRule, VanillaRule
 from repro.corpus.scheduler import SeedScheduler
 from repro.corpus.store import CorpusStore, corpus_fingerprint
 from repro.coverage import NeuronCoverageTracker
@@ -88,9 +92,13 @@ class FuzzSession:
         A :class:`CorpusStore` or a directory path (created if absent).
     models, hyperparams, constraint, task:
         As for :class:`~repro.core.Campaign`.
-    wave_size, shard_size, seed:
+    wave_size, shard_size, seed, rule, absorb_exhausted:
         The session's deterministic identity (with the constraint kind);
-        persisted in the store and validated on resume.
+        persisted in the store and validated on resume.  ``rule`` is the
+        :class:`~repro.core.engine.AscentRule` every wave's campaign
+        ascends under (default vanilla); ``absorb_exhausted=False`` is
+        the engine's paper-exact coverage accounting — identity too,
+        because it changes what later waves' coverage objectives chase.
     workers, mp_start_method:
         Campaign fan-out; changing them never changes results.
     dataset, seed_strategy, initial_seed_count, initial_seeds:
@@ -106,7 +114,8 @@ class FuzzSession:
 
     def __init__(self, store, models, hyperparams=None, constraint=None,
                  task="classification", wave_size=16, workers=1,
-                 shard_size=DEFAULT_SHARD_SIZE, seed=0, dataset=None,
+                 shard_size=DEFAULT_SHARD_SIZE, seed=0, rule=None,
+                 absorb_exhausted=True, dataset=None,
                  seed_strategy="random", initial_seed_count=64,
                  initial_seeds=None, mp_start_method=None):
         self.store = store if isinstance(store, CorpusStore) \
@@ -123,6 +132,10 @@ class FuzzSession:
         self.workers = int(workers)
         self.shard_size = int(shard_size)
         self.seed = int(seed)
+        self.rule = rule if rule is not None else VanillaRule()
+        if not isinstance(self.rule, AscentRule):
+            raise ConfigError("rule must be an AscentRule instance")
+        self.absorb_exhausted = bool(absorb_exhausted)
         self.mp_start_method = mp_start_method
 
         self.store.bind_config(
@@ -178,11 +191,17 @@ class FuzzSession:
             "wave_size": self.wave_size,
             "shard_size": self.shard_size,
             "constraint": type(self.constraint).__name__,
+            "ascent": self.rule.identity(),
+            "absorb_exhausted": self.absorb_exhausted,
         }
 
     def _check_identity(self, state):
         identity = self._identity()
-        stored = {key: state.get(key) for key in identity}
+        # Corpora written before ascent rules / exhausted-tape folding
+        # existed carry neither key; they resume under the defaults.
+        legacy = {"ascent": VanillaRule().identity(),
+                  "absorb_exhausted": True}
+        stored = {key: state.get(key, legacy.get(key)) for key in identity}
         if stored != identity:
             raise ConfigError(
                 f"cannot resume fuzz session: corpus was built with "
@@ -256,6 +275,7 @@ class FuzzSession:
                 self.models, self.hp, self.constraint, task=self.task,
                 trackers=self.trackers, workers=self.workers,
                 shard_size=self.shard_size, seed=children[round_index],
+                rule=self.rule, absorb_exhausted=self.absorb_exhausted,
                 mp_start_method=self.mp_start_method)
             result = campaign.run(self.store.load_inputs(wave))
             newly = sum(t.covered_count()

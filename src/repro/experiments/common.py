@@ -10,11 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
-from repro.core import BatchDeepXplore, Campaign, DeepXplore
+from repro.core import make_engine
 from repro.datasets.base import resolve_scale
-from repro.errors import ConfigError
 from repro.utils.tables import render_table
 
 __all__ = ["ExperimentResult", "seeds_for_scale", "SEED_BUDGETS",
@@ -33,40 +30,6 @@ def seeds_for_scale(scale, maximum=None):
     if maximum is not None:
         budget = min(budget, maximum)
     return budget
-
-
-def make_engine(engine, models, hp, constraint, task, rng, workers=1,
-                shard_size=None, trackers=None):
-    """The one engine selector shared by experiments and the CLI.
-
-    ``engine`` is ``"sequential"`` (Algorithm 1 as the paper runs it),
-    ``"batch"`` (vectorized, same yield at a fraction of the wall-clock),
-    or ``"campaign"`` (sharded across ``workers`` processes).  Campaign
-    runs derive their determinism from a root seed, so ``rng`` must be an
-    integer or a :class:`numpy.random.SeedSequence` (so drivers that
-    spawn per-round children, like fuzz waves, can pass one through) for
-    that engine; ``shard_size``
-    (campaign only) defaults to the campaign's own.
-    """
-    if engine == "sequential":
-        return DeepXplore(models, hp, constraint, task=task, rng=rng,
-                          trackers=trackers)
-    if engine == "batch":
-        return BatchDeepXplore(models, hp, constraint, task=task, rng=rng,
-                               trackers=trackers)
-    if engine == "campaign":
-        if isinstance(rng, (int, np.integer)):
-            seed = int(rng)
-        elif isinstance(rng, np.random.SeedSequence):
-            seed = rng
-        else:
-            raise ConfigError(
-                "campaign engine needs an integer seed or a SeedSequence")
-        kwargs = {} if shard_size is None else {"shard_size": shard_size}
-        return Campaign(models, hp, constraint, task=task, workers=workers,
-                        seed=seed, trackers=trackers, **kwargs)
-    raise ConfigError(
-        f"unknown engine {engine!r}; known: sequential, batch, campaign")
 
 
 @dataclass

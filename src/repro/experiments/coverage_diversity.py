@@ -12,10 +12,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.analysis import average_l1_diversity
-from repro.core import DeepXplore, PAPER_HYPERPARAMS, constraint_for_dataset
+from repro.core import PAPER_HYPERPARAMS, constraint_for_dataset
 from repro.coverage import NeuronCoverageTracker
 from repro.datasets import load_dataset
-from repro.experiments.common import ExperimentResult, seeds_for_scale
+from repro.experiments.common import (ExperimentResult, make_engine,
+                                      seeds_for_scale)
 from repro.models import get_trio
 from repro.utils.rng import as_rng
 
@@ -25,8 +26,9 @@ __all__ = ["run_coverage_diversity"]
 def _one_setting(models, dataset, seeds, lambda2, rng):
     hp = PAPER_HYPERPARAMS["mnist"].with_(lambda2=lambda2)
     trackers = [NeuronCoverageTracker(m, threshold=0.25) for m in models]
-    engine = DeepXplore(models, hp, constraint_for_dataset(dataset),
-                        task="classification", trackers=trackers, rng=rng)
+    engine = make_engine("sequential", models, hp,
+                         constraint_for_dataset(dataset), "classification",
+                         rng, trackers=trackers)
     run = engine.run(seeds)
     ascent_tests = [t for t in run.tests if t.iterations > 0]
     diversity = average_l1_diversity(ascent_tests, seeds)

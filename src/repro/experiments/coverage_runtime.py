@@ -12,7 +12,7 @@ import time
 
 import numpy as np
 
-from repro.core import DeepXplore, PAPER_HYPERPARAMS, constraint_for_dataset
+from repro.core import PAPER_HYPERPARAMS, constraint_for_dataset
 from repro.coverage import NeuronCoverageTracker
 from repro.datasets import load_dataset
 from repro.experiments.common import (ExperimentResult, make_engine,
@@ -33,7 +33,7 @@ def _layer_filter_for(dataset_name):
 
 
 def _batch_waves(models, hp, constraint, task, trackers, rng, seeds,
-                 target_coverage, max_visits):
+                 target_coverage, max_visits, ascent="vanilla", beta=None):
     """Batched counterpart of ``DeepXplore.run(..., cycle=True)``.
 
     Each wave ascends the whole seed set at once against the *shared*
@@ -41,7 +41,7 @@ def _batch_waves(models, hp, constraint, task, trackers, rng, seeds,
     the coverage target or the seed-visit budget is reached.
     """
     engine = make_engine("batch", models, hp, constraint, task, rng,
-                         trackers=trackers)
+                         trackers=trackers, ascent=ascent, beta=beta)
     start = time.perf_counter()
     processed = 0
     tests = 0
@@ -57,12 +57,13 @@ def _batch_waves(models, hp, constraint, task, trackers, rng, seeds,
 
 def run_coverage_runtime(scale="small", seed=0, target_coverage=1.0,
                          use_cache=True, datasets=None, max_visit_factor=5,
-                         engine="sequential"):
+                         engine="sequential", ascent="vanilla", beta=None):
     """Measure time/seeds to ``target_coverage`` for each dataset trio.
 
     ``engine="batch"`` replaces the per-seed cycling loop with whole-
     corpus waves of the vectorized engine — the same coverage chase, run
-    as fast as the substrate allows.
+    as fast as the substrate allows.  ``ascent``/``beta`` select the
+    update rule for either engine (see :func:`make_engine`).
     """
     datasets = datasets or list(TRIOS)
     result = ExperimentResult(
@@ -89,15 +90,17 @@ def run_coverage_runtime(scale="small", seed=0, target_coverage=1.0,
             elapsed, processed, tests = _batch_waves(
                 models, hp, constraint_for_dataset(dataset), dataset.task,
                 trackers, rng, seeds, target_coverage,
-                n_seeds * max_visit_factor)
+                n_seeds * max_visit_factor, ascent=ascent, beta=beta)
             achieved = float(np.mean([t.coverage() for t in trackers]))
             result.rows.append([
                 dataset_name, round(elapsed, 2), processed,
                 f"{achieved:.1%}", tests,
             ])
             continue
-        runner = DeepXplore(models, hp, constraint_for_dataset(dataset),
-                            task=dataset.task, trackers=trackers, rng=rng)
+        runner = make_engine("sequential", models, hp,
+                             constraint_for_dataset(dataset), dataset.task,
+                             rng, trackers=trackers, ascent=ascent,
+                             beta=beta)
         seeds, _ = dataset.sample_seeds(n_seeds, rng)
         run = runner.run(seeds, desired_coverage=target_coverage, cycle=True,
                          max_seed_visits=n_seeds * max_visit_factor)

@@ -12,7 +12,7 @@ import time
 
 import numpy as np
 
-from repro.core import DeepXplore, PAPER_HYPERPARAMS, constraint_for_dataset
+from repro.core import PAPER_HYPERPARAMS, constraint_for_dataset
 from repro.datasets import load_dataset
 from repro.experiments.common import (ExperimentResult, make_engine,
                                       seeds_for_scale)
@@ -28,26 +28,29 @@ LAMBDA2_VALUES = (0.5, 1.0, 2.0, 3.0)
 
 
 def first_difference_time(models, dataset, hp, rng, max_seeds=30,
-                          engine="sequential"):
+                          engine="sequential", ascent="vanilla", beta=None):
     """Seconds until the first ascent-found difference (NaN if none).
 
     With ``engine="batch"`` all seeds ascend together and the answer is
     the earliest ascent-found test's own elapsed time — the batched
-    counterpart of "time to first difference".
+    counterpart of "time to first difference".  ``ascent``/``beta``
+    select the update rule for either engine.
     """
     seeds, _ = dataset.sample_seeds(
         min(max_seeds, dataset.x_test.shape[0]), rng)
     if engine == "batch":
         result = make_engine("batch", models, hp,
                              constraint_for_dataset(dataset),
-                             dataset.task, rng).run(seeds)
+                             dataset.task, rng, ascent=ascent,
+                             beta=beta).run(seeds)
         times = [t.elapsed for t in result.tests if t.iterations > 0]
         return min(times) if times else float("nan")
-    engine = DeepXplore(models, hp, constraint_for_dataset(dataset),
-                        task=dataset.task, rng=rng)
+    runner = make_engine("sequential", models, hp,
+                         constraint_for_dataset(dataset), dataset.task,
+                         rng, ascent=ascent, beta=beta)
     start = time.perf_counter()
     for i in range(seeds.shape[0]):
-        test = engine.generate_from_seed(seeds[i], seed_index=i)
+        test = runner.generate_from_seed(seeds[i], seed_index=i)
         if test is not None and test.iterations > 0:
             return time.perf_counter() - start
     return float("nan")
@@ -55,7 +58,7 @@ def first_difference_time(models, dataset, hp, rng, max_seeds=30,
 
 def _sweep(experiment_id, title, param_name, values, scale, seed,
            repetitions, use_cache, datasets, paper_reference,
-           engine="sequential"):
+           engine="sequential", ascent="vanilla", beta=None):
     datasets = datasets or list(TRIOS)
     result = ExperimentResult(
         experiment_id=experiment_id,
@@ -74,8 +77,9 @@ def _sweep(experiment_id, title, param_name, values, scale, seed,
             times = []
             for rep in range(repetitions):
                 rng = as_rng(seed * 7919 + rep)
-                times.append(first_difference_time(models, dataset, hp, rng,
-                                                   engine=engine))
+                times.append(first_difference_time(
+                    models, dataset, hp, rng, engine=engine,
+                    ascent=ascent, beta=beta))
             mean = float(np.nanmean(times)) if not all(
                 np.isnan(t) for t in times) else float("nan")
             row.append("-" if np.isnan(mean) else round(mean, 3))
@@ -89,33 +93,34 @@ def _sweep(experiment_id, title, param_name, values, scale, seed,
 
 def run_step_size_sweep(scale="small", seed=0, repetitions=2,
                         use_cache=True, datasets=None, values=STEP_VALUES,
-                        engine="sequential"):
+                        engine="sequential", ascent="vanilla", beta=None):
     """Table 9: runtime vs gradient-ascent step size s."""
     return _sweep(
         "table9", "First-difference runtime vs step size s", "step",
         values, scale, seed, repetitions, use_cache, datasets,
         paper_reference=("optimal s varies by dataset; e.g. MNIST fastest "
                          "at s=0.01 (0.19s), ImageNet at s=10 (1.06s)"),
-        engine=engine)
+        engine=engine, ascent=ascent, beta=beta)
 
 
 def run_lambda1_sweep(scale="small", seed=0, repetitions=2,
                       use_cache=True, datasets=None, values=LAMBDA1_VALUES,
-                      engine="sequential"):
+                      engine="sequential", ascent="vanilla", beta=None):
     """Table 10: runtime vs lambda1."""
     return _sweep(
         "table10", "First-difference runtime vs lambda1", "lambda1",
         values, scale, seed, repetitions, use_cache, datasets,
         paper_reference=("optimal lambda1 varies; e.g. MNIST fastest at 3, "
-                         "VirusTotal at 2"), engine=engine)
+                         "VirusTotal at 2"),
+        engine=engine, ascent=ascent, beta=beta)
 
 
 def run_lambda2_sweep(scale="small", seed=0, repetitions=2,
                       use_cache=True, datasets=None, values=LAMBDA2_VALUES,
-                      engine="sequential"):
+                      engine="sequential", ascent="vanilla", beta=None):
     """Table 11: runtime vs lambda2."""
     return _sweep(
         "table11", "First-difference runtime vs lambda2", "lambda2",
         values, scale, seed, repetitions, use_cache, datasets,
         paper_reference="lambda2 = 0.5 tends to be optimal for all datasets",
-        engine=engine)
+        engine=engine, ascent=ascent, beta=beta)

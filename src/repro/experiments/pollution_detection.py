@@ -12,9 +12,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.analysis import detect_polluted
-from repro.core import DeepXplore, Hyperparams, LightingConstraint
+from repro.core import Hyperparams, LightingConstraint
 from repro.datasets import load_dataset, pollute_labels
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, make_engine
 from repro.models import build_lenet5
 from repro.nn import Trainer
 from repro.utils.rng import as_rng
@@ -34,8 +34,12 @@ def _train_lenet5(dataset, seed, epochs):
 
 
 def run_pollution_detection(scale="small", seed=0, fraction=0.3, epochs=None,
-                            max_generated=40):
-    """Run the pollution-detection experiment end to end."""
+                            max_generated=40, ascent="vanilla", beta=None):
+    """Run the pollution-detection experiment end to end.
+
+    ``ascent``/``beta`` select the update rule driving each per-seed
+    ascent (see :func:`make_engine`).
+    """
     dataset = load_dataset("mnist", scale=scale, seed=seed)
     polluted_ds, truth = pollute_labels(dataset, source_class=_SOURCE,
                                         target_class=_TARGET,
@@ -49,8 +53,9 @@ def run_pollution_detection(scale="small", seed=0, fraction=0.3, epochs=None,
     nines = dataset.x_train[np.asarray(dataset.y_train) == _SOURCE]
     hp = Hyperparams(lambda1=1.0, lambda2=0.1, step=10.0 / 255.0,
                      max_iterations=30)
-    engine = DeepXplore([clean_model, polluted_model], hp,
-                        LightingConstraint(), task="classification", rng=rng)
+    engine = make_engine("sequential", [clean_model, polluted_model], hp,
+                         LightingConstraint(), "classification", rng,
+                         ascent=ascent, beta=beta)
     targeted = []
     for i in range(nines.shape[0]):
         if len(targeted) >= max_generated:

@@ -1,78 +1,49 @@
-"""Momentum gradient ascent for test generation.
+"""Deprecated: momentum ascent as a standalone generator class.
 
-Plain gradient ascent (Algorithm 1 line 14) can oscillate around narrow
-difference regions, especially at large step sizes (the paper's Table 9
-notes "larger s may lead to oscillation around the local optimum").
-Momentum damps that oscillation.  This extension subclasses the generator
-and accumulates a velocity across iterations of one seed; the ablation
-benchmark compares iterations-to-difference against the vanilla rule.
+Momentum is no longer an engine of its own — it is an
+:class:`~repro.core.engine.AscentRule` composed onto the unified
+:class:`~repro.core.engine.AscentEngine`, so it now works with every
+driver (batch-of-1, whole-set vectorized, sharded campaigns, corpus
+fuzzing)::
+
+    from repro.core import AscentEngine, DeepXplore, MomentumRule
+
+    AscentEngine(models, hp, constraint, rule=MomentumRule(beta=0.9))
+    DeepXplore(models, hp, constraint, rule=MomentumRule(beta=0.9))
+
+:class:`MomentumDeepXplore` remains as a deprecation shim over the
+per-seed facade and will be removed; it emits a
+:class:`DeprecationWarning` on construction.
 """
 
 from __future__ import annotations
 
-import time
+import warnings
 
-import numpy as np
-
-from repro.core.generator import DeepXplore, GeneratedTest, normalize_gradient
-from repro.core.objectives import JointObjective
-from repro.errors import ConfigError
+from repro.core.engine import DeepXplore, MomentumRule, DEFAULT_MOMENTUM_BETA
 
 __all__ = ["MomentumDeepXplore"]
 
 
 class MomentumDeepXplore(DeepXplore):
-    """DeepXplore with heavy-ball ascent: ``v = beta*v + grad``.
+    """Deprecated shim: ``DeepXplore(rule=MomentumRule(beta))``.
 
     ``beta = 0`` reduces exactly to the paper's update rule.
     """
 
-    def __init__(self, *args, beta=0.9, **kwargs):
-        super().__init__(*args, **kwargs)
-        if not 0.0 <= beta < 1.0:
-            raise ConfigError(f"beta must be in [0, 1), got {beta}")
-        self.beta = float(beta)
+    def __init__(self, *args, beta=DEFAULT_MOMENTUM_BETA, **kwargs):
+        if "rule" in kwargs:
+            raise TypeError(
+                "MomentumDeepXplore sets its own rule; pass rule= to "
+                "DeepXplore/AscentEngine instead")
+        rule = MomentumRule(beta)   # validates beta before the warning
+        warnings.warn(
+            "MomentumDeepXplore is deprecated; use "
+            "DeepXplore(..., rule=MomentumRule(beta)) or "
+            "AscentEngine(..., rule=MomentumRule(beta))",
+            DeprecationWarning, stacklevel=2)
+        super().__init__(*args, rule=rule, **kwargs)
 
-    def generate_from_seed(self, seed_x, seed_index=0):
-        start = time.perf_counter()
-        x = np.asarray(seed_x, dtype=np.float64)[None, ...]
-        tapes = self._run_models(x)
-        outputs = [tape.outputs() for tape in tapes]
-        if bool(self.oracle.differs_from_outputs(outputs)[0]):
-            test = GeneratedTest(
-                x=x[0].copy(), seed_index=seed_index, iterations=0,
-                predictions=self.oracle.predictions_from_outputs(
-                    outputs)[:, 0],
-                seed_class=None, elapsed=time.perf_counter() - start)
-            self._absorb_tapes(tapes)
-            return test
-        seed_class = None
-        if self.task == "classification":
-            seed_class = int(outputs[0].argmax(axis=1)[0])
-        target_index = int(self.rng.integers(0, len(self.models)))
-        objective = JointObjective(
-            self._differential_objective(x, target_index, seed_class),
-            self.coverage_factory(self.trackers, self.rng),
-            self.hp.lambda2)
-        self.constraint.setup(x[0], self.rng)
-
-        velocity = np.zeros_like(x)
-        for iteration in range(1, self.hp.max_iterations + 1):
-            grad = objective.step_gradient_from_tapes(tapes)
-            grad = self.constraint.apply(grad, x)
-            grad = normalize_gradient(grad)
-            velocity = self.beta * velocity + grad
-            x = self.constraint.project(x + self.hp.step * velocity, x)
-            tapes = self._run_models(x)
-            outputs = [tape.outputs() for tape in tapes]
-            if bool(self.oracle.differs_from_outputs(outputs)[0]):
-                test = GeneratedTest(
-                    x=x[0].copy(), seed_index=seed_index,
-                    iterations=iteration,
-                    predictions=self.oracle.predictions_from_outputs(
-                        outputs)[:, 0],
-                    seed_class=seed_class,
-                    elapsed=time.perf_counter() - start)
-                self._absorb_tapes(tapes)
-                return test
-        return None
+    @property
+    def beta(self):
+        return self.rule.beta

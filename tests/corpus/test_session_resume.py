@@ -11,7 +11,7 @@ strictly fewer forward passes than the first run did.
 import numpy as np
 import pytest
 
-from repro.core import PAPER_HYPERPARAMS, LightingConstraint
+from repro.core import LightingConstraint, MomentumRule, PAPER_HYPERPARAMS
 from repro.corpus import CorpusStore, FuzzSession
 from repro.errors import ConfigError
 from repro.nn.instrumentation import PassCounter
@@ -20,11 +20,11 @@ WAVE, SHARD, SEED, POOL = 8, 4, 7, 16
 
 
 def make_session(path, models, dataset=None, workers=1, wave_size=WAVE,
-                 shard_size=SHARD, seed=SEED):
+                 shard_size=SHARD, seed=SEED, rule=None):
     return FuzzSession(path, models, PAPER_HYPERPARAMS["mnist"],
                        LightingConstraint(), wave_size=wave_size,
                        workers=workers, shard_size=shard_size, seed=seed,
-                       dataset=dataset, initial_seed_count=POOL)
+                       rule=rule, dataset=dataset, initial_seed_count=POOL)
 
 
 def assert_stores_identical(path_a, path_b):
@@ -176,6 +176,71 @@ def test_second_run_reuses_persisted_progress(tmp_path, mnist_trio,
         assert tracker.covered_count() >= int(
             (persisted[model.name]["covered"]
              & persisted[model.name]["tracked"]).sum())
+
+
+def test_momentum_fuzzing_is_worker_invariant(tmp_path, mnist_trio,
+                                              mnist_smoke):
+    """The scenario combination the unified engine unlocked: momentum x
+    campaign x corpus-fuzz, still bit-identical across worker counts."""
+    make_session(tmp_path / "w1", mnist_trio, mnist_smoke, workers=1,
+                 rule=MomentumRule(0.8)).run(3)
+    make_session(tmp_path / "w2", mnist_trio, mnist_smoke, workers=2,
+                 rule=MomentumRule(0.8)).run(3)
+    assert_stores_identical(tmp_path / "w1", tmp_path / "w2")
+
+
+def test_momentum_resume_is_bit_identical(tmp_path, mnist_trio,
+                                          mnist_smoke):
+    """`repro fuzz --ascent momentum` interrupted after one round
+    resumes to the same corpus an uninterrupted run produces."""
+    make_session(tmp_path / "ref", mnist_trio, mnist_smoke, workers=2,
+                 rule=MomentumRule(0.8)).run(3)
+    make_session(tmp_path / "split", mnist_trio, mnist_smoke, workers=2,
+                 rule=MomentumRule(0.8)).run(1)
+    resumed = make_session(tmp_path / "split", mnist_trio, mnist_smoke,
+                           workers=2, rule=MomentumRule(0.8))
+    assert resumed.completed_rounds == 1
+    resumed.run(3)
+    assert_stores_identical(tmp_path / "ref", tmp_path / "split")
+
+
+def test_resume_validates_ascent_rule(tmp_path, mnist_trio, mnist_smoke):
+    """The ascent rule is part of a corpus's deterministic identity."""
+    make_session(tmp_path / "c", mnist_trio, mnist_smoke,
+                 rule=MomentumRule(0.8)).run(1)
+    with pytest.raises(ConfigError):
+        make_session(tmp_path / "c", mnist_trio)           # vanilla
+    with pytest.raises(ConfigError):
+        make_session(tmp_path / "c", mnist_trio,
+                     rule=MomentumRule(0.5))               # other beta
+    # The matching rule resumes fine.
+    make_session(tmp_path / "c", mnist_trio, rule=MomentumRule(0.8))
+    # And a pre-rule corpus (no "ascent" key in its fuzz state) resumes
+    # as vanilla.
+    make_session(tmp_path / "legacy", mnist_trio, mnist_smoke).run(1)
+    store = CorpusStore(tmp_path / "legacy")
+    state = store.fuzz_state()
+    assert state.pop("ascent") == "vanilla"
+    store.commit(coverage_states=store.coverage_states(), fuzz_state=state)
+    make_session(tmp_path / "legacy", mnist_trio)
+    with pytest.raises(ConfigError):
+        make_session(tmp_path / "legacy", mnist_trio,
+                     rule=MomentumRule(0.8))
+
+
+def test_resume_validates_coverage_accounting(tmp_path, mnist_trio,
+                                              mnist_smoke):
+    """absorb_exhausted is identity: it changes what later waves'
+    coverage objectives chase, so flipping it on resume is an error."""
+    FuzzSession(tmp_path / "c", mnist_trio, PAPER_HYPERPARAMS["mnist"],
+                LightingConstraint(), wave_size=WAVE, shard_size=SHARD,
+                seed=SEED, absorb_exhausted=False, dataset=mnist_smoke,
+                initial_seed_count=POOL).run(1)
+    with pytest.raises(ConfigError):
+        make_session(tmp_path / "c", mnist_trio)   # default accounting
+    FuzzSession(tmp_path / "c", mnist_trio, PAPER_HYPERPARAMS["mnist"],
+                LightingConstraint(), wave_size=WAVE, shard_size=SHARD,
+                seed=SEED, absorb_exhausted=False)   # matching: resumes
 
 
 def test_resume_validates_identity(tmp_path, mnist_trio, mnist_smoke):

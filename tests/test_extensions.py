@@ -4,7 +4,8 @@ momentum ascent."""
 import numpy as np
 import pytest
 
-from repro.core import DeepXplore, PAPER_HYPERPARAMS, LightingConstraint
+from repro.core import (AscentEngine, DeepXplore, LightingConstraint,
+                        MomentumRule, PAPER_HYPERPARAMS)
 from repro.coverage import NeuronCoverageTracker
 from repro.errors import ConfigError, ConstraintError
 from repro.extensions import (MomentumDeepXplore,
@@ -138,12 +139,19 @@ class TestSeedSelection:
 class TestMomentum:
     def test_beta_validation(self, mnist_trio):
         with pytest.raises(ConfigError):
+            MomentumRule(beta=1.0)
+        with pytest.raises(ConfigError):
             MomentumDeepXplore(mnist_trio, beta=1.0)
+
+    def test_shim_deprecated(self, mnist_trio):
+        with pytest.warns(DeprecationWarning):
+            MomentumDeepXplore(mnist_trio, beta=0.8)
 
     def test_finds_differences(self, mnist_trio, mnist_smoke):
         seeds, _ = mnist_smoke.sample_seeds(15, np.random.default_rng(6))
-        engine = MomentumDeepXplore(mnist_trio, PAPER_HYPERPARAMS["mnist"],
-                                    LightingConstraint(), beta=0.8, rng=7)
+        engine = DeepXplore(mnist_trio, PAPER_HYPERPARAMS["mnist"],
+                            LightingConstraint(), rng=7,
+                            rule=MomentumRule(0.8))
         result = engine.run(seeds)
         assert result.difference_count > 0
         for test in result.tests:
@@ -153,11 +161,23 @@ class TestMomentum:
         seeds, _ = mnist_smoke.sample_seeds(8, np.random.default_rng(8))
         vanilla = DeepXplore(mnist_trio, PAPER_HYPERPARAMS["mnist"],
                              LightingConstraint(), rng=9)
-        momentum = MomentumDeepXplore(mnist_trio,
-                                      PAPER_HYPERPARAMS["mnist"],
-                                      LightingConstraint(), beta=0.0, rng=9)
+        momentum = DeepXplore(mnist_trio, PAPER_HYPERPARAMS["mnist"],
+                              LightingConstraint(), rng=9,
+                              rule=MomentumRule(0.0))
         a = vanilla.run(seeds)
         b = momentum.run(seeds)
         assert a.difference_count == b.difference_count
         for ta, tb in zip(a.tests, b.tests):
             np.testing.assert_allclose(ta.x, tb.x)
+
+    def test_momentum_batches(self, mnist_trio, mnist_smoke):
+        """Momentum on the vectorized engine — impossible before the
+        rules were split out of the sequential class."""
+        seeds, _ = mnist_smoke.sample_seeds(15, np.random.default_rng(6))
+        engine = AscentEngine(mnist_trio, PAPER_HYPERPARAMS["mnist"],
+                              LightingConstraint(), rng=7,
+                              rule=MomentumRule(0.8))
+        result = engine.run(seeds)
+        assert result.difference_count > 0
+        for test in result.tests:
+            assert test.x.min() >= 0.0 and test.x.max() <= 1.0

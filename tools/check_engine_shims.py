@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""CI check: the pre-unification engine import paths still work.
+
+The engine refactor collapsed ``DeepXplore`` / ``BatchDeepXplore`` /
+``MomentumDeepXplore`` onto one :class:`repro.core.engine.AscentEngine`.
+This script asserts the shim policy (docs/ARCHITECTURE.md):
+
+* every historical import path resolves and constructs;
+* ``DeepXplore`` and ``BatchDeepXplore`` — the facades that remain the
+  public API — construct *without* warnings;
+* ``MomentumDeepXplore`` — replaced by ``rule=MomentumRule(beta)`` —
+  emits a ``DeprecationWarning`` and still behaves (its shimmed rule
+  carries the requested beta);
+* no historical engine module carries an ascent-iteration loop of its
+  own (``run_ascent`` in ``repro/core/engine.py`` is the only one).
+
+Exit code 0 on success, non-zero with a message on any violation.
+
+Usage:  PYTHONPATH=src python tools/check_engine_shims.py
+"""
+
+from __future__ import annotations
+
+import inspect
+import sys
+import warnings
+
+import numpy as np
+
+
+def fail(message):
+    print(f"SHIM CHECK FAILED: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def tiny_models():
+    from repro.nn import Dense, Network
+    models = []
+    for i in range(2):
+        rng = np.random.default_rng(i)
+        models.append(Network([
+            Dense(4, 8, rng=rng, name="h"),
+            Dense(8, 3, activation="softmax", rng=rng, name="o"),
+        ], (4,), name=f"m{i}"))
+    return models
+
+
+def main():
+    # Historical import paths resolve to the unified engine.
+    from repro.core.batch import BatchDeepXplore
+    from repro.core.engine import AscentEngine, MomentumRule
+    from repro.core.generator import DeepXplore
+    from repro.extensions.momentum import MomentumDeepXplore
+    from repro.extensions import MomentumDeepXplore as from_extensions
+    if from_extensions is not MomentumDeepXplore:
+        fail("repro.extensions re-exports a different MomentumDeepXplore")
+    for cls in (DeepXplore, BatchDeepXplore):
+        if not issubclass(cls, AscentEngine):
+            fail(f"{cls.__name__} is not an AscentEngine facade")
+
+    models = tiny_models()
+
+    # The remaining facades are clean (no deprecation on construction).
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        DeepXplore(models)
+        BatchDeepXplore(models)
+
+    # The momentum shim warns and composes the rule.
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        shim = MomentumDeepXplore(models, beta=0.7)
+    if not any(issubclass(w.category, DeprecationWarning) for w in caught):
+        fail("MomentumDeepXplore constructed without a DeprecationWarning")
+    if not isinstance(shim.rule, MomentumRule) or shim.beta != 0.7:
+        fail("MomentumDeepXplore did not compose MomentumRule(beta)")
+
+    # Exactly one ascent-iteration loop body in the repo.
+    import repro.baselines.adversarial
+    import repro.core.batch as batch_mod
+    import repro.core.engine as engine_mod
+    import repro.core.generator as generator_mod
+    import repro.extensions.momentum as momentum_mod
+    for module in (generator_mod, batch_mod, momentum_mod,
+                   repro.baselines.adversarial):
+        if "for iteration in range" in inspect.getsource(module):
+            fail(f"{module.__name__} grew its own ascent loop back")
+    if inspect.getsource(engine_mod).count("for iteration in range") != 1:
+        fail("repro.core.engine must contain exactly one ascent loop")
+
+    print("engine shims OK: legacy paths construct, momentum shim "
+          "deprecates, one ascent loop body")
+
+
+if __name__ == "__main__":
+    main()

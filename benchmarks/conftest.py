@@ -24,9 +24,20 @@ import pytest
 from benchmarks.bench_records import record_bench, write_records
 from repro.datasets import dataset_names, load_dataset
 from repro.models import get_trio
+from repro.nn import dtypes
 
 SCALE = "smoke"
 SEED = 0
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _pin_float64_default():
+    """Benchmarks compare against float64 baselines; float32 runs are
+    explicit (see test_engine_throughput.py's dtype matrix)."""
+    import numpy as np
+    previous = dtypes.set_default_dtype(np.float64)
+    yield
+    dtypes.set_default_dtype(previous)
 
 
 @pytest.fixture(scope="session", autouse=True)

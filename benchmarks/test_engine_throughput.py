@@ -19,7 +19,7 @@ import pytest
 from benchmarks.bench_records import record_bench
 from benchmarks.conftest import SCALE, SEED
 from repro.core import (AscentEngine, LightingConstraint, MomentumRule,
-                        PAPER_HYPERPARAMS)
+                        PAPER_HYPERPARAMS, resolve_models)
 from repro.datasets import load_dataset
 from repro.models import get_trio
 from repro.nn.instrumentation import PassCounter
@@ -38,6 +38,14 @@ BENCH_ENGINE_PATH = os.path.join(
 #: (``absorb_exhausted=False``) reproduces these numbers exactly.
 PRE_REFACTOR_FORWARDS = 93
 PRE_REFACTOR_FORWARD_SAMPLES = 2208
+
+#: The committed pre-optimization throughput of this very scenario:
+#: ``unified-engine[vanilla-batch]`` from the BENCH_engine.json that
+#: shipped with the float64-only substrate (hard-coded f64 kernels, no
+#: workspace reuse, two backward sweeps per model per iteration).  The
+#: ``substrate[before]``/``substrate[after]`` records compare the
+#: current float32 + workspace + fused-backward fast path against it.
+PRE_OPT_SEEDS_PER_SEC = 49.59
 
 _RECORDS = []
 
@@ -111,6 +119,71 @@ def test_unified_engine_no_regression(benchmark):
     assert result.difference_count > 0
     assert forwards <= PRE_REFACTOR_FORWARDS
     assert samples <= PRE_REFACTOR_FORWARD_SAMPLES
+
+
+def test_dtype_rule_throughput_matrix(benchmark):
+    """seeds_per_sec per (dtype, ascent rule) cell, plus the
+    before/after substrate records the perf work is judged by."""
+    models, seeds, hp = _scenario()
+    resolved = {
+        "float64": resolve_models(models, dtype="float64"),
+        "float32": resolve_models(models, dtype="float32"),
+    }
+
+    def run():
+        cells = {}
+        for dtype in ("float64", "float32"):
+            for label, rule in (("vanilla", None),
+                                ("momentum", MomentumRule(0.9))):
+                cell_models = resolved[dtype]
+                cell_seeds = seeds.astype(dtype)
+                elapsed = None
+                for _ in range(2):  # best-of-2 damps scheduler noise
+                    engine = AscentEngine(cell_models, hp,
+                                          LightingConstraint(), rng=73,
+                                          rule=rule,
+                                          absorb_exhausted=False)
+                    start = time.perf_counter()
+                    result = engine.run(cell_seeds)
+                    once = time.perf_counter() - start
+                    elapsed = once if elapsed is None else min(elapsed,
+                                                               once)
+                cells[f"{dtype}-{label}"] = {
+                    "seconds": round(elapsed, 4),
+                    "seeds_per_sec": round(
+                        seeds.shape[0] / max(elapsed, 1e-9), 2),
+                    "differences": result.difference_count,
+                }
+        return cells
+
+    cells = benchmark.pedantic(run, rounds=1, iterations=1)
+    for key, row in cells.items():
+        _RECORDS.append({"name": f"engine-throughput[{key}]", **row})
+    after = cells["float32-vanilla"]
+    _RECORDS.append({
+        "name": "substrate[before]",
+        "seeds_per_sec": PRE_OPT_SEEDS_PER_SEC,
+        "note": ("committed float64 pre-optimization measurement of "
+                 "this scenario"),
+    })
+    _RECORDS.append({
+        "name": "substrate[after]",
+        "seconds": after["seconds"],
+        "seeds_per_sec": after["seeds_per_sec"],
+        "speedup": round(after["seeds_per_sec"] / PRE_OPT_SEEDS_PER_SEC,
+                         2),
+    })
+    print()
+    print(render_table(
+        ["cell", "seeds/s", "seconds", "# diffs"],
+        [[key, row["seeds_per_sec"], row["seconds"], row["differences"]]
+         for key, row in cells.items()],
+        title="[engine] throughput per (dtype, rule) cell"))
+    # Machine-independent floors only: every cell still finds
+    # differences, and float32 beats float64 under the same rule.
+    assert all(row["differences"] > 0 for row in cells.values())
+    assert (cells["float32-vanilla"]["seeds_per_sec"]
+            > cells["float64-vanilla"]["seeds_per_sec"])
 
 
 def test_vanilla_vs_momentum_iterations(benchmark):

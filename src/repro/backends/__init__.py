@@ -1,0 +1,74 @@
+"""Pluggable compute backends (see docs/PERFORMANCE.md).
+
+The generation stack talks to models through the
+:class:`~repro.backends.base.ComputeBackend` contract.  This package
+holds the registry: ``"numpy"`` (the in-tree differentiable networks —
+the reference implementation) and ``"onnx"`` (optional, inference-only,
+gated on ``onnxruntime`` being importable).
+"""
+
+from __future__ import annotations
+
+from repro.backends.base import ComputeBackend
+from repro.backends.numpy_backend import NumpyBackend, as_network
+from repro.backends.onnx_backend import OnnxBackend, have_onnxruntime
+from repro.errors import ConfigError
+from repro.nn.network import Network
+
+__all__ = ["ComputeBackend", "NumpyBackend", "OnnxBackend", "BACKENDS",
+           "backend_names", "make_backend", "unwrap_network", "as_network",
+           "have_onnxruntime"]
+
+#: Registry of constructable backends, keyed by CLI-facing name.
+BACKENDS = {
+    "numpy": NumpyBackend,
+    "onnx": OnnxBackend,
+}
+
+
+def backend_names():
+    """Registered backend names, CLI-choice ordered."""
+    return sorted(BACKENDS)
+
+
+def make_backend(kind, model, **kwargs):
+    """Construct a registered backend around ``model``.
+
+    ``model`` is whatever the backend adapts: a
+    :class:`~repro.nn.network.Network` or payload dict for ``"numpy"``,
+    a ``.onnx`` path for ``"onnx"``.  A model that is already a
+    :class:`ComputeBackend` passes through unchanged (``kind`` must
+    agree).
+    """
+    if isinstance(model, ComputeBackend):
+        if model.kind != kind:
+            raise ConfigError(
+                f"model is already a {model.kind!r} backend; "
+                f"cannot re-adapt it as {kind!r}")
+        return model
+    try:
+        cls = BACKENDS[kind]
+    except KeyError:
+        raise ConfigError(
+            f"unknown backend {kind!r}; known: {backend_names()}") from None
+    return cls(model, **kwargs)
+
+
+def unwrap_network(model):
+    """The raw :class:`~repro.nn.network.Network` behind ``model``.
+
+    Engines, trackers, and tapes key on the network object itself, so
+    the seam normalizes here: networks pass through, numpy backends
+    unwrap, anything else (inference-only backends included) refuses
+    with the reason.
+    """
+    if isinstance(model, Network):
+        return model
+    if isinstance(model, NumpyBackend):
+        return model.network
+    if isinstance(model, ComputeBackend):
+        raise ConfigError(
+            f"backend {model.kind!r} wraps no differentiable network; "
+            "gradient ascent needs the numpy backend")
+    raise ConfigError(
+        f"cannot unwrap {type(model).__name__} into a Network")

@@ -1,0 +1,101 @@
+"""The compute-backend contract the generation stack runs against.
+
+Everything above the forward/backward substrate — engines, coverage
+trackers, oracles, campaigns — consumes models through a small implicit
+contract: run a batch and get a tape, ask for predictions, ask for
+metadata (dtype, output shape, neuron layout).  :class:`ComputeBackend`
+makes that contract explicit, in the shape popularized by foolbox's
+``DifferentiableModel`` adapters: a ``forward`` that records the pass,
+plus ``bounds``/``preprocessing``/``num_classes`` so external runtimes
+can describe their input domain.
+
+Two kinds of backends exist:
+
+* **Differentiable** backends (the NumPy reference implementation)
+  return a :class:`~repro.nn.tape.ForwardPass` from :meth:`forward` and
+  can drive the joint-optimization ascent end to end.
+* **Inference-only** backends (e.g. ONNX Runtime) implement
+  :meth:`predict` but raise :class:`~repro.errors.ConfigError` from
+  :meth:`forward`; they serve differential prediction and evaluation,
+  not gradient ascent.
+
+The engine layer accepts either a raw :class:`~repro.nn.network.Network`
+or a backend wrapping one — :func:`repro.backends.unwrap_network`
+normalizes at the seam.
+"""
+
+from __future__ import annotations
+
+import abc
+
+__all__ = ["ComputeBackend"]
+
+
+class ComputeBackend(abc.ABC):
+    """Adapter ABC between a model runtime and the generation stack.
+
+    Concrete backends wrap one model.  The properties mirror what the
+    engines and trackers actually read today, so wrapping the NumPy
+    network is zero-cost delegation and an external runtime only has to
+    fill in the same surface.
+    """
+
+    #: Registry key, e.g. ``"numpy"`` — set by each subclass.
+    kind = None
+
+    # -- identity and input domain ---------------------------------------
+    @property
+    @abc.abstractmethod
+    def name(self):
+        """Model name (coverage snapshots and corpus stores key on it)."""
+
+    @property
+    @abc.abstractmethod
+    def dtype(self):
+        """The parameter/compute dtype as a :class:`numpy.dtype`."""
+
+    @property
+    @abc.abstractmethod
+    def output_shape(self):
+        """Per-sample output shape tuple (no batch axis)."""
+
+    @property
+    def bounds(self):
+        """(lo, hi) of the valid input domain; pixels default to [0, 1]."""
+        return (0.0, 1.0)
+
+    @property
+    def preprocessing(self):
+        """(mean, std) applied to raw inputs before the wrapped runtime.
+
+        The NumPy networks bake normalization into a ``FixedScale``
+        layer, so the reference backend reports the identity; adapters
+        for runtimes that expect externally-normalized inputs report
+        their own.
+        """
+        return (0.0, 1.0)
+
+    @property
+    def num_classes(self):
+        """Number of classes, or ``None`` for regression heads."""
+        shape = self.output_shape
+        if len(shape) == 1 and shape[0] > 1:
+            return int(shape[0])
+        return None
+
+    # -- execution --------------------------------------------------------
+    @abc.abstractmethod
+    def forward(self, x, training=False, workspace=None):
+        """Run a batch and return a recorded, differentiable tape.
+
+        Inference-only backends raise
+        :class:`~repro.errors.ConfigError` here instead.
+        """
+
+    @abc.abstractmethod
+    def predict(self, x, batch_size=256):
+        """Model outputs for a batch of raw inputs (no tape)."""
+
+    def __repr__(self):
+        return (f"{type(self).__name__}(name={self.name!r}, "
+                f"dtype={self.dtype}, output_shape={self.output_shape})")

@@ -1,0 +1,88 @@
+"""Reference backend: the repo's own NumPy networks.
+
+:class:`NumpyBackend` is pure delegation — the in-tree
+:class:`~repro.nn.network.Network` already *is* the contract
+:class:`~repro.backends.base.ComputeBackend` spells out, so the adapter
+adds a dtype conversion hook and nothing else.  Engines unwrap it back
+to the raw network (:func:`repro.backends.unwrap_network`) because the
+tape, the coverage trackers, and the corpus fingerprints all key on the
+network object itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backends.base import ComputeBackend
+from repro.errors import ConfigError
+from repro.nn.network import Network
+
+__all__ = ["NumpyBackend", "as_network"]
+
+
+def as_network(model, dtype=None):
+    """Normalize a model argument into a :class:`Network`.
+
+    Accepts a live network or a payload dict
+    (:func:`repro.nn.config.network_to_payload`).  With ``dtype`` set,
+    a network whose parameters are stored at another precision is
+    rebuilt at the requested one via the payload round-trip — the
+    original object is never mutated, so trackers bound to it stay
+    valid.
+    """
+    from repro.nn.config import network_from_payload, network_to_payload
+
+    if isinstance(model, dict):
+        return network_from_payload(model, dtype=dtype)
+    if not isinstance(model, Network):
+        raise ConfigError(
+            f"cannot adapt {type(model).__name__} to the numpy backend; "
+            "expected a Network or a payload dict")
+    if dtype is not None and np.dtype(dtype) != model.dtype:
+        return network_from_payload(network_to_payload(model), dtype=dtype)
+    return model
+
+
+class NumpyBackend(ComputeBackend):
+    """The in-tree differentiable runtime behind the backend seam."""
+
+    kind = "numpy"
+
+    def __init__(self, model, dtype=None):
+        self.network = as_network(model, dtype=dtype)
+
+    @property
+    def name(self):
+        return self.network.name
+
+    @property
+    def dtype(self):
+        return self.network.dtype
+
+    @property
+    def output_shape(self):
+        return self.network.output_shape
+
+    def forward(self, x, training=False, workspace=None):
+        return self.network.run(x, training=training, workspace=workspace)
+
+    def predict(self, x, batch_size=256):
+        return self.network.predict(x, batch_size=batch_size)
+
+    # Neuron-level surface used by coverage trackers and the coverage
+    # objective; delegation keeps backend-wrapped models usable wherever
+    # a network is expected.
+    @property
+    def total_neurons(self):
+        return self.network.total_neurons
+
+    @property
+    def neuron_layers(self):
+        return self.network.neuron_layers
+
+    @property
+    def layers(self):
+        return self.network.layers
+
+    def neuron_activations(self, x, batch_size=256):
+        return self.network.neuron_activations(x, batch_size=batch_size)

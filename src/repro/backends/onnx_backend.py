@@ -1,0 +1,106 @@
+"""Optional ONNX Runtime backend (inference-only).
+
+Adapts an exported ``.onnx`` graph to the
+:class:`~repro.backends.base.ComputeBackend` surface so differential
+*prediction* — the oracle half of DeepXplore — can run against an
+external runtime.  ONNX Runtime exposes no input gradients, so
+:meth:`OnnxBackend.forward` refuses with a pointed error instead of
+silently degrading; gradient ascent needs a differentiable backend
+(today: ``numpy``).
+
+The dependency is import-gated: constructing the backend without
+``onnxruntime`` installed raises :class:`~repro.errors.ConfigError`, and
+``tests/backends`` skips rather than fails in that environment.  Nothing
+is ever installed on demand.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.backends.base import ComputeBackend
+from repro.errors import ConfigError
+
+__all__ = ["OnnxBackend", "have_onnxruntime"]
+
+
+def _load_onnxruntime():
+    try:
+        import onnxruntime
+    except ImportError:
+        return None
+    return onnxruntime
+
+
+def have_onnxruntime():
+    """True when the optional ``onnxruntime`` dependency is importable."""
+    return _load_onnxruntime() is not None
+
+
+class OnnxBackend(ComputeBackend):
+    """Inference-only adapter over an ONNX Runtime ``InferenceSession``."""
+
+    kind = "onnx"
+
+    def __init__(self, model_path, name=None, bounds=(0.0, 1.0),
+                 preprocessing=(0.0, 1.0), session_options=None):
+        onnxruntime = _load_onnxruntime()
+        if onnxruntime is None:
+            raise ConfigError(
+                "the onnx backend needs the optional 'onnxruntime' "
+                "package, which is not installed in this environment")
+        self.session = onnxruntime.InferenceSession(
+            str(model_path), sess_options=session_options,
+            providers=["CPUExecutionProvider"])
+        inputs = self.session.get_inputs()
+        outputs = self.session.get_outputs()
+        if len(inputs) != 1 or len(outputs) != 1:
+            raise ConfigError(
+                f"onnx backend expects a single-input/single-output "
+                f"graph; got {len(inputs)} inputs, {len(outputs)} outputs")
+        self._input = inputs[0]
+        self._output = outputs[0]
+        self._name = name or str(model_path)
+        self._bounds = tuple(bounds)
+        self._preprocessing = tuple(preprocessing)
+        self._dtype = np.dtype(
+            np.float32 if "float16" not in self._input.type
+            and "double" not in self._input.type else
+            np.float16 if "float16" in self._input.type else np.float64)
+
+    @property
+    def name(self):
+        return self._name
+
+    @property
+    def dtype(self):
+        return self._dtype
+
+    @property
+    def output_shape(self):
+        # Drop the (symbolic or fixed) batch axis.
+        return tuple(int(d) for d in self._output.shape[1:])
+
+    @property
+    def bounds(self):
+        return self._bounds
+
+    @property
+    def preprocessing(self):
+        return self._preprocessing
+
+    def forward(self, x, training=False, workspace=None):
+        raise ConfigError(
+            "the onnx backend is inference-only: ONNX Runtime exposes no "
+            "input gradients, so it cannot record a differentiable tape. "
+            "Use the numpy backend for gradient ascent")
+
+    def predict(self, x, batch_size=256):
+        mean, std = self._preprocessing
+        x = (np.asarray(x, dtype=self._dtype) - mean) / std
+        chunks = [
+            self.session.run([self._output.name],
+                             {self._input.name: x[i:i + batch_size]})[0]
+            for i in range(0, x.shape[0], batch_size)
+        ]
+        return np.concatenate(chunks, axis=0)

@@ -33,8 +33,10 @@ import sys
 
 import numpy as np
 
+from repro.backends import backend_names
 from repro.core import (ASCENT_RULES, PAPER_HYPERPARAMS,
-                        constraint_for_dataset, make_engine, make_rule)
+                        constraint_for_dataset, make_engine, make_rule,
+                        resolve_models)
 from repro.corpus import CorpusStore, FuzzSession, corpus_fingerprint
 from repro.coverage import NeuronCoverageTracker
 from repro.datasets import dataset_names, load_dataset
@@ -82,6 +84,13 @@ def build_parser():
     gen.add_argument("--beta", type=float, default=None,
                      help="momentum coefficient in [0, 1) "
                           "(--ascent momentum only; default 0.9)")
+    gen.add_argument("--dtype", default=None,
+                     choices=["float32", "float64"],
+                     help="compute precision; the zoo trains at float64, "
+                          "float32 runs a converted copy ~2x faster")
+    gen.add_argument("--backend", default="numpy", choices=backend_names(),
+                     help="compute backend adapter (gradient ascent "
+                          "needs a differentiable one; default: numpy)")
     gen.add_argument("--show", action="store_true",
                      help="render a seed/generated pair as ASCII art")
     gen.add_argument("--corpus", metavar="DIR",
@@ -113,6 +122,10 @@ def build_parser():
                            "(--ascent momentum only; default 0.9)")
     fuzz.add_argument("--constraint", default="default",
                       help="image constraint: light | occl | blackout")
+    fuzz.add_argument("--dtype", default=None,
+                      choices=["float32", "float64"],
+                      help="compute precision (identity: a corpus fuzzed "
+                           "at float32 resumes at float32)")
     fuzz.add_argument("--seed-strategy", default="random",
                       choices=strategy_names(),
                       help="how the initial seed pool is drawn")
@@ -174,6 +187,9 @@ def _cmd_generate(args):
     dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
     models = get_trio(args.dataset, scale=args.scale, seed=args.seed,
                       dataset=dataset)
+    # Resolve backend/dtype BEFORE trackers and fingerprints, so both
+    # bind to the networks the engine will actually run.
+    models = resolve_models(models, dtype=args.dtype, backend=args.backend)
     hp = PAPER_HYPERPARAMS[args.dataset]
     seeds, _ = dataset.sample_seeds(
         min(args.seeds, dataset.x_test.shape[0]),
@@ -243,6 +259,7 @@ def _cmd_fuzz(args):
     dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
     models = get_trio(args.dataset, scale=args.scale, seed=args.seed,
                       dataset=dataset)
+    models = resolve_models(models, dtype=args.dtype)
     session = FuzzSession(
         args.corpus, models, PAPER_HYPERPARAMS[args.dataset],
         constraint_for_dataset(dataset, kind=args.constraint),

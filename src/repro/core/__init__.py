@@ -10,7 +10,7 @@ from repro.core.engine import (ASCENT_RULES, AscentEngine, AscentRule,
                                BatchDeepXplore, DeepXplore, GeneratedTest,
                                GenerationResult, MomentumRule, VanillaRule,
                                make_rule, run_ascent)
-from repro.core.factory import make_engine
+from repro.core.factory import make_engine, resolve_models
 from repro.core.objectives import (CoverageObjective, DifferentialObjective,
                                    JointObjective,
                                    RegressionDifferentialObjective)
@@ -19,7 +19,7 @@ from repro.core.oracle import (ClassificationOracle, RegressionOracle,
 
 __all__ = [
     "ASCENT_RULES", "AscentEngine", "AscentRule", "BatchDeepXplore",
-    "MomentumRule", "VanillaRule", "make_engine", "make_rule",
+    "MomentumRule", "VanillaRule", "make_engine", "make_rule", "resolve_models",
     "run_ascent",
     "Campaign", "CampaignShard", "shard_corpus",
     "Hyperparams", "PAPER_HYPERPARAMS",

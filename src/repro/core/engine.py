@@ -55,6 +55,7 @@ from repro.core.objectives import CoverageObjective
 from repro.core.oracle import make_oracle
 from repro.coverage import NeuronCoverageTracker
 from repro.errors import ConfigError
+from repro.nn.workspace import Workspace
 from repro.utils.rng import as_rng
 
 __all__ = ["AscentRule", "VanillaRule", "MomentumRule", "make_rule",
@@ -321,15 +322,27 @@ class AscentEngine:
         Fold the final tapes of seeds that hit ``max_iterations`` into
         coverage (default).  ``False`` restores the paper-exact
         accounting in which only difference-inducing inputs count.
+    use_workspace:
+        Reuse one preallocated :class:`~repro.nn.workspace.Workspace`
+        per model across ascent iterations (default).  The engine's
+        consume-before-next-forward discipline makes this safe; disable
+        it to hold tapes alive across iterations (debugging).
     """
 
     def __init__(self, models, hyperparams=None, constraint=None,
                  task="classification", trackers=None, rng=None, rule=None,
                  update_coverage_with_tests=True, coverage_factory=None,
-                 absorb_exhausted=True):
+                 absorb_exhausted=True, use_workspace=True):
         if len(models) < 2:
             raise ConfigError("differential testing needs >= 2 models")
         self.models = list(models)
+        dtypes_seen = {np.dtype(m.dtype) for m in self.models}
+        if len(dtypes_seen) > 1:
+            raise ConfigError(
+                "all models must share one compute dtype, got "
+                f"{sorted(d.name for d in dtypes_seen)}; convert with "
+                "network_from_payload(network_to_payload(m), dtype=...)")
+        self.dtype = dtypes_seen.pop()
         self.hp = hyperparams or Hyperparams()
         self.constraint = constraint or Unconstrained()
         if not isinstance(self.constraint, Constraint):
@@ -350,11 +363,22 @@ class AscentEngine:
         self.coverage_factory = coverage_factory or (
             lambda trackers, rng: CoverageObjective(trackers, rng=rng))
         self.absorb_exhausted = bool(absorb_exhausted)
+        self.use_workspace = bool(use_workspace)
+        self._workspaces = ([Workspace() for _ in self.models]
+                            if self.use_workspace
+                            else [None] * len(self.models))
 
     # -- objective pieces, batched ----------------------------------------------
     def _run_models(self, x):
-        """One recorded forward pass per model over the active batch."""
-        return [model.run(x) for model in self.models]
+        """One recorded forward pass per model over the active batch.
+
+        With ``use_workspace`` each model draws its buffers from its own
+        reusable workspace, which invalidates the *previous* iteration's
+        tapes — the loop always consumes a tape's gradients and coverage
+        before recording the next forward, so no stale view is ever read.
+        """
+        return [model.run(x, workspace=ws)
+                for model, ws in zip(self.models, self._workspaces)]
 
     def _differential_gradient(self, tapes, rows, targets, seed_classes):
         """Per-sample gradient of obj1 with per-sample target models.
@@ -371,7 +395,8 @@ class AscentEngine:
         if self.task == "regression":
             out_ndim = len(self.models[0].output_shape)
             for k, tape in enumerate(tapes):
-                sign = np.zeros((batch,) + (1,) * out_ndim)
+                sign = np.zeros((batch,) + (1,) * out_ndim,
+                                dtype=tape.dtype)
                 sign[rows] = np.where(
                     targets == k, -lam, 1.0).reshape((-1,) + (1,) * out_ndim)
                 g = tape.gradient_of_output(
@@ -381,7 +406,7 @@ class AscentEngine:
             return grad[rows]
         n_classes = self.models[0].output_shape[0]
         for k, tape in enumerate(tapes):
-            seed = np.zeros((batch, n_classes))
+            seed = np.zeros((batch, n_classes), dtype=tape.dtype)
             seed[rows, seed_classes] = np.where(targets == k, -lam, 1.0)
             g = tape.gradient_of_output(seed)
             grad = g if grad is None else grad + g
@@ -390,6 +415,42 @@ class AscentEngine:
     def _coverage_gradient(self, tapes, rows, coverage):
         coverage.pick()
         return coverage.gradient_from_tapes(tapes)[rows]
+
+    def _joint_gradient(self, tapes, rows, targets, seed_classes, coverage):
+        """obj1 + lambda2*obj2 with ONE fused backward per model.
+
+        Each model's coverage-neuron seed (scaled by lambda2) is
+        injected into the same sweep that carries its differential
+        seed — see :meth:`ForwardPass.gradient_joint`.  The fused sweep
+        reorders float accumulation versus summing two sweeps, so this
+        path is float32-only; float64 keeps the bit-pinned two-sweep
+        golden path.
+        """
+        lam = self.hp.lambda1
+        lam2 = self.hp.lambda2
+        batch = tapes[0].batch_size
+        neurons = coverage.pick()
+        grad = None
+        if self.task == "regression":
+            out_ndim = len(self.models[0].output_shape)
+            out_shape = tuple(self.models[0].output_shape)
+            for k, tape in enumerate(tapes):
+                sign = np.zeros((batch,) + (1,) * out_ndim,
+                                dtype=tape.dtype)
+                sign[rows] = np.where(
+                    targets == k, -lam, 1.0).reshape((-1,) + (1,) * out_ndim)
+                g = tape.gradient_joint(
+                    np.broadcast_to(sign, (batch,) + out_shape),
+                    neurons[k], lam2)
+                grad = g if grad is None else grad + g
+            return grad[rows]
+        n_classes = self.models[0].output_shape[0]
+        for k, tape in enumerate(tapes):
+            seed = np.zeros((batch, n_classes), dtype=tape.dtype)
+            seed[rows, seed_classes] = np.where(targets == k, -lam, 1.0)
+            g = tape.gradient_joint(seed, neurons[k], lam2)
+            grad = g if grad is None else grad + g
+        return grad[rows]
 
     # -- per-seed constraint state ----------------------------------------------
     def _setup_constraints(self, x):
@@ -488,6 +549,10 @@ class AscentEngine:
         st["constraints"] = self._setup_constraints(x)
 
         def gradient(x_cur, iteration):
+            if self.hp.lambda2 > 0.0 and self.dtype == np.float32:
+                return self._joint_gradient(
+                    st["tapes"], st["rows"], st["targets"],
+                    st["seed_classes"], coverage)
             grad = self._differential_gradient(
                 st["tapes"], st["rows"], st["targets"], st["seed_classes"])
             if self.hp.lambda2 > 0.0:
@@ -554,7 +619,7 @@ class AscentEngine:
     # -- drivers --------------------------------------------------------------
     def run(self, seeds, max_tests=None):
         """Process all seeds in one vectorized ascent; returns results."""
-        seeds = np.asarray(seeds, dtype=np.float64)
+        seeds = np.asarray(seeds, dtype=self.dtype)
         result = GenerationResult()
         start = time.perf_counter()
         if seeds.shape[0] == 0:
@@ -573,7 +638,7 @@ class AscentEngine:
         ``seed_x`` is a single input without batch axis.
         """
         start = time.perf_counter()
-        x = np.asarray(seed_x, dtype=np.float64)[None, ...]
+        x = np.asarray(seed_x, dtype=self.dtype)[None, ...]
         result = GenerationResult()
         self._ascend(x, result, None, start)
         if not result.tests:
@@ -616,7 +681,7 @@ class DeepXplore(AscentEngine):
         does) until ``desired_coverage`` (mean NCov across models),
         ``max_tests``, or the ``max_seed_visits`` budget is reached.
         """
-        seeds = np.asarray(seeds, dtype=np.float64)
+        seeds = np.asarray(seeds, dtype=self.dtype)
         result = GenerationResult()
         start = time.perf_counter()
         indices = range(seeds.shape[0])

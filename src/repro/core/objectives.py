@@ -94,7 +94,7 @@ class RegressionDifferentialObjective:
 
     def gradient_from_tapes(self, tapes):
         grad = np.zeros_like(tapes[0].x)
-        seed = np.ones(self.models[0].output_shape)
+        seed = np.ones(self.models[0].output_shape, dtype=tapes[0].dtype)
         for k, tape in enumerate(tapes):
             g = tape.gradient_of_output(seed)
             grad += -self.lambda1 * g if k == self.target_index else g

@@ -193,14 +193,17 @@ class FuzzSession:
             "constraint": type(self.constraint).__name__,
             "ascent": self.rule.identity(),
             "absorb_exhausted": self.absorb_exhausted,
+            "dtype": str(np.dtype(self.models[0].dtype)),
         }
 
     def _check_identity(self, state):
         identity = self._identity()
-        # Corpora written before ascent rules / exhausted-tape folding
-        # existed carry neither key; they resume under the defaults.
+        # Corpora written before ascent rules / exhausted-tape folding /
+        # the dtype policy existed carry none of these keys; they resume
+        # under the historical defaults (everything ran at float64).
         legacy = {"ascent": VanillaRule().identity(),
-                  "absorb_exhausted": True}
+                  "absorb_exhausted": True,
+                  "dtype": "float64"}
         stored = {key: state.get(key, legacy.get(key)) for key in identity}
         if stored != identity:
             raise ConfigError(

@@ -81,8 +81,9 @@ def raw_activations(network, x, batch_size=256):
                 f"tape of network {x.network.name!r} handed to a coverage "
                 f"criterion over {network.name!r}")
         return x.neuron_activations()
-    return network.neuron_activations(np.asarray(x, dtype=np.float64),
-                                      batch_size=batch_size)
+    # Leave the dtype cast to the network so float32 models don't pay a
+    # round-trip through float64.
+    return network.neuron_activations(np.asarray(x), batch_size=batch_size)
 
 
 class NeuronCoverageTracker:

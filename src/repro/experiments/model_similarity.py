@@ -14,7 +14,8 @@ from repro.core import Hyperparams, Unconstrained
 from repro.datasets import load_dataset
 from repro.experiments.common import ExperimentResult, make_engine
 from repro.models import build_lenet1_variant
-from repro.nn import Trainer
+from repro.models.registry import TRAINING_DTYPE
+from repro.nn import Trainer, dtypes
 from repro.utils.rng import as_rng
 
 __all__ = ["run_model_similarity", "train_control_pair"]
@@ -39,6 +40,13 @@ def _train(network, x, y, epochs, rng):
     return network
 
 
+def _build_variant(**kwargs):
+    # Trained-model comparisons are pinned at the zoo's training dtype so
+    # the bit-identical-twins row (amount = 0) stays exactly that.
+    with dtypes.default_dtype(TRAINING_DTYPE):
+        return build_lenet1_variant(**kwargs)
+
+
 def train_control_pair(dataset, kind, amount, seed=0):
     """Train the control LeNet-1 and one perturbed variant.
 
@@ -48,24 +56,24 @@ def train_control_pair(dataset, kind, amount, seed=0):
     so ``amount = 0`` yields bit-identical twins (the paper's timeout row).
     """
     x, y = dataset.x_train, np.asarray(dataset.y_train)
-    control = build_lenet1_variant(rng=as_rng(_TRAIN_SEED), name="control")
+    control = _build_variant(rng=as_rng(_TRAIN_SEED), name="control")
     _train(control, x, y, _CONTROL_EPOCHS, as_rng(_TRAIN_SEED + 1))
 
     if kind == "samples":
         n_remove = int(round(len(x) * amount))
         keep = slice(0, len(x) - n_remove)
-        variant = build_lenet1_variant(rng=as_rng(_TRAIN_SEED),
-                                       name="variant")
+        variant = _build_variant(rng=as_rng(_TRAIN_SEED),
+                                 name="variant")
         _train(variant, x[keep], y[keep], _CONTROL_EPOCHS,
                as_rng(_TRAIN_SEED + 1))
     elif kind == "filters":
-        variant = build_lenet1_variant(rng=as_rng(_TRAIN_SEED),
-                                       extra_filters=int(amount),
-                                       name="variant")
+        variant = _build_variant(rng=as_rng(_TRAIN_SEED),
+                                 extra_filters=int(amount),
+                                 name="variant")
         _train(variant, x, y, _CONTROL_EPOCHS, as_rng(_TRAIN_SEED + 1))
     elif kind == "epochs":
-        variant = build_lenet1_variant(rng=as_rng(_TRAIN_SEED),
-                                       name="variant")
+        variant = _build_variant(rng=as_rng(_TRAIN_SEED),
+                                 name="variant")
         _train(variant, x, y, _CONTROL_EPOCHS + int(amount),
                as_rng(_TRAIN_SEED + 1))
     else:

@@ -16,7 +16,8 @@ from repro.core import Hyperparams, LightingConstraint
 from repro.datasets import load_dataset, pollute_labels
 from repro.experiments.common import ExperimentResult, make_engine
 from repro.models import build_lenet5
-from repro.nn import Trainer
+from repro.models.registry import TRAINING_DTYPE
+from repro.nn import Trainer, dtypes
 from repro.utils.rng import as_rng
 
 __all__ = ["run_pollution_detection"]
@@ -25,11 +26,14 @@ _SOURCE, _TARGET = 9, 1
 
 
 def _train_lenet5(dataset, seed, epochs):
-    network = build_lenet5(rng=as_rng(seed), name=f"lenet5-{seed}")
-    trainer = Trainer(network, loss="cross_entropy", optimizer="adam",
-                      rng=as_rng(seed + 1))
-    trainer.fit(dataset.x_train, dataset.y_train, epochs=epochs,
-                batch_size=32)
+    # Trained at the zoo dtype so the experiment's outputs stay stable
+    # under the float32 library default.
+    with dtypes.default_dtype(TRAINING_DTYPE):
+        network = build_lenet5(rng=as_rng(seed), name=f"lenet5-{seed}")
+        trainer = Trainer(network, loss="cross_entropy", optimizer="adam",
+                          rng=as_rng(seed + 1))
+        trainer.fit(dataset.x_train, dataset.y_train, epochs=epochs,
+                    batch_size=32)
     return network
 
 

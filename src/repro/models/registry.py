@@ -23,15 +23,22 @@ from repro.models.lenet import build_lenet1, build_lenet4, build_lenet5
 from repro.models.malware import build_drebin_model, build_pdf_model
 from repro.models.resnet import build_resnet
 from repro.models.vgg import build_vgg16, build_vgg19
-from repro.nn import Trainer, accuracy, steering_accuracy
+from repro.nn import Trainer, accuracy, dtypes, steering_accuracy
 from repro.utils.rng import as_rng
 
-__all__ = ["ModelSpec", "MODEL_ZOO", "TRIOS", "get_model", "get_trio",
-           "get_model_payload", "get_trio_payloads", "train_model",
-           "model_accuracy", "zoo_names"]
+__all__ = ["ModelSpec", "MODEL_ZOO", "TRIOS", "TRAINING_DTYPE", "get_model",
+           "get_trio", "get_model_payload", "get_trio_payloads",
+           "train_model", "model_accuracy", "zoo_names"]
 
 #: Bump to invalidate every cached model after architecture changes.
 _CACHE_VERSION = 1
+
+#: The zoo is built and trained at float64 regardless of the library
+#: default: cached weights, experiment outputs, and the pinned engine
+#: goldens were all captured at double precision and must stay
+#: bit-stable.  Float32 models are derived copies (see
+#: ``network_from_payload(..., dtype=...)``), never retrainings.
+TRAINING_DTYPE = np.dtype(np.float64)
 
 
 @dataclass(frozen=True)
@@ -155,13 +162,14 @@ def train_model(spec, dataset, scale="small", seed=0, verbose=False):
     testing to be meaningful.
     """
     rng = as_rng(_model_seed(spec.name, seed))
-    network = spec.builder(dataset, rng)
-    network.name = spec.name
-    trainer = Trainer(network, loss=spec.loss, optimizer="adam", lr=spec.lr,
-                      rng=rng)
-    epochs = spec.epochs.get(scale, 10)
-    trainer.fit(dataset.x_train, dataset.y_train, epochs=epochs,
-                batch_size=spec.batch_size, verbose=verbose)
+    with dtypes.default_dtype(TRAINING_DTYPE):
+        network = spec.builder(dataset, rng)
+        network.name = spec.name
+        trainer = Trainer(network, loss=spec.loss, optimizer="adam",
+                          lr=spec.lr, rng=rng)
+        epochs = spec.epochs.get(scale, 10)
+        trainer.fit(dataset.x_train, dataset.y_train, epochs=epochs,
+                    batch_size=spec.batch_size, verbose=verbose)
     return network
 
 
@@ -182,7 +190,8 @@ def get_model(name, scale="small", seed=0, use_cache=True, dataset=None,
     weights_path, meta_path = _cache_paths(name, scale, seed)
     if use_cache and os.path.exists(weights_path):
         rng = as_rng(_model_seed(spec.name, seed))
-        network = spec.builder(dataset, rng)
+        with dtypes.default_dtype(TRAINING_DTYPE):
+            network = spec.builder(dataset, rng)
         network.name = spec.name
         network.load(weights_path)
         return network

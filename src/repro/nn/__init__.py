@@ -7,6 +7,7 @@ gradients of output probabilities and *arbitrary hidden neurons* with
 respect to the network input.
 """
 
+from repro.nn import dtypes
 from repro.nn.activations import (
     Activation,
     Atan,
@@ -26,6 +27,8 @@ from repro.nn.config import (layer_from_config, layer_to_config,
                              network_to_payload, save_network)
 from repro.nn.conv import Conv2D, col2im, conv_output_size, im2col
 from repro.nn.dense import Dense
+from repro.nn.dtypes import (DEFAULT_DTYPE, GOLDEN_DTYPE, default_dtype,
+                             get_default_dtype, set_default_dtype)
 from repro.nn.dropout import Dropout
 from repro.nn.instrumentation import PassCounter
 from repro.nn.initializers import (
@@ -50,6 +53,7 @@ from repro.nn.scale import FixedScale
 from repro.nn.tape import ForwardPass, scale_layerwise
 from repro.nn.training import (EarlyStopping, Trainer, accuracy, mse,
                                steering_accuracy)
+from repro.nn.workspace import Workspace
 
 __all__ = [
     "Activation", "Atan", "Elu", "LeakyRelu", "Linear", "Relu", "Sigmoid",
@@ -74,4 +78,7 @@ __all__ = [
     "layer_from_config", "layer_to_config", "load_network",
     "network_from_config", "network_from_payload", "network_to_config",
     "network_to_payload", "save_network",
+    "dtypes", "DEFAULT_DTYPE", "GOLDEN_DTYPE", "default_dtype",
+    "get_default_dtype", "set_default_dtype",
+    "Workspace",
 ]

@@ -8,6 +8,14 @@ Each activation implements ``forward(z)`` and ``backward(grad, z, a)``
 where ``z`` is the pre-activation, ``a`` the cached activation output, and
 ``grad`` the upstream gradient with respect to ``a``.  ``backward`` returns
 the gradient with respect to ``z``.
+
+Fused epilogues: layers that run the activation as a GEMM epilogue call
+:meth:`Activation.forward_into` with ``out`` aliasing ``z``, overwriting
+the pre-activation in place and dropping it from the backward context.
+That is only legal when :attr:`Activation.needs_preactivation` is false —
+i.e. ``backward`` can be computed from ``a`` (and ``grad``) alone, with
+**bit-identical** results to the ``z``-based formula.  ``backward`` then
+receives ``z=None``.
 """
 
 from __future__ import annotations
@@ -36,11 +44,41 @@ class Activation:
 
     name = "activation"
 
+    #: True when :meth:`backward` needs the pre-activation ``z``.  When
+    #: false, fused layers may overwrite ``z`` in place and pass
+    #: ``z=None`` to backward.
+    needs_preactivation = True
+
     def forward(self, z):
         raise NotImplementedError
 
+    def forward_into(self, z, out):
+        """Compute the activation into ``out`` (which may alias ``z``).
+
+        The generic fallback materializes :meth:`forward` and copies;
+        cheap elementwise activations override with a true in-place
+        kernel.  Values are bit-identical to :meth:`forward` either way.
+        """
+        result = self.forward(z)
+        if result is not out:
+            out[...] = result
+        return out
+
     def backward(self, grad, z, a):
         raise NotImplementedError
+
+    def backward_into(self, grad, z, a, out, mask=None):
+        """Backward pass into a preallocated ``out`` buffer.
+
+        ``mask`` is an optional preallocated bool scratch of the same
+        shape; activations that can use it avoid every temporary.  The
+        default falls back to :meth:`backward` plus a copy, so values
+        are bit-identical either way.
+        """
+        result = self.backward(grad, z, a)
+        if result is not out:
+            out[...] = result
+        return out
 
     def __repr__(self):
         return f"{type(self).__name__}()"
@@ -50,9 +88,15 @@ class Linear(Activation):
     """Identity activation."""
 
     name = "linear"
+    needs_preactivation = False
 
     def forward(self, z):
         return z
+
+    def forward_into(self, z, out):
+        if out is not z:
+            out[...] = z
+        return out
 
     def backward(self, grad, z, a):
         return grad
@@ -62,12 +106,23 @@ class Relu(Activation):
     """Rectified linear unit: max(0, z)."""
 
     name = "relu"
+    needs_preactivation = False
 
     def forward(self, z):
         return np.maximum(z, 0.0)
 
+    def forward_into(self, z, out):
+        return np.maximum(z, 0.0, out=out)
+
     def backward(self, grad, z, a):
-        return grad * (z > 0.0)
+        # a = max(z, 0) makes (a > 0) ⟺ (z > 0): identical either way.
+        return grad * (a > 0.0)
+
+    def backward_into(self, grad, z, a, out, mask=None):
+        if mask is None:
+            return super().backward_into(grad, z, a, out)
+        np.greater(a, 0.0, out=mask)
+        return np.multiply(grad, mask, out=out)
 
 
 class LeakyRelu(Activation):
@@ -78,25 +133,44 @@ class LeakyRelu(Activation):
     def __init__(self, alpha=0.1):
         self.alpha = float(alpha)
 
+    @property
+    def needs_preactivation(self):
+        # For alpha > 0 the sign of a matches the sign of z, so backward
+        # can recover the mask from a alone; alpha <= 0 folds signs.
+        return self.alpha <= 0.0
+
     def forward(self, z):
         return np.where(z > 0.0, z, self.alpha * z)
 
     def backward(self, grad, z, a):
-        return grad * np.where(z > 0.0, 1.0, self.alpha)
+        ref = z if z is not None else a
+        return grad * np.where(ref > 0.0, 1.0, self.alpha)
 
 
 class Sigmoid(Activation):
     """Logistic sigmoid."""
 
     name = "sigmoid"
+    needs_preactivation = False
 
     def forward(self, z):
         out = np.empty_like(z)
-        pos = z >= 0.0
-        out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
-        ez = np.exp(z[~pos])
-        out[~pos] = ez / (1.0 + ez)
+        self._compute(z, out)
         return out
+
+    @staticmethod
+    def _compute(z, out):
+        # Masked writes: the pos mask is materialized (fancy indexing
+        # copies) before any element of out — possibly aliasing z — is
+        # written, so in-place use is safe and bit-identical.
+        pos = z >= 0.0
+        neg_ez = np.exp(z[~pos])
+        out[pos] = 1.0 / (1.0 + np.exp(-z[pos]))
+        out[~pos] = neg_ez / (1.0 + neg_ez)
+        return out
+
+    def forward_into(self, z, out):
+        return self._compute(z, out)
 
     def backward(self, grad, z, a):
         return grad * a * (1.0 - a)
@@ -106,9 +180,13 @@ class Tanh(Activation):
     """Hyperbolic tangent."""
 
     name = "tanh"
+    needs_preactivation = False
 
     def forward(self, z):
         return np.tanh(z)
+
+    def forward_into(self, z, out):
+        return np.tanh(z, out=out)
 
     def backward(self, grad, z, a):
         return grad * (1.0 - a * a)
@@ -139,12 +217,18 @@ class Elu(Activation):
     def __init__(self, alpha=1.0):
         self.alpha = float(alpha)
 
+    @property
+    def needs_preactivation(self):
+        # Same sign argument as LeakyRelu: for alpha > 0, a > 0 ⟺ z > 0.
+        return self.alpha <= 0.0
+
     def forward(self, z):
         return np.where(z > 0.0, z, self.alpha * (np.exp(np.minimum(z, 0.0))
                                                   - 1.0))
 
     def backward(self, grad, z, a):
-        return grad * np.where(z > 0.0, 1.0, a + self.alpha)
+        ref = z if z is not None else a
+        return grad * np.where(ref > 0.0, 1.0, a + self.alpha)
 
 
 class Softplus(Activation):
@@ -169,6 +253,7 @@ class Softmax(Activation):
     """
 
     name = "softmax"
+    needs_preactivation = False
 
     def forward(self, z):
         shifted = z - z.max(axis=-1, keepdims=True)

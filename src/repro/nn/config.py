@@ -14,6 +14,7 @@ import json
 import numpy as np
 
 from repro.errors import ConfigError
+from repro.nn import dtypes
 from repro.nn.activations import get_activation
 from repro.nn.conv import Conv2D
 from repro.nn.dense import Dense
@@ -108,19 +109,32 @@ def layer_from_config(config):
 
 
 def network_to_config(network):
-    """Serialize a network's architecture to a plain dict."""
+    """Serialize a network's architecture to a plain dict.
+
+    Records the storage dtype so the round-trip reproduces the model
+    exactly (campaign shard workers and corpus-store fingerprints depend
+    on bit-identical rebuilds).
+    """
     return {
         "name": network.name,
         "input_shape": list(network.input_shape),
+        "dtype": network.dtype.name,
         "layers": [layer_to_config(l) for l in network.layers],
     }
 
 
-def network_from_config(config):
-    """Rebuild a network (fresh random weights) from its config."""
-    layers = [layer_from_config(c) for c in config["layers"]]
-    return Network(layers, tuple(config["input_shape"]),
-                   name=config.get("name", "network"))
+def network_from_config(config, dtype=None):
+    """Rebuild a network (fresh random weights) from its config.
+
+    ``dtype`` overrides the recorded dtype; legacy configs without a
+    recorded dtype rebuild at float64 (everything was float64 before the
+    dtype policy existed).
+    """
+    dtype = dtypes.resolve(dtype or config.get("dtype", "float64"))
+    with dtypes.default_dtype(dtype):
+        layers = [layer_from_config(c) for c in config["layers"]]
+        return Network(layers, tuple(config["input_shape"]),
+                       name=config.get("name", "network"))
 
 
 def network_to_payload(network):
@@ -129,16 +143,20 @@ def network_to_payload(network):
     This is the worker-shipping path of campaign runs: the payload
     crosses a process boundary (``multiprocessing``) and is rebuilt with
     :func:`network_from_payload` — no disk file, no builder import, and
-    no retraining on the other side.  Weights are float64 copies, so the
-    rebuilt network computes bit-identical outputs.
+    no retraining on the other side.  Weights keep their storage dtype,
+    so the rebuilt network computes bit-identical outputs.
     """
     return {"config": network_to_config(network),
             "state": network.state_dict()}
 
 
-def network_from_payload(payload):
-    """Reconstruct a trained network from :func:`network_to_payload`."""
-    network = network_from_config(payload["config"])
+def network_from_payload(payload, dtype=None):
+    """Reconstruct a trained network from :func:`network_to_payload`.
+
+    Passing ``dtype`` converts the rebuilt network (e.g. a float64-trained
+    model re-materialized at float32 for generation).
+    """
+    network = network_from_config(payload["config"], dtype=dtype)
     network.load_state_dict(payload["state"])
     return network
 

@@ -3,11 +3,27 @@
 Array layout is ``(batch, channels, height, width)`` throughout.  The
 im2col/col2im pair turns convolution into a single matrix multiply, which
 is the only way a pure-numpy CNN is fast enough to train the model zoo.
+
+Kernel notes:
+
+* ``im2col`` gathers windows through an ``as_strided`` view of the
+  (padded) input and one bulk ``copyto`` — a pure data movement, so the
+  result is bit-identical to the historical per-offset Python loop.
+* ``col2im`` keeps the per-offset scatter-add loop **in the same i,j
+  order** as always: overlapping windows sum in a fixed sequence, and
+  changing that order would change float rounding and break the pinned
+  float64 goldens.
+* Both accept caller-provided output buffers so the ascent loop can
+  reuse a :class:`~repro.nn.workspace.Workspace` across iterations, and
+  ``Conv2D.forward`` fuses bias + activation into the GEMM epilogue
+  (in-place on the output buffer) whenever the activation's backward
+  does not need the pre-activation.
 """
 
 from __future__ import annotations
 
 import numpy as np
+from numpy.lib.stride_tricks import as_strided
 
 from repro.errors import ShapeError
 from repro.nn.activations import get_activation
@@ -29,37 +45,76 @@ def conv_output_size(size, kernel, stride, pad):
     return out
 
 
-def im2col(x, kernel_h, kernel_w, stride, pad):
-    """Unfold ``x`` (N, C, H, W) into columns (N, C*kh*kw, out_h*out_w)."""
+def im2col(x, kernel_h, kernel_w, stride, pad, out=None, pad_buffer=None):
+    """Unfold ``x`` (N, C, H, W) into columns (N, C*kh*kw, out_h*out_w).
+
+    ``out`` (column buffer) and ``pad_buffer`` (padded-input scratch,
+    shape ``(N, C, H+2p, W+2p)``) are optional preallocated arrays.
+    """
     n, c, h, w = x.shape
     out_h = conv_output_size(h, kernel_h, stride, pad)
     out_w = conv_output_size(w, kernel_w, stride, pad)
     if pad:
-        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
-    cols = np.empty((n, c, kernel_h, kernel_w, out_h, out_w), dtype=x.dtype)
-    for i in range(kernel_h):
-        i_max = i + stride * out_h
-        for j in range(kernel_w):
-            j_max = j + stride * out_w
-            cols[:, :, i, j, :, :] = x[:, :, i:i_max:stride, j:j_max:stride]
-    return cols.reshape(n, c * kernel_h * kernel_w, out_h * out_w)
+        if pad_buffer is None:
+            x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+        else:
+            # The interior is overwritten below, so only the border
+            # frame needs zeroing when the buffer is recycled.
+            pad_buffer[:, :, :pad, :].fill(0.0)
+            pad_buffer[:, :, -pad:, :].fill(0.0)
+            pad_buffer[:, :, pad:-pad, :pad].fill(0.0)
+            pad_buffer[:, :, pad:-pad, -pad:].fill(0.0)
+            pad_buffer[:, :, pad:-pad, pad:-pad] = x
+            x = pad_buffer
+    sn, sc, sh, sw = x.strides
+    windows = as_strided(
+        x, shape=(n, c, kernel_h, kernel_w, out_h, out_w),
+        strides=(sn, sc, sh, sw, stride * sh, stride * sw))
+    if out is None:
+        out = np.empty((n, c * kernel_h * kernel_w, out_h * out_w),
+                       dtype=x.dtype)
+    np.copyto(out.reshape(n, c, kernel_h, kernel_w, out_h, out_w), windows)
+    return out
 
 
-def col2im(cols, input_shape, kernel_h, kernel_w, stride, pad):
-    """Fold columns back to input space, summing overlapping windows."""
+def col2im(cols, input_shape, kernel_h, kernel_w, stride, pad, out=None):
+    """Fold columns back to input space, summing overlapping windows.
+
+    ``out`` is an optional unpadded buffer ``(N, C, H, W)``; it is
+    zeroed here.  Each kernel offset's scatter-add is clipped to the
+    valid (unpadded) region, so no padded scratch is materialized and
+    no work is spent on border cells that would be cropped anyway.  The
+    i,j accumulation order is load-bearing for bit-identical gradients
+    — do not reorder.
+    """
     n, c, h, w = input_shape
     out_h = conv_output_size(h, kernel_h, stride, pad)
     out_w = conv_output_size(w, kernel_w, stride, pad)
     cols = cols.reshape(n, c, kernel_h, kernel_w, out_h, out_w)
-    padded = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
+    if out is None:
+        grad = np.zeros((n, c, h, w), dtype=cols.dtype)
+    else:
+        grad = out
+        grad.fill(0.0)
     for i in range(kernel_h):
-        i_max = i + stride * out_h
         for j in range(kernel_w):
-            j_max = j + stride * out_w
-            padded[:, :, i:i_max:stride, j:j_max:stride] += cols[:, :, i, j]
-    if pad:
-        return padded[:, :, pad:-pad, pad:-pad]
-    return padded
+            _scatter_add(grad, cols[:, :, i, j], i - pad, j - pad, stride,
+                         h, w, out_h, out_w)
+    return grad
+
+
+def _scatter_add(grad, col, row_off, col_off, stride, h, w, out_h, out_w):
+    """Add one kernel offset's columns into the valid region of ``grad``."""
+    t0 = -(row_off // stride) if row_off < 0 else 0
+    u0 = -(col_off // stride) if col_off < 0 else 0
+    t1 = min(out_h, (h - 1 - row_off) // stride + 1)
+    u1 = min(out_w, (w - 1 - col_off) // stride + 1)
+    if t0 >= t1 or u0 >= u1:
+        return
+    r0 = row_off + stride * t0
+    c0 = col_off + stride * u0
+    grad[:, :, r0:row_off + stride * (t1 - 1) + 1:stride,
+         c0:col_off + stride * (u1 - 1) + 1:stride] += col[:, :, t0:t1, u0:u1]
 
 
 class Conv2D(Layer):
@@ -94,33 +149,72 @@ class Conv2D(Layer):
         self.weight = Parameter(weight, f"{self.name}.weight")
         self.bias = Parameter(np.zeros(self.out_channels), f"{self.name}.bias")
 
-    def forward(self, x, training=False):
+    def forward(self, x, training=False, workspace=None):
         if x.ndim != 4 or x.shape[1] != self.in_channels:
             raise ShapeError(
                 f"{self.name}: expected (batch, {self.in_channels}, H, W), "
                 f"got {x.shape}")
         kh, kw = self.kernel_size
-        cols = im2col(x, kh, kw, self.stride, self.padding)
-        z_flat = self.weight.value @ cols  # (N, F, out_h*out_w)
-        z_flat += self.bias.value[None, :, None]
+        n = x.shape[0]
         out_h = conv_output_size(x.shape[2], kh, self.stride, self.padding)
         out_w = conv_output_size(x.shape[3], kw, self.stride, self.padding)
-        z = z_flat.reshape(x.shape[0], self.out_channels, out_h, out_w)
-        a = self.activation.forward(z)
-        return a, (x.shape, cols, z, a)
+        cols = pad_buffer = None
+        if workspace is not None:
+            if self.padding:
+                pad_buffer = workspace.get(
+                    (id(self), "pad"),
+                    (n, self.in_channels, x.shape[2] + 2 * self.padding,
+                     x.shape[3] + 2 * self.padding), x.dtype)
+            cols = workspace.get(
+                (id(self), "cols"),
+                (n, self.in_channels * kh * kw, out_h * out_w), x.dtype)
+        cols = im2col(x, kh, kw, self.stride, self.padding, out=cols,
+                      pad_buffer=pad_buffer)
+        if workspace is None:
+            z_flat = self.weight.value @ cols  # (N, F, out_h*out_w)
+        else:
+            z_flat = workspace.get((id(self), "z"),
+                                   (n, self.out_channels, out_h * out_w),
+                                   x.dtype)
+            np.matmul(self.weight.value, cols, out=z_flat)
+        z_flat += self.bias.value[None, :, None]
+        z = z_flat.reshape(n, self.out_channels, out_h, out_w)
+        if self.activation.needs_preactivation:
+            a = self.activation.forward(z)
+            return a, (x.shape, cols, z, a, workspace)
+        a = self.activation.forward_into(z, z)
+        return a, (x.shape, cols, None, a, workspace)
 
     def backward(self, ctx, grad_out, accumulate=True):
-        input_shape, cols, z, a = ctx
-        grad_z = self.activation.backward(grad_out, z, a)
+        input_shape, cols, z, a, workspace = ctx
+        if workspace is None:
+            grad_z = self.activation.backward(grad_out, z, a)
+        else:
+            grad_z = self.activation.backward_into(
+                grad_out, z, a,
+                out=workspace.get((id(self), "gz"), grad_out.shape,
+                                  grad_out.dtype),
+                mask=workspace.get((id(self), "gzmask"), grad_out.shape,
+                                   np.bool_))
         n = grad_z.shape[0]
         gz_flat = grad_z.reshape(n, self.out_channels, -1)
         if accumulate:
             self.weight.grad += np.tensordot(gz_flat, cols,
                                              axes=([0, 2], [0, 2]))
             self.bias.grad += gz_flat.sum(axis=(0, 2))
-        grad_cols = self.weight.value.T @ gz_flat
         kh, kw = self.kernel_size
-        return col2im(grad_cols, input_shape, kh, kw, self.stride, self.padding)
+        if workspace is None:
+            grad_cols = self.weight.value.T @ gz_flat
+            return col2im(grad_cols, input_shape, kh, kw, self.stride,
+                          self.padding)
+        grad_cols = workspace.get((id(self), "gcols"), cols.shape,
+                                  gz_flat.dtype)
+        np.matmul(self.weight.value.T, gz_flat, out=grad_cols)
+        _, c, h, w = input_shape
+        grad_x = workspace.get((id(self), "gx"), (n, c, h, w),
+                               gz_flat.dtype)
+        return col2im(grad_cols, input_shape, kh, kw, self.stride,
+                      self.padding, out=grad_x)
 
     def parameters(self):
         return [self.weight, self.bias]
@@ -138,8 +232,8 @@ class Conv2D(Layer):
     def neuron_outputs(self, output):
         return output.mean(axis=(2, 3))
 
-    def neuron_seed(self, output_shape, neuron_index):
+    def neuron_seed(self, output_shape, neuron_index, dtype=np.float64):
         channels, h, w = output_shape
-        seed = np.zeros(output_shape, dtype=np.float64)
+        seed = np.zeros(output_shape, dtype=dtype)
         seed[neuron_index] = 1.0 / (h * w)
         return seed

@@ -28,11 +28,14 @@ class Dropout(Layer):
         self.rate = rate
         self._rng = as_rng(rng)
 
-    def forward(self, x, training=False):
+    def forward(self, x, training=False, workspace=None):
         if not training or self.rate == 0.0:
             return x, None
         keep = 1.0 - self.rate
-        mask = (self._rng.random(x.shape) < keep) / keep
+        # The rng emits float64; cast the mask so x's dtype is preserved
+        # (a no-op copy=False passthrough when x is float64 already).
+        mask = ((self._rng.random(x.shape) < keep) / keep).astype(
+            x.dtype, copy=False)
         return x * mask, mask
 
     def backward(self, ctx, grad_out, accumulate=True):

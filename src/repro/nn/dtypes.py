@@ -1,0 +1,100 @@
+"""Floating-point dtype policy for the numpy substrate.
+
+Every array the framework allocates — parameters, buffers, layer
+outputs, gradient seeds — resolves its dtype through this module instead
+of hard-coding ``np.float64``.  The library default is ``float32``: the
+ascent loop is memory-bandwidth-bound and BLAS sgemm is roughly twice
+dgemm, so single precision is the right default for generation
+workloads.  ``float64`` remains a first-class opt-in for the places
+that need it:
+
+* gradient checking (finite differences at ``eps=1e-6`` drown in
+  float32 rounding noise),
+* the golden-equivalence matrix (captured at float64 and pinned
+  bit-identical), and
+* model-zoo training (:data:`repro.models.registry.TRAINING_DTYPE`),
+  so cached weights and every downstream golden stay stable.
+
+Usage::
+
+    from repro.nn import dtypes
+
+    dtypes.get_default_dtype()          # np.dtype('float32')
+    with dtypes.default_dtype("float64"):
+        net = build_lenet1()            # float64 parameters
+    net32 = network_from_payload(network_to_payload(net), dtype="float32")
+
+The policy is a thread-local-free stack (the repo is single-threaded
+per process; worker processes re-import and get a fresh stack), so
+nested scopes compose and an exception unwinds cleanly.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = ["DEFAULT_DTYPE", "GOLDEN_DTYPE", "SUPPORTED_DTYPES",
+           "get_default_dtype", "set_default_dtype", "default_dtype",
+           "resolve"]
+
+#: The library-wide default compute dtype.
+DEFAULT_DTYPE = np.dtype(np.float32)
+
+#: The opt-in high-precision dtype: gradchecks, goldens, zoo training.
+GOLDEN_DTYPE = np.dtype(np.float64)
+
+#: The only dtypes the substrate supports.
+SUPPORTED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+_stack = [DEFAULT_DTYPE]
+
+
+def resolve(dtype=None):
+    """Resolve ``dtype`` (name, numpy dtype, or ``None``) to a dtype.
+
+    ``None`` yields the current policy default.  Anything outside
+    :data:`SUPPORTED_DTYPES` is a :class:`~repro.errors.ConfigError` —
+    the kernels assume IEEE binary32/binary64 and nothing else.
+    """
+    if dtype is None:
+        return _stack[-1]
+    try:
+        dt = np.dtype(dtype)
+    except TypeError:
+        raise ConfigError(f"not a dtype: {dtype!r}") from None
+    if dt not in SUPPORTED_DTYPES:
+        names = ", ".join(d.name for d in SUPPORTED_DTYPES)
+        raise ConfigError(
+            f"unsupported dtype {dt.name!r}; supported: {names}")
+    return dt
+
+
+def get_default_dtype():
+    """The dtype fresh parameters/buffers are created with."""
+    return _stack[-1]
+
+
+def set_default_dtype(dtype):
+    """Replace the current default (top of the scope stack) in place.
+
+    Prefer the :func:`default_dtype` context manager; this imperative
+    form exists for process-wide configuration (e.g. a CLI entry point).
+    Returns the previous default.
+    """
+    previous = _stack[-1]
+    _stack[-1] = resolve(dtype)
+    return previous
+
+
+@contextmanager
+def default_dtype(dtype):
+    """Scope the default dtype: ``with default_dtype("float64"): ...``."""
+    _stack.append(resolve(dtype))
+    try:
+        yield _stack[-1]
+    finally:
+        _stack.pop()

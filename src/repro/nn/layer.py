@@ -36,12 +36,18 @@ class Layer:
         self.name = name or type(self).__name__.lower()
 
     # -- core protocol -----------------------------------------------------
-    def forward(self, x, training=False):
+    def forward(self, x, training=False, workspace=None):
         """Compute the layer output for ``x``.
 
         Returns ``(output, ctx)`` where ``ctx`` is an opaque backward
         context (``None`` when the backward needs nothing).  The context
         must be treated as immutable by :meth:`backward`.
+
+        ``workspace`` is an optional :class:`repro.nn.workspace.Workspace`
+        the layer may draw scratch/output buffers from.  Workspace-backed
+        outputs and contexts are only valid until the next pass that
+        shares the workspace; callers that keep tapes alive across
+        forwards must not pass one.  Layers never store the workspace.
         """
         raise NotImplementedError
 
@@ -73,6 +79,17 @@ class Layer:
         """
         return {}
 
+    def cast(self, dtype):
+        """Convert parameters (and any floating buffers) to ``dtype``.
+
+        In-place on the layer.  Layers that own non-parameter arrays
+        (batch-norm running stats, fixed scaling vectors) or child
+        layers override this and call ``super().cast(dtype)``.
+        """
+        for param in self.parameters():
+            param.cast(dtype)
+        return self
+
     def output_shape(self, input_shape):
         """Shape (without batch axis) produced for ``input_shape``."""
         raise NotImplementedError
@@ -90,15 +107,16 @@ class Layer:
         """
         return output.reshape(output.shape[0], -1)
 
-    def neuron_seed(self, output_shape, neuron_index):
+    def neuron_seed(self, output_shape, neuron_index, dtype=np.float64):
         """Gradient seed selecting ``neuron_index``'s scalar output.
 
         Returns an array shaped like one unbatched output whose inner
         product with the layer output equals the neuron's scalar value (as
         defined by :meth:`neuron_outputs`).  Used to start backpropagation
-        from an arbitrary hidden neuron.
+        from an arbitrary hidden neuron.  ``dtype`` should match the tape
+        being differentiated so backward never silently upcasts.
         """
-        seed = np.zeros(output_shape, dtype=np.float64)
+        seed = np.zeros(output_shape, dtype=dtype)
         seed.reshape(-1)[neuron_index] = 1.0
         return seed
 

@@ -55,7 +55,7 @@ class MeanSquaredError(Loss):
     name = "mse"
 
     def __call__(self, outputs, targets):
-        targets = np.asarray(targets, dtype=np.float64).reshape(outputs.shape)
+        targets = np.asarray(targets, dtype=outputs.dtype).reshape(outputs.shape)
         diff = outputs - targets
         loss = float((diff ** 2).mean())
         grad = 2.0 * diff / diff.size

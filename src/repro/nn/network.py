@@ -29,7 +29,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import CoverageError, ShapeError
-from repro.nn import instrumentation
+from repro.nn import dtypes, instrumentation
 from repro.nn.tape import ForwardPass
 
 __all__ = ["Network", "NeuronId", "LayerNeurons"]
@@ -70,6 +70,11 @@ class Network:
         self.layers = list(layers)
         self.input_shape = tuple(int(s) for s in input_shape)
         self.name = str(name)
+        # Compute dtype: inferred from the parameters (all layers are
+        # built under one policy scope), falling back to the policy for
+        # parameter-free networks.
+        params = [p for layer in self.layers for p in layer.parameters()]
+        self._dtype = params[0].dtype if params else dtypes.get_default_dtype()
         self._output_shapes = []
         shape = self.input_shape
         for layer in self.layers:
@@ -107,6 +112,19 @@ class Network:
         return int(sum(p.value.size for p in self.parameters()))
 
     @property
+    def dtype(self):
+        """The compute/storage dtype of this network."""
+        return self._dtype
+
+    def cast(self, dtype):
+        """Convert all parameters and buffers to ``dtype`` in place."""
+        dt = dtypes.resolve(dtype)
+        for layer in self.layers:
+            layer.cast(dt)
+        self._dtype = dt
+        return self
+
+    @property
     def neuron_layers(self):
         """The flat neuron table (read-only list of :class:`LayerNeurons`)."""
         return list(self._neuron_layers)
@@ -124,31 +142,39 @@ class Network:
 
     # -- execution ----------------------------------------------------------
     def _check_input(self, x):
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x, dtype=self._dtype)
         if x.shape[1:] != self.input_shape:
             raise ShapeError(
                 f"{self.name}: expected input shape (batch, "
                 f"{', '.join(map(str, self.input_shape))}), got {x.shape}")
         return x
 
-    def run(self, x, training=False):
+    def run(self, x, training=False, workspace=None):
         """Execute one recorded forward pass; returns a
         :class:`~repro.nn.tape.ForwardPass` tape.
 
         The tape owns every layer's output and backward context, so the
         oracle check, coverage update, and all input-gradients of one
         ascent iteration derive from this single execution.
+
+        ``workspace`` (a :class:`~repro.nn.workspace.Workspace`) makes the
+        layers draw output/scratch buffers from a reusable pool: the
+        returned tape is then only valid until the next pass that shares
+        the workspace.  The ascent loop passes one workspace per model;
+        callers that hold tapes across forwards should pass ``None``.
         """
         x = self._check_input(x)
         outputs = []
         contexts = []
         out = x
         for layer in self.layers:
-            out, ctx = layer.forward(out, training=training)
+            out, ctx = layer.forward(out, training=training,
+                                     workspace=workspace)
             outputs.append(out)
             contexts.append(ctx)
         instrumentation.record_forward(self, x.shape[0])
-        return ForwardPass(self, x, outputs, contexts, training)
+        return ForwardPass(self, x, outputs, contexts, training,
+                           workspace=workspace)
 
     def forward(self, x, training=False):
         """Run the network and return only its final output."""
@@ -212,7 +238,7 @@ class Network:
         for param in self.parameters():
             if param.name not in state:
                 raise KeyError(f"missing parameter {param.name!r} in state")
-            value = np.asarray(state[param.name], dtype=np.float64)
+            value = np.asarray(state[param.name], dtype=param.value.dtype)
             if value.shape != param.value.shape:
                 raise ShapeError(
                     f"{param.name}: saved shape {value.shape} != "
@@ -221,7 +247,7 @@ class Network:
         for name, buf in self.buffers().items():
             if name not in state:
                 raise KeyError(f"missing buffer {name!r} in state")
-            buf[...] = np.asarray(state[name], dtype=np.float64)
+            buf[...] = np.asarray(state[name], dtype=buf.dtype)
 
     def save(self, path):
         """Persist weights/buffers to an ``.npz`` file."""

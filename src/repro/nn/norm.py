@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ShapeError
+from repro.nn import dtypes
 from repro.nn.layer import Layer
 from repro.nn.parameter import Parameter
 
@@ -26,15 +27,23 @@ class BatchNorm(Layer):
         self.eps = float(eps)
         self.gamma = Parameter(np.ones(self.num_features), f"{self.name}.gamma")
         self.beta = Parameter(np.zeros(self.num_features), f"{self.name}.beta")
-        self.running_mean = np.zeros(self.num_features)
-        self.running_var = np.ones(self.num_features)
+        dtype = dtypes.get_default_dtype()
+        self.running_mean = np.zeros(self.num_features, dtype=dtype)
+        self.running_var = np.ones(self.num_features, dtype=dtype)
+
+    def cast(self, dtype):
+        super().cast(dtype)
+        dt = dtypes.resolve(dtype)
+        self.running_mean = self.running_mean.astype(dt, copy=False)
+        self.running_var = self.running_var.astype(dt, copy=False)
+        return self
 
     def _reshape_stats(self, stat, ndim):
         if ndim == 2:
             return stat[None, :]
         return stat[None, :, None, None]
 
-    def forward(self, x, training=False):
+    def forward(self, x, training=False, workspace=None):
         if x.ndim not in (2, 4) or x.shape[1] != self.num_features:
             raise ShapeError(
                 f"{self.name}: expected {self.num_features} features/channels, "

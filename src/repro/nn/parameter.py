@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.nn import dtypes
+
 __all__ = ["Parameter"]
 
 
@@ -14,16 +16,31 @@ class Parameter:
     on ``grad``.  Gradients accumulate across :meth:`repro.nn.Layer.backward`
     calls until :meth:`zero_grad` is invoked, which lets a training step sum
     gradients over sub-batches if it wants to.
+
+    Storage dtype follows the active :mod:`repro.nn.dtypes` policy at
+    construction time (pass ``dtype`` to override).
     """
 
-    def __init__(self, value, name):
-        self.value = np.asarray(value, dtype=np.float64)
+    def __init__(self, value, name, dtype=None):
+        self.value = np.asarray(value, dtype=dtypes.resolve(dtype))
         self.grad = np.zeros_like(self.value)
         self.name = str(name)
 
     @property
     def shape(self):
         return self.value.shape
+
+    @property
+    def dtype(self):
+        return self.value.dtype
+
+    def cast(self, dtype):
+        """Convert storage to ``dtype`` in place (grad is reset to zero)."""
+        dt = dtypes.resolve(dtype)
+        if self.value.dtype != dt:
+            self.value = self.value.astype(dt)
+            self.grad = np.zeros_like(self.value)
+        return self
 
     def zero_grad(self):
         self.grad.fill(0.0)

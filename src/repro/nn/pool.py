@@ -32,29 +32,60 @@ class MaxPool2D(Layer):
             pool_size = (pool_size, pool_size)
         self.pool_size = tuple(int(p) for p in pool_size)
 
-    def forward(self, x, training=False):
+    def forward(self, x, training=False, workspace=None):
         _check_divisible(x.shape, self.pool_size)
         n, c, h, w = x.shape
         ph, pw = self.pool_size
-        windows = (x.reshape(n, c, h // ph, ph, w // pw, pw)
-                   .transpose(0, 1, 2, 4, 3, 5)
-                   .reshape(n, c, h // ph, w // pw, ph * pw))
-        idx = windows.argmax(axis=-1)
-        out = np.take_along_axis(windows, idx[..., None], axis=-1)[..., 0]
-        return out, (x.shape, idx)
+        shape = (n, c, h // ph, w // pw)
+        # Strided-slice max over the ph*pw window positions: no
+        # transpose/reshape copies, no argmax.  np.maximum of the same
+        # elements is the same max, so outputs are bit-identical to the
+        # historical windowed argmax implementation.
+        if workspace is None:
+            out = np.empty(shape, dtype=x.dtype)
+        else:
+            out = workspace.get((id(self), "out"), shape, x.dtype)
+        np.copyto(out, x[:, :, 0::ph, 0::pw])
+        for a in range(ph):
+            for b in range(pw):
+                if a or b:
+                    np.maximum(out, x[:, :, a::ph, b::pw], out=out)
+        # The memo caches the winner masks across repeated backwards
+        # from one tape (differential + coverage reuse the same ctx).
+        return out, (x, out, workspace, [])
 
     def backward(self, ctx, grad_out, accumulate=True):
-        input_shape, idx = ctx
-        n, c, h, w = input_shape
+        x, out, workspace, memo = ctx
+        n, c, h, w = x.shape
         ph, pw = self.pool_size
-        grad_windows = np.zeros((n, c, h // ph, w // pw, ph * pw),
-                                dtype=grad_out.dtype)
-        np.put_along_axis(grad_windows, idx[..., None],
-                          grad_out[..., None], axis=-1)
-        return (grad_windows
-                .reshape(n, c, h // ph, w // pw, ph, pw)
-                .transpose(0, 1, 2, 4, 3, 5)
-                .reshape(n, c, h, w))
+        if not memo:
+            # First-max-wins masks in window row-major order — the same
+            # tie-breaking as the historical argmax, so gradient routing
+            # (and the float64 goldens) stay bit-identical.
+            masks, taken = [], None
+            for a in range(ph):
+                for b in range(pw):
+                    mask = x[:, :, a::ph, b::pw] == out
+                    if taken is None:
+                        taken = mask.copy()
+                    else:
+                        mask &= ~taken
+                        taken |= mask
+                    masks.append(mask)
+            memo.append(masks)
+        masks = memo[0]
+        if workspace is None:
+            grad_x = np.empty((n, c, h, w), dtype=grad_out.dtype)
+        else:
+            grad_x = workspace.get((id(self), "gx"), (n, c, h, w),
+                                   grad_out.dtype)
+        k = 0
+        for a in range(ph):
+            for b in range(pw):
+                np.multiply(grad_out, masks[k],
+                            out=grad_x[:, :, a::ph, b::pw])
+                k += 1
+        return grad_x
 
     def output_shape(self, input_shape):
         c, h, w = input_shape
@@ -74,7 +105,7 @@ class AvgPool2D(Layer):
             pool_size = (pool_size, pool_size)
         self.pool_size = tuple(int(p) for p in pool_size)
 
-    def forward(self, x, training=False):
+    def forward(self, x, training=False, workspace=None):
         _check_divisible(x.shape, self.pool_size)
         n, c, h, w = x.shape
         ph, pw = self.pool_size
@@ -101,7 +132,7 @@ class AvgPool2D(Layer):
 class GlobalAvgPool2D(Layer):
     """Average each channel over all spatial positions: (N,C,H,W)->(N,C)."""
 
-    def forward(self, x, training=False):
+    def forward(self, x, training=False, workspace=None):
         return x.mean(axis=(2, 3)), x.shape
 
     def backward(self, ctx, grad_out, accumulate=True):

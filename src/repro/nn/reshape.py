@@ -12,7 +12,7 @@ __all__ = ["Flatten"]
 class Flatten(Layer):
     """Collapse all feature axes: (N, ...) -> (N, prod(...))."""
 
-    def forward(self, x, training=False):
+    def forward(self, x, training=False, workspace=None):
         return x.reshape(x.shape[0], -1), x.shape
 
     def backward(self, ctx, grad_out, accumulate=True):

@@ -30,24 +30,29 @@ class Residual(Layer):
         self.shortcut = list(shortcut) if shortcut else []
         self.activation = Relu()
 
-    def forward(self, x, training=False):
+    def forward(self, x, training=False, workspace=None):
         out = x
         body_ctxs = []
         for layer in self.body:
-            out, ctx = layer.forward(out, training=training)
+            out, ctx = layer.forward(out, training=training,
+                                     workspace=workspace)
             body_ctxs.append(ctx)
         skip = x
         shortcut_ctxs = []
         for layer in self.shortcut:
-            skip, ctx = layer.forward(skip, training=training)
+            skip, ctx = layer.forward(skip, training=training,
+                                      workspace=workspace)
             shortcut_ctxs.append(ctx)
         if out.shape != skip.shape:
             raise ShapeError(
                 f"{self.name}: body output {out.shape} does not match "
                 f"shortcut output {skip.shape}; add a projection shortcut")
         z = out + skip
-        a = self.activation.forward(z)
-        return a, (tuple(body_ctxs), tuple(shortcut_ctxs), z, a)
+        if self.activation.needs_preactivation:
+            a = self.activation.forward(z)
+            return a, (tuple(body_ctxs), tuple(shortcut_ctxs), z, a)
+        a = self.activation.forward_into(z, z)
+        return a, (tuple(body_ctxs), tuple(shortcut_ctxs), None, a)
 
     def backward(self, ctx, grad_out, accumulate=True):
         body_ctxs, shortcut_ctxs, z, a = ctx
@@ -76,6 +81,11 @@ class Residual(Layer):
             buffers.update(layer.buffers())
         return buffers
 
+    def cast(self, dtype):
+        for layer in self.body + self.shortcut:
+            layer.cast(dtype)
+        return self
+
     def output_shape(self, input_shape):
         shape = tuple(input_shape)
         for layer in self.body:
@@ -94,8 +104,8 @@ class Residual(Layer):
     def neuron_outputs(self, output):
         return output.mean(axis=(2, 3))
 
-    def neuron_seed(self, output_shape, neuron_index):
+    def neuron_seed(self, output_shape, neuron_index, dtype=np.float64):
         channels, h, w = output_shape
-        seed = np.zeros(output_shape, dtype=np.float64)
+        seed = np.zeros(output_shape, dtype=dtype)
         seed[neuron_index] = 1.0 / (h * w)
         return seed

@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ShapeError
+from repro.nn import dtypes
 from repro.nn.layer import Layer
 
 __all__ = ["FixedScale"]
@@ -22,8 +23,9 @@ class FixedScale(Layer):
 
     def __init__(self, mean, std, name=None):
         super().__init__(name=name)
-        self.mean = np.asarray(mean, dtype=np.float64)
-        std = np.asarray(std, dtype=np.float64).copy()
+        dtype = dtypes.get_default_dtype()
+        self.mean = np.asarray(mean, dtype=dtype)
+        std = np.asarray(std, dtype=dtype).copy()
         std[std == 0.0] = 1.0  # constant features pass through unscaled
         self.std = std
         if self.mean.shape != self.std.shape:
@@ -32,11 +34,21 @@ class FixedScale(Layer):
 
     @classmethod
     def from_data(cls, x, name=None):
-        """Fit mean/std from a training matrix ``(n, features)``."""
+        """Fit mean/std from a training matrix ``(n, features)``.
+
+        Statistics are computed at float64 for stability, then stored at
+        the policy dtype by ``__init__``.
+        """
         x = np.asarray(x, dtype=np.float64)
         return cls(x.mean(axis=0), x.std(axis=0), name=name)
 
-    def forward(self, x, training=False):
+    def cast(self, dtype):
+        dt = dtypes.resolve(dtype)
+        self.mean = self.mean.astype(dt, copy=False)
+        self.std = self.std.astype(dt, copy=False)
+        return self
+
+    def forward(self, x, training=False, workspace=None):
         if x.shape[1:] != self.mean.shape:
             raise ShapeError(
                 f"{self.name}: expected features {self.mean.shape}, "

@@ -54,14 +54,22 @@ class ForwardPass:
     used by training).
     """
 
-    __slots__ = ("network", "x", "training", "_layer_outputs", "_contexts")
+    __slots__ = ("network", "x", "training", "_layer_outputs", "_contexts",
+                 "_workspace")
 
-    def __init__(self, network, x, layer_outputs, contexts, training):
+    def __init__(self, network, x, layer_outputs, contexts, training,
+                 workspace=None):
         self.network = network
         self.x = x
         self.training = bool(training)
         self._layer_outputs = tuple(layer_outputs)
         self._contexts = tuple(contexts)
+        self._workspace = workspace
+
+    @property
+    def dtype(self):
+        """The dtype this pass was computed in."""
+        return self.x.dtype
 
     # -- forward views ------------------------------------------------------
     @property
@@ -111,12 +119,22 @@ class ForwardPass:
             self._layer_outputs[entry.layer_index])[:, local]
 
     # -- backward views -----------------------------------------------------
-    def _backward_from(self, layer_index, grad, accumulate=False):
+    def _backward_from(self, layer_index, grad, accumulate=False,
+                       inject=None):
         layers = self.network.layers
         for i in range(layer_index, -1, -1):
+            if inject is not None and i == inject[0]:
+                # Linearity: adding a seed where the sweep passes its
+                # layer equals running a second backward from there.
+                grad = grad + inject[1]
             grad = layers[i].backward(self._contexts[i], grad,
                                       accumulate=accumulate)
         instrumentation.record_backward(self.network, self.batch_size)
+        if self._workspace is not None:
+            # Workspace-backed layers may return views into reusable
+            # buffers; hand the caller an owned copy so the gradient
+            # survives the next pass.
+            grad = np.array(grad, copy=True)
         return grad
 
     def backward(self, grad_outputs, accumulate=True):
@@ -127,7 +145,7 @@ class ForwardPass:
         Parameter gradients are accumulated unless ``accumulate=False``.
         """
         if not self._layer_outputs:
-            return np.asarray(grad_outputs, dtype=np.float64)
+            return np.asarray(grad_outputs, dtype=self.dtype)
         return self._backward_from(len(self._layer_outputs) - 1,
                                    grad_outputs, accumulate=accumulate)
 
@@ -140,7 +158,7 @@ class ForwardPass:
         output — e.g. each sample's own class score).
         """
         out = self.outputs()
-        grad = np.broadcast_to(np.asarray(seed, dtype=np.float64),
+        grad = np.broadcast_to(np.asarray(seed, dtype=self.dtype),
                                out.shape).copy()
         if not self._layer_outputs:
             return grad
@@ -154,9 +172,37 @@ class ForwardPass:
             raise ShapeError(
                 f"{network.name}: class gradients need a flat output, "
                 f"got {network.output_shape}")
-        seed = np.zeros(network.output_shape, dtype=np.float64)
+        seed = np.zeros(network.output_shape, dtype=self.dtype)
         seed[class_index] = 1.0
         return self.gradient_of_output(seed, accumulate=accumulate)
+
+    def gradient_joint(self, seed, neuron=None, scale=1.0,
+                       accumulate=False):
+        """d(seed . output + scale * neuron_value)/dx in ONE sweep.
+
+        By linearity this equals ``gradient_of_output(seed) + scale *
+        gradient_of_neuron(neuron)``: the neuron's seed is injected as
+        the backward sweep passes its layer, so the second sweep never
+        runs.  The single sweep accumulates in a different float order
+        than the two-sweep sum, so the bit-pinned float64 golden path
+        keeps calling the separate methods.
+        """
+        if neuron is None:
+            return self.gradient_of_output(seed, accumulate=accumulate)
+        out = self.outputs()
+        grad = np.broadcast_to(np.asarray(seed, dtype=self.dtype),
+                               out.shape).copy()
+        if not self._layer_outputs:
+            return grad
+        network = self.network
+        entry, local = network.neuron_layer_of(neuron)
+        layer = network.layers[entry.layer_index]
+        out_shape = network._output_shapes[entry.layer_index]
+        seed_one = layer.neuron_seed(out_shape, local, dtype=self.dtype)
+        return self._backward_from(
+            len(self._layer_outputs) - 1, grad, accumulate=accumulate,
+            inject=(entry.layer_index,
+                    np.asarray(scale * seed_one, dtype=self.dtype)))
 
     def gradient_of_neuron(self, flat_neuron_index, accumulate=False):
         """Gradient of one hidden neuron's scalar output w.r.t. the input."""
@@ -164,7 +210,7 @@ class ForwardPass:
         entry, local = network.neuron_layer_of(flat_neuron_index)
         layer = network.layers[entry.layer_index]
         out_shape = network._output_shapes[entry.layer_index]
-        seed_one = layer.neuron_seed(out_shape, local)
+        seed_one = layer.neuron_seed(out_shape, local, dtype=self.dtype)
         grad = np.broadcast_to(
             seed_one, (self.batch_size,) + tuple(out_shape)).copy()
         return self._backward_from(entry.layer_index, grad,

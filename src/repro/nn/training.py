@@ -56,7 +56,7 @@ def accuracy(network, x, y, batch_size=256):
 def mse(network, x, y, batch_size=256):
     """Mean squared error of a regression network on ``(x, y)``."""
     preds = network.predict(x, batch_size=batch_size)
-    targets = np.asarray(y, dtype=np.float64).reshape(preds.shape)
+    targets = np.asarray(y, dtype=preds.dtype).reshape(preds.shape)
     return float(((preds - targets) ** 2).mean())
 
 
@@ -91,7 +91,7 @@ class Trainer:
         ``early_stopping`` (an :class:`EarlyStopping`) ends training when
         the validation metric plateaus.
         """
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x, dtype=self.network.dtype)
         y = np.asarray(y)
         if x.shape[0] != y.shape[0]:
             raise ConfigError(

@@ -1,0 +1,147 @@
+"""The ComputeBackend seam: registry, numpy reference adapter, engine
+integration, and the import-gated ONNX adapter."""
+
+import numpy as np
+import pytest
+
+from repro.backends import (ComputeBackend, NumpyBackend, OnnxBackend,
+                            backend_names, have_onnxruntime, make_backend,
+                            unwrap_network)
+from repro.core import (AscentEngine, Hyperparams, Unconstrained,
+                        make_engine, resolve_models)
+from repro.errors import ConfigError
+from repro.nn import Conv2D, Dense, Flatten, Network, dtypes
+from repro.nn.config import network_to_payload
+
+
+def _net(name="backend_net", seed=0):
+    rng = np.random.default_rng(seed)
+    return Network([
+        Conv2D(1, 2, 3, padding=1, rng=rng, name="c"),
+        Flatten(name="f"),
+        Dense(2 * 4 * 4, 4, activation="softmax", rng=rng, name="out"),
+    ], input_shape=(1, 4, 4), name=name)
+
+
+def test_registry_lists_both_backends():
+    assert backend_names() == ["numpy", "onnx"]
+    with pytest.raises(ConfigError, match="unknown backend"):
+        make_backend("tensorrt", _net())
+
+
+def test_numpy_backend_is_pure_delegation():
+    net = _net()
+    backend = make_backend("numpy", net)
+    assert isinstance(backend, NumpyBackend)
+    assert isinstance(backend, ComputeBackend)
+    assert backend.network is net
+    assert backend.name == net.name
+    assert backend.dtype == net.dtype
+    assert backend.output_shape == net.output_shape
+    assert backend.num_classes == 4
+    assert backend.bounds == (0.0, 1.0)
+    assert backend.preprocessing == (0.0, 1.0)
+
+    x = np.random.default_rng(1).random((2, 1, 4, 4))
+    np.testing.assert_array_equal(backend.predict(x), net.predict(x))
+    tape = backend.forward(x)
+    assert tape.network is net
+    assert tape.gradient_of_class(0).shape == x.shape
+    assert unwrap_network(backend) is net
+    assert unwrap_network(net) is net
+
+
+def test_numpy_backend_accepts_payload_and_dtype():
+    with dtypes.default_dtype(np.float64):
+        net = _net()
+    payload = network_to_payload(net)
+    backend = NumpyBackend(payload, dtype=np.float32)
+    assert backend.dtype == np.dtype(np.float32)
+    # Wrapping a live network at another dtype derives a copy, never
+    # mutates the original.
+    converted = NumpyBackend(net, dtype=np.float32)
+    assert net.dtype == np.dtype(np.float64)
+    assert converted.network is not net
+    assert converted.dtype == np.dtype(np.float32)
+
+
+def test_backend_already_wrapped_passes_through():
+    backend = NumpyBackend(_net())
+    assert make_backend("numpy", backend) is backend
+    with pytest.raises(ConfigError, match="re-adapt"):
+        make_backend("onnx", backend)
+
+
+def test_make_engine_with_backend_and_dtype_end_to_end():
+    with dtypes.default_dtype(np.float64):
+        models = [_net("m0", 0), _net("m1", 1)]
+    hp = Hyperparams(lambda1=1.0, lambda2=0.1, step=0.05, max_iterations=5)
+    engine = make_engine("batch", models, hp, Unconstrained(),
+                         "classification", 0, dtype="float32",
+                         backend="numpy")
+    assert isinstance(engine, AscentEngine)
+    assert engine.dtype == np.dtype(np.float32)
+    result = engine.run(np.random.default_rng(2).random((4, 1, 4, 4)))
+    assert result.seeds_processed == 4
+    for test in result.tests:
+        assert test.x.dtype == np.dtype(np.float32)
+
+
+def test_make_engine_refuses_stale_trackers_after_conversion():
+    from repro.coverage import NeuronCoverageTracker
+    with dtypes.default_dtype(np.float64):
+        models = [_net("m0", 0), _net("m1", 1)]
+    trackers = [NeuronCoverageTracker(m) for m in models]
+    with pytest.raises(ConfigError, match="trackers"):
+        make_engine("batch", models, Hyperparams(), Unconstrained(),
+                    "classification", 0, dtype="float32", trackers=trackers)
+
+
+def test_resolve_models_converts_without_mutating():
+    with dtypes.default_dtype(np.float64):
+        models = [_net("m0", 0), _net("m1", 1)]
+    resolved = resolve_models(models, dtype=np.float32)
+    assert all(m.dtype == np.dtype(np.float64) for m in models)
+    assert all(r.dtype == np.dtype(np.float32) for r in resolved)
+    # No dtype requested: identity, no copies.
+    assert resolve_models(models) == models
+
+
+def test_onnx_backend_without_runtime_raises_config_error():
+    if have_onnxruntime():
+        pytest.skip("onnxruntime installed; the gating branch is moot")
+    with pytest.raises(ConfigError, match="onnxruntime"):
+        OnnxBackend("model.onnx")
+
+
+def test_onnx_backend_predicts_when_runtime_available(tmp_path):
+    pytest.importorskip("onnxruntime")
+    onnx = pytest.importorskip("onnx")
+    from onnx import TensorProto, helper
+
+    # y = softmax(x @ W) for a 4->3 linear head.
+    rng = np.random.default_rng(0)
+    weight = rng.normal(size=(4, 3)).astype(np.float32)
+    graph = helper.make_graph(
+        [helper.make_node("MatMul", ["x", "w"], ["z"]),
+         helper.make_node("Softmax", ["z"], ["y"], axis=1)],
+        "head",
+        [helper.make_tensor_value_info("x", TensorProto.FLOAT, ["N", 4])],
+        [helper.make_tensor_value_info("y", TensorProto.FLOAT, ["N", 3])],
+        [helper.make_tensor("w", TensorProto.FLOAT, weight.shape,
+                            weight.flatten())])
+    path = tmp_path / "head.onnx"
+    onnx.save(helper.make_model(graph), str(path))
+
+    backend = OnnxBackend(path, name="head")
+    assert backend.kind == "onnx"
+    assert backend.output_shape == (3,)
+    assert backend.num_classes == 3
+    x = rng.random((5, 4)).astype(np.float32)
+    preds = backend.predict(x)
+    assert preds.shape == (5, 3)
+    np.testing.assert_allclose(preds.sum(axis=1), 1.0, rtol=1e-5)
+    with pytest.raises(ConfigError, match="inference-only"):
+        backend.forward(x)
+    with pytest.raises(ConfigError, match="numpy backend"):
+        unwrap_network(backend)

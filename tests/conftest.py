@@ -12,6 +12,21 @@ import pytest
 
 from repro.datasets import load_dataset
 from repro.models import get_model, get_trio
+from repro.nn import dtypes
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _pin_float64_default():
+    """Pin the suite to double precision.
+
+    The gradchecks, pinned engine goldens, and cached zoo weights were
+    all captured at float64; the library's float32 default is exercised
+    explicitly (tests/nn/test_dtypes.py, tests/backends) rather than
+    ambiently.
+    """
+    previous = dtypes.set_default_dtype(np.float64)
+    yield
+    dtypes.set_default_dtype(previous)
 
 
 @pytest.fixture(scope="session")

@@ -92,6 +92,36 @@ class TestGoldenEquivalence:
         assert golden == goldens["vanilla-batch-mnist"]
 
 
+class TestFloat32Equivalence:
+    """The float32 fast path finds the same behavior as the float64
+    golden path — tolerance-based on the generated inputs, exact on the
+    discrete outcomes (which seeds differ, when, and what the models
+    predict) and on the coverage masks."""
+
+    def test_float32_run_matches_float64(self, mnist_trio, mnist_smoke):
+        from repro.core import resolve_models
+        seeds, _ = mnist_smoke.sample_seeds(10, np.random.default_rng(3))
+
+        def run(models):
+            engine = AscentEngine(models, PAPER_HYPERPARAMS["mnist"],
+                                  LightingConstraint(), rng=5,
+                                  absorb_exhausted=False)
+            return engine.run(seeds), engine.trackers
+
+        r64, trackers64 = run(mnist_trio)
+        r32, trackers32 = run(resolve_models(mnist_trio, dtype=np.float32))
+        assert len(r64.tests) == len(r32.tests) > 0
+        for t64, t32 in zip(r64.tests, r32.tests):
+            assert t32.x.dtype == np.float32
+            assert t64.seed_index == t32.seed_index
+            assert t64.iterations == t32.iterations
+            np.testing.assert_array_equal(t64.predictions, t32.predictions)
+            np.testing.assert_allclose(t64.x, t32.x, atol=1e-5)
+        for a, b in zip(trackers64, trackers32):
+            np.testing.assert_array_equal(a.state_dict()["covered"],
+                                          b.state_dict()["covered"])
+
+
 def test_campaign_momentum_worker_invariance(mnist_trio, mnist_smoke):
     """(d): momentum campaigns are worker-count invariant — the scenario
     combination (momentum x campaign) that did not exist before the

@@ -12,7 +12,16 @@ import pytest
 
 from repro.nn import (AvgPool2D, BatchNorm, Conv2D, Dense, Dropout,
                       FixedScale, Flatten, GlobalAvgPool2D, MaxPool2D,
-                      Network, Residual)
+                      Network, Residual, dtypes)
+
+#: Gradcheck settings per compute dtype.  The central difference at
+#: float32 carries ~eps_machine/eps of relative noise, so the step and
+#: tolerance scale with precision rather than pretending float32 can
+#: resolve 1e-6.
+GRADCHECK = {
+    "float64": {"eps": 1e-6, "atol": 1e-6},
+    "float32": {"eps": 1e-3, "atol": 1e-2},
+}
 
 
 def _dense_net():
@@ -66,8 +75,13 @@ NETWORKS = {
 }
 
 
+def _build(kind, dtype="float64"):
+    with dtypes.default_dtype(np.dtype(dtype)):
+        return NETWORKS[kind]()
+
+
 def _input_for(net, rng):
-    return rng.random((2,) + net.input_shape) + 0.05
+    return (rng.random((2,) + net.input_shape) + 0.05).astype(net.dtype)
 
 
 def _probe_indices(net, rng, n=4):
@@ -75,39 +89,46 @@ def _probe_indices(net, rng, n=4):
     return [tuple(rng.integers(0, s) for s in shape) for _ in range(n)]
 
 
+@pytest.mark.parametrize("dtype", sorted(GRADCHECK))
 @pytest.mark.parametrize("kind", sorted(NETWORKS))
-def test_gradient_of_class_matches_finite_difference(kind):
-    net = NETWORKS[kind]()
+def test_gradient_of_class_matches_finite_difference(kind, dtype):
+    net = _build(kind, dtype)
+    assert net.dtype == np.dtype(dtype)
+    tol = GRADCHECK[dtype]
     rng = np.random.default_rng(7)
     x = _input_for(net, rng)
     tape = net.run(x)
     grad = tape.gradient_of_class(1)
     assert grad.shape == x.shape
-    eps = 1e-6
+    assert grad.dtype == np.dtype(dtype)
+    eps = tol["eps"]
     for idx in _probe_indices(net, rng):
         xp = x.copy(); xp[idx] += eps
         xm = x.copy(); xm[idx] -= eps
-        numeric = (net.predict(xp)[idx[0], 1]
-                   - net.predict(xm)[idx[0], 1]) / (2 * eps)
-        assert abs(grad[idx] - numeric) < 1e-6, idx
+        numeric = (float(net.predict(xp)[idx[0], 1])
+                   - float(net.predict(xm)[idx[0], 1])) / (2 * eps)
+        assert abs(grad[idx] - numeric) < tol["atol"], idx
 
 
+@pytest.mark.parametrize("dtype", sorted(GRADCHECK))
 @pytest.mark.parametrize("kind", sorted(NETWORKS))
-def test_gradient_of_neuron_matches_finite_difference(kind):
-    net = NETWORKS[kind]()
+def test_gradient_of_neuron_matches_finite_difference(kind, dtype):
+    net = _build(kind, dtype)
+    tol = GRADCHECK[dtype]
     rng = np.random.default_rng(8)
     x = _input_for(net, rng)
     tape = net.run(x)
     neurons = [0, net.total_neurons // 2, net.total_neurons - 1]
-    eps = 1e-6
+    eps = tol["eps"]
     for neuron in neurons:
         grad = tape.gradient_of_neuron(neuron)
+        assert grad.dtype == np.dtype(dtype)
         idx = _probe_indices(net, rng, n=2)[0]
         xp = x.copy(); xp[idx] += eps
         xm = x.copy(); xm[idx] -= eps
-        numeric = (net.neuron_value(xp, neuron)[idx[0]]
-                   - net.neuron_value(xm, neuron)[idx[0]]) / (2 * eps)
-        assert abs(grad[idx] - numeric) < 1e-6, neuron
+        numeric = (float(net.neuron_value(xp, neuron)[idx[0]])
+                   - float(net.neuron_value(xm, neuron)[idx[0]])) / (2 * eps)
+        assert abs(grad[idx] - numeric) < tol["atol"], neuron
 
 
 @pytest.mark.parametrize("kind", sorted(NETWORKS))

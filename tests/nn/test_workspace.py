@@ -1,0 +1,110 @@
+"""Workspace reuse: buffer recycling semantics and the zero-allocation
+regression guard for the steady-state ascent path."""
+
+import numpy as np
+import pytest
+
+from repro.core import AscentEngine, Hyperparams, Unconstrained
+from repro.nn import (Conv2D, Dense, Flatten, MaxPool2D, Network, Workspace,
+                      dtypes)
+
+
+def _net(name, seed):
+    rng = np.random.default_rng(seed)
+    return Network([
+        Conv2D(1, 3, 3, padding=1, rng=rng, name="c1"),
+        MaxPool2D(2, name="mp"),
+        Flatten(name="f"),
+        Dense(3 * 4 * 4, 5, activation="softmax", rng=rng, name="out"),
+    ], input_shape=(1, 8, 8), name=name)
+
+
+def test_workspace_reuses_buffers_and_counts_allocations():
+    ws = Workspace()
+    a = ws.get("k", (4, 8), np.float64)
+    assert a.shape == (4, 8) and ws.allocations == 1
+    b = ws.get("k", (4, 8), np.float64)
+    assert b.base is a.base or b is a
+    assert ws.allocations == 1
+    # Shrinking batches reuse the same storage prefix.
+    c = ws.get("k", (2, 8), np.float64)
+    assert ws.allocations == 1 and c.shape == (2, 8)
+    # Growth or a dtype change genuinely reallocates.
+    ws.get("k", (8, 8), np.float64)
+    assert ws.allocations == 2
+    ws.get("k", (2, 8), np.float32)
+    assert ws.allocations == 3
+    z = ws.zeros("z", (3, 3), np.float64)
+    assert np.all(z == 0.0) and ws.allocations == 4
+    assert ws.nbytes() > 0
+    ws.clear()
+    assert ws.nbytes() == 0
+
+
+def test_forward_backward_steady_state_allocates_nothing(monkeypatch):
+    """After a warmup pass, repeated forward/backward at the same batch
+    size must hit the workspace for every buffer: np.empty is shimmed
+    with a counter and must not fire again."""
+    net = _net("ws_net", 0)
+    x = np.random.default_rng(1).random((6, 1, 8, 8))
+    ws = Workspace()
+    net.run(x, workspace=ws).gradient_of_class(0)  # warmup sizes the pool
+    warm = ws.allocations
+
+    calls = {"empty": 0}
+    real_empty = np.empty
+
+    def counting_empty(*args, **kwargs):
+        calls["empty"] += 1
+        return real_empty(*args, **kwargs)
+
+    monkeypatch.setattr(np, "empty", counting_empty)
+    for _ in range(3):
+        net.run(x, workspace=ws).gradient_of_class(0)
+    monkeypatch.undo()
+    assert ws.allocations == warm, "workspace pool grew after warmup"
+    assert calls["empty"] == 0, (
+        f"steady-state forward/backward called np.empty "
+        f"{calls['empty']} times")
+
+
+def test_engine_run_reuses_workspaces_across_iterations():
+    with dtypes.default_dtype(np.float64):
+        models = [_net("m0", 0), _net("m1", 1)]
+    hp = Hyperparams(lambda1=1.0, lambda2=0.1, step=0.05, max_iterations=6)
+    engine = AscentEngine(models, hp, Unconstrained(),
+                          task="classification", rng=0)
+    seeds = np.random.default_rng(2).random((5, 1, 8, 8))
+    engine.run(seeds)
+    warm = [ws.allocations for ws in engine._workspaces]
+    engine.run(seeds)
+    assert [ws.allocations for ws in engine._workspaces] == warm
+
+
+def test_workspace_and_plain_paths_agree_bitwise():
+    net = _net("agree", 4)
+    x = np.random.default_rng(5).random((3, 1, 8, 8))
+    plain = net.run(x)
+    ws = Workspace()
+    pooled = net.run(x, workspace=ws)
+    np.testing.assert_array_equal(plain.outputs(), pooled.outputs())
+    np.testing.assert_array_equal(plain.gradient_of_class(1),
+                                  pooled.gradient_of_class(1))
+    np.testing.assert_array_equal(plain.neuron_activations(),
+                                  pooled.neuron_activations())
+
+
+def test_engine_accepts_use_workspace_off():
+    with dtypes.default_dtype(np.float64):
+        models = [_net("m0", 0), _net("m1", 1)]
+    hp = Hyperparams(lambda1=1.0, lambda2=0.1, step=0.05, max_iterations=4)
+    seeds = np.random.default_rng(3).random((4, 1, 8, 8))
+    on = AscentEngine(models, hp, Unconstrained(), task="classification",
+                      rng=0).run(seeds)
+    with dtypes.default_dtype(np.float64):
+        models2 = [_net("m0", 0), _net("m1", 1)]
+    off = AscentEngine(models2, hp, Unconstrained(), task="classification",
+                       rng=0, use_workspace=False).run(seeds)
+    assert len(on.tests) == len(off.tests)
+    for a, b in zip(on.tests, off.tests):
+        np.testing.assert_array_equal(a.x, b.x)

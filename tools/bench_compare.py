@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Diff two BENCH_engine.json snapshots and fail on throughput loss.
+
+Usage::
+
+    python tools/bench_compare.py BASELINE.json CURRENT.json \
+        [--max-regression 0.30]
+
+Records are matched by ``name``; every pair that carries a
+``seeds_per_sec`` value is compared, and the exit status is non-zero
+when any current record regresses by more than ``--max-regression``
+(a fraction: 0.30 means "30% slower than the baseline fails").
+Records present on only one side are reported but never fail the
+check, so adding or retiring benchmark cells does not break CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_records(path):
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    records = payload.get("benchmarks", [])
+    return {r["name"]: r for r in records if "name" in r}
+
+
+def compare(baseline, current, max_regression):
+    """Yield (name, base, cur, ratio, failed) rows for common records."""
+    rows = []
+    for name in sorted(set(baseline) & set(current)):
+        base = baseline[name].get("seeds_per_sec")
+        cur = current[name].get("seeds_per_sec")
+        if not base or cur is None:
+            continue
+        ratio = cur / base
+        rows.append((name, base, cur, ratio,
+                     ratio < 1.0 - max_regression))
+    return rows
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Compare two BENCH_engine.json snapshots")
+    parser.add_argument("baseline", help="committed baseline snapshot")
+    parser.add_argument("current", help="freshly measured snapshot")
+    parser.add_argument("--max-regression", type=float, default=0.30,
+                        metavar="FRACTION",
+                        help="allowed seeds_per_sec loss (default 0.30)")
+    args = parser.parse_args(argv)
+
+    baseline = load_records(args.baseline)
+    current = load_records(args.current)
+    rows = compare(baseline, current, args.max_regression)
+    if not rows:
+        print("bench_compare: no comparable seeds_per_sec records",
+              file=sys.stderr)
+        return 2
+
+    width = max(len(name) for name, *_ in rows)
+    failed = []
+    for name, base, cur, ratio, bad in rows:
+        verdict = "FAIL" if bad else "ok"
+        print(f"{name:<{width}}  {base:>8.2f} -> {cur:>8.2f} seeds/s  "
+              f"(x{ratio:.2f})  {verdict}")
+        if bad:
+            failed.append(name)
+    for name in sorted(set(baseline) - set(current)):
+        print(f"{name:<{width}}  only in baseline (skipped)")
+    for name in sorted(set(current) - set(baseline)):
+        print(f"{name:<{width}}  new record (skipped)")
+
+    if failed:
+        print(f"bench_compare: {len(failed)} record(s) regressed more "
+              f"than {args.max_regression:.0%}: {', '.join(failed)}",
+              file=sys.stderr)
+        return 1
+    print(f"bench_compare: {len(rows)} record(s) within "
+          f"{args.max_regression:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

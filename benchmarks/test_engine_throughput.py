@@ -18,8 +18,10 @@ import pytest
 
 from benchmarks.bench_records import record_bench
 from benchmarks.conftest import SCALE, SEED
-from repro.core import (AscentEngine, LightingConstraint, MomentumRule,
-                        PAPER_HYPERPARAMS, resolve_models)
+from repro.core import (ASCENT_RULES, AdamRule, AdaptiveStepRule,
+                        AscentEngine, DeepFoolRule, LightingConstraint,
+                        MomentumRule, NesterovRule, PAPER_HYPERPARAMS,
+                        resolve_models)
 from repro.datasets import load_dataset
 from repro.models import get_trio
 from repro.nn.instrumentation import PassCounter
@@ -186,16 +188,36 @@ def test_dtype_rule_throughput_matrix(benchmark):
             > cells["float64-vanilla"]["seeds_per_sec"])
 
 
-def test_vanilla_vs_momentum_iterations(benchmark):
-    """Iterations-to-difference, vanilla vs momentum, same seeds/RNG."""
+#: The leaderboard lineup: every registered rule, with the betas the
+#: docs quote.  ``make_rule`` defaults fill in the rest.
+LEADERBOARD = (
+    ("vanilla", lambda: None),
+    ("momentum", lambda: MomentumRule(0.9)),
+    ("nesterov", lambda: NesterovRule(0.9)),
+    ("adam", lambda: AdamRule()),
+    ("deepfool", lambda: DeepFoolRule()),
+    ("adaptive", lambda: AdaptiveStepRule(MomentumRule(0.9))),
+)
+
+
+def test_rule_leaderboard(benchmark):
+    """Iterations-to-difference for every registered rule on the pinned
+    40-seed scenario, one ``ascent-rule[label]`` record each.
+
+    The ISSUE-7 acceptance bar is asserted here: DeepFool's closed-form
+    boundary step must find at least as many differences as momentum at
+    strictly fewer mean iterations.  ``tools/bench_compare.py`` then
+    holds every rule's row steady across commits, so a regression in
+    any single rule fails CI's bench-smoke job.
+    """
     models, seeds, hp = _scenario()
+    assert tuple(label for label, _ in LEADERBOARD) == ASCENT_RULES
 
     def run():
         rows = {}
-        for label, rule in (("vanilla", None),
-                            ("momentum", MomentumRule(0.9))):
+        for label, factory in LEADERBOARD:
             engine = AscentEngine(models, hp, LightingConstraint(),
-                                  rng=73, rule=rule)
+                                  rng=73, rule=factory())
             start = time.perf_counter()
             result = engine.run(seeds)
             elapsed = time.perf_counter() - start
@@ -218,5 +240,11 @@ def test_vanilla_vs_momentum_iterations(benchmark):
         [[label, row["differences"],
           row["mean_iterations"] if row["mean_iterations"] is not None
           else "-", row["seconds"]] for label, row in rows.items()],
-        title="[engine] vanilla vs momentum iterations-to-difference"))
+        title="[engine] iterations-to-difference leaderboard"))
     assert all(row["differences"] > 0 for row in rows.values())
+    # ISSUE-7 acceptance: deepfool >= momentum differences at strictly
+    # fewer mean iterations.
+    assert (rows["deepfool"]["differences"]
+            >= rows["momentum"]["differences"])
+    assert (rows["deepfool"]["mean_iterations"]
+            < rows["momentum"]["mean_iterations"])

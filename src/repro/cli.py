@@ -78,12 +78,18 @@ def build_parser():
     gen.add_argument("--shard-size", type=int, default=16,
                      help="seeds per campaign shard; part of the "
                           "deterministic run identity, unlike --workers")
-    gen.add_argument("--ascent", default="vanilla", choices=ASCENT_RULES,
-                     help="per-iteration update rule: the paper's vanilla "
-                          "step or heavy-ball momentum (any engine)")
+    # No argparse choices= on purpose: unknown rule names flow into
+    # make_rule, whose ConfigError names the known rules — one error
+    # surface for flag typos and programmatic misuse alike.
+    gen.add_argument("--ascent", default="vanilla", metavar="RULE",
+                     help="per-iteration update rule: "
+                          f"{' | '.join(ASCENT_RULES)} (any engine)")
     gen.add_argument("--beta", type=float, default=None,
-                     help="momentum coefficient in [0, 1) "
-                          "(--ascent momentum only; default 0.9)")
+                     help="momentum coefficient in [0, 1) (--ascent "
+                          "momentum/nesterov only; default 0.9)")
+    gen.add_argument("--overshoot", type=float, default=None,
+                     help="boundary overshoot factor >= 0 "
+                          "(--ascent deepfool only; default 0.02)")
     gen.add_argument("--dtype", default=None,
                      choices=["float32", "float64"],
                      help="compute precision; the zoo trains at float64, "
@@ -114,12 +120,17 @@ def build_parser():
                       help="campaign worker processes (throughput only)")
     fuzz.add_argument("--shard-size", type=int, default=16,
                       help="seeds per campaign shard (identity)")
-    fuzz.add_argument("--ascent", default="vanilla", choices=ASCENT_RULES,
-                      help="per-iteration update rule (identity: a corpus "
-                           "fuzzed with momentum resumes with momentum)")
+    fuzz.add_argument("--ascent", default="vanilla", metavar="RULE",
+                      help="per-iteration update rule: "
+                           f"{' | '.join(ASCENT_RULES)} (identity: a "
+                           "corpus fuzzed with momentum resumes with "
+                           "momentum)")
     fuzz.add_argument("--beta", type=float, default=None,
-                      help="momentum coefficient in [0, 1) "
-                           "(--ascent momentum only; default 0.9)")
+                      help="momentum coefficient in [0, 1) (--ascent "
+                           "momentum/nesterov only; default 0.9)")
+    fuzz.add_argument("--overshoot", type=float, default=None,
+                      help="boundary overshoot factor >= 0 "
+                           "(--ascent deepfool only; default 0.02)")
     fuzz.add_argument("--constraint", default="default",
                       help="image constraint: light | occl | blackout")
     fuzz.add_argument("--dtype", default=None,
@@ -184,6 +195,10 @@ def _cmd_generate(args):
     if args.resume and not args.corpus:
         print("error: --resume needs --corpus DIR", file=sys.stderr)
         return 2
+    # Resolve the ascent rule first: a typo'd --ascent or a rule flag
+    # the rule doesn't accept fails in milliseconds, not after the
+    # dataset and models have loaded.
+    rule = make_rule(args.ascent, beta=args.beta, overshoot=args.overshoot)
     dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
     models = get_trio(args.dataset, scale=args.scale, seed=args.seed,
                       dataset=dataset)
@@ -209,8 +224,7 @@ def _cmd_generate(args):
         args.engine, models, hp,
         constraint_for_dataset(dataset, kind=args.constraint),
         dataset.task, args.seed + 2, workers=args.workers,
-        shard_size=args.shard_size, trackers=trackers,
-        ascent=args.ascent, beta=args.beta)
+        shard_size=args.shard_size, trackers=trackers, ascent=rule)
     result = engine.run(seeds)
     if store is not None:
         seed_hashes = [store.add_entry(x, "seed", origin=int(i))[0]
@@ -256,6 +270,7 @@ def _cmd_generate(args):
 
 
 def _cmd_fuzz(args):
+    rule = make_rule(args.ascent, beta=args.beta, overshoot=args.overshoot)
     dataset = load_dataset(args.dataset, scale=args.scale, seed=args.seed)
     models = get_trio(args.dataset, scale=args.scale, seed=args.seed,
                       dataset=dataset)
@@ -265,7 +280,7 @@ def _cmd_fuzz(args):
         constraint_for_dataset(dataset, kind=args.constraint),
         task=dataset.task, wave_size=args.wave_size, workers=args.workers,
         shard_size=args.shard_size, seed=args.seed,
-        rule=make_rule(args.ascent, beta=args.beta), dataset=dataset,
+        rule=rule, dataset=dataset,
         seed_strategy=args.seed_strategy,
         initial_seed_count=args.initial_seeds)
     if args.rounds <= session.completed_rounds:

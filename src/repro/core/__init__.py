@@ -6,10 +6,12 @@ from repro.core.constraints import (Constraint, DrebinConstraint,
                                     LightingConstraint, MultiRectOcclusion,
                                     PdfFeatureConstraint, SingleRectOcclusion,
                                     Unconstrained, constraint_for_dataset)
-from repro.core.engine import (ASCENT_RULES, AscentEngine, AscentRule,
-                               BatchDeepXplore, DeepXplore, GeneratedTest,
-                               GenerationResult, MomentumRule, VanillaRule,
-                               make_rule, run_ascent)
+from repro.core.engine import (ASCENT_RULES, AdamRule, AdaptiveStepRule,
+                               AscentContext, AscentEngine, AscentRule,
+                               BatchDeepXplore, DeepFoolRule, DeepXplore,
+                               GeneratedTest, GenerationResult, MomentumRule,
+                               NesterovRule, VanillaRule, make_rule,
+                               rule_from_identity, run_ascent)
 from repro.core.factory import make_engine, resolve_models
 from repro.core.objectives import (CoverageObjective, DifferentialObjective,
                                    JointObjective,
@@ -18,9 +20,10 @@ from repro.core.oracle import (ClassificationOracle, RegressionOracle,
                                majority_label, make_oracle)
 
 __all__ = [
-    "ASCENT_RULES", "AscentEngine", "AscentRule", "BatchDeepXplore",
-    "MomentumRule", "VanillaRule", "make_engine", "make_rule", "resolve_models",
-    "run_ascent",
+    "ASCENT_RULES", "AdamRule", "AdaptiveStepRule", "AscentContext",
+    "AscentEngine", "AscentRule", "BatchDeepXplore", "DeepFoolRule",
+    "MomentumRule", "NesterovRule", "VanillaRule", "make_engine",
+    "make_rule", "resolve_models", "rule_from_identity", "run_ascent",
     "Campaign", "CampaignShard", "shard_corpus",
     "Hyperparams", "PAPER_HYPERPARAMS",
     "Constraint", "DrebinConstraint", "LightingConstraint",

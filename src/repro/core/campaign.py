@@ -66,15 +66,18 @@ class CampaignShard:
     indices: np.ndarray          # global seed indices of this slice
     seeds: np.ndarray            # the seed inputs themselves
     seed_seq: np.random.SeedSequence
+    scales: np.ndarray = None    # per-seed step scales (None: all 1)
 
 
-def shard_corpus(seeds, shard_size=DEFAULT_SHARD_SIZE, seed=0):
+def shard_corpus(seeds, shard_size=DEFAULT_SHARD_SIZE, seed=0,
+                 seed_scales=None):
     """Split a seed corpus into deterministic contiguous shards.
 
     Shard boundaries depend only on the corpus length and ``shard_size``;
     each shard gets a spawned child of ``seed``'s SeedSequence.  The
-    returned shards are self-contained (they carry their global indices),
-    so any subset can be executed anywhere and merged later.
+    returned shards are self-contained (they carry their global indices
+    and, when given, their slice of the per-seed step scales), so any
+    subset can be executed anywhere and merged later.
 
     Edge cases are part of the contract (pinned in
     ``tests/core/test_campaign.py``): an empty corpus yields zero shards
@@ -86,6 +89,12 @@ def shard_corpus(seeds, shard_size=DEFAULT_SHARD_SIZE, seed=0):
     if shard_size < 1:
         raise ConfigError(f"shard_size must be >= 1, got {shard_size}")
     n = seeds.shape[0]
+    if seed_scales is not None:
+        seed_scales = np.asarray(seed_scales, dtype=np.float64)
+        if seed_scales.shape != (n,):
+            raise ConfigError(
+                f"need one seed scale per seed; got shape "
+                f"{seed_scales.shape} for {n} seed(s)")
     bounds = list(range(0, n, int(shard_size)))
     seqs = spawn_seed_sequences(seed, len(bounds))
     shards = []
@@ -95,7 +104,9 @@ def shard_corpus(seeds, shard_size=DEFAULT_SHARD_SIZE, seed=0):
             shard_index=shard_index,
             indices=np.arange(start, stop),
             seeds=seeds[start:stop].copy(),
-            seed_seq=seqs[shard_index]))
+            seed_seq=seqs[shard_index],
+            scales=(None if seed_scales is None
+                    else seed_scales[start:stop].copy())))
     return shards
 
 
@@ -136,7 +147,7 @@ def _run_shard(shard):
         trackers=trackers, rng=rng_from_seed_sequence(shard.seed_seq),
         rule=spec["rule"].clone(),
         absorb_exhausted=spec["absorb_exhausted"])
-    result = engine.run(shard.seeds)
+    result = engine.run(shard.seeds, seed_scales=shard.scales)
     for test in result.tests:
         test.seed_index = int(shard.indices[test.seed_index])
     return {"shard_index": shard.shard_index,
@@ -224,15 +235,22 @@ class Campaign:
             "tracker_states": [t.state_dict() for t in self.trackers],
         }
 
-    def run(self, seeds):
+    def run(self, seeds, seed_scales=None):
         """Shard ``seeds``, fan out, merge; returns a GenerationResult.
 
         ``result.elapsed`` is the campaign's wall-clock (not the sum of
         per-shard compute); each test's own ``elapsed`` is relative to
-        its shard's start.
+        its shard's start.  ``seed_scales`` (one float per seed, for
+        rules that honour per-seed step scaling) shards contiguously
+        alongside the seeds, so scaling is worker-count invariant.
         """
+        if seed_scales is not None and not self.rule.accepts_seed_scales:
+            raise ConfigError(
+                f"the {self.rule.name} rule does not accept per-seed "
+                "step scales")
         start = time.perf_counter()
-        shards = shard_corpus(seeds, self.shard_size, seed=self.seed)
+        shards = shard_corpus(seeds, self.shard_size, seed=self.seed,
+                              seed_scales=seed_scales)
         spec = self._spec()
         if self.workers == 1 or len(shards) <= 1:
             try:

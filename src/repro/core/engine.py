@@ -11,12 +11,15 @@ corpus fuzzing at all.  The split is now:
   Algorithm 1), a small vectorized driver with no knowledge of models
   or oracles.  The FGSM baseline iterates through it too; nothing else
   in ``src/repro/`` contains an ascent-iteration loop.
-* :class:`AscentRule` — the per-iteration *update strategy*.
-  :class:`VanillaRule` is the paper's line 14 (``x += s * grad``);
-  :class:`MomentumRule` is heavy-ball (``v = beta*v + grad``).  Rules
+* :class:`AscentRule` — the per-iteration *update strategy*.  The rule
+  library lives in :mod:`repro.core.rules` (vanilla, momentum,
+  nesterov, adam, deepfool, adaptive) and is re-exported here.  Rules
   own per-seed state (e.g. velocity) and are told when finished seeds
   retire from the active batch so they can slice it
-  (:meth:`AscentRule.compact`).
+  (:meth:`AscentRule.compact`).  Rules that derive their own direction
+  from the live tapes (DeepFool) read the engine's per-iteration state
+  through the :class:`~repro.core.rules.AscentContext` the engine
+  binds before ascending.
 * :class:`AscentEngine` — models + oracle + coverage + constraints
   around the loop: pre-disagreement check, per-seed target draws,
   retire-and-compact of finished seeds, tape absorption into coverage.
@@ -43,7 +46,6 @@ gradients, and coverage absorption.
 
 from __future__ import annotations
 
-import copy
 import time
 from dataclasses import dataclass, field
 
@@ -53,17 +55,24 @@ from repro.core.config import Hyperparams
 from repro.core.constraints import Constraint, Unconstrained
 from repro.core.objectives import CoverageObjective
 from repro.core.oracle import make_oracle
+# The rule library moved to repro.core.rules; re-exported here because
+# this module is the historical (and still primary) import site.
+from repro.core.rules import (ASCENT_RULES, DEFAULT_MOMENTUM_BETA,
+                              AdamRule, AdaptiveStepRule, AscentContext,
+                              AscentRule, DeepFoolRule, MomentumRule,
+                              NesterovRule, VanillaRule, make_rule,
+                              rule_from_identity)
 from repro.coverage import NeuronCoverageTracker
 from repro.errors import ConfigError
 from repro.nn.workspace import Workspace
 from repro.utils.rng import as_rng
 
-__all__ = ["AscentRule", "VanillaRule", "MomentumRule", "make_rule",
-           "ASCENT_RULES", "DEFAULT_MOMENTUM_BETA", "run_ascent",
-           "AscentEngine", "DeepXplore", "BatchDeepXplore",
-           "GeneratedTest", "GenerationResult", "normalize_gradient"]
-
-DEFAULT_MOMENTUM_BETA = 0.9
+__all__ = ["AscentRule", "AscentContext", "VanillaRule", "MomentumRule",
+           "NesterovRule", "AdamRule", "DeepFoolRule", "AdaptiveStepRule",
+           "make_rule", "rule_from_identity", "ASCENT_RULES",
+           "DEFAULT_MOMENTUM_BETA", "run_ascent", "AscentEngine",
+           "DeepXplore", "BatchDeepXplore", "GeneratedTest",
+           "GenerationResult", "normalize_gradient"]
 
 
 def normalize_gradient(grad):
@@ -138,111 +147,6 @@ class GenerationResult:
         return self
 
 
-# -- ascent rules ---------------------------------------------------------------
-class AscentRule:
-    """Per-iteration update strategy for the ascent loop.
-
-    A rule turns the constrained, normalized gradient of the current
-    iteration into the step *direction*.  Rules may keep per-seed state
-    across iterations (one row per active seed); the loop tells them
-    when a new batch starts (:meth:`reset`) and when finished seeds
-    retire from it (:meth:`compact`), so the state stays row-aligned
-    with the active batch.
-
-    Rules are cheap value objects: engines, campaigns, and fuzz
-    sessions :meth:`clone` them freely (shards and worker processes
-    each ascend under their own copy).
-    """
-
-    name = "rule"
-
-    def reset(self, x):
-        """A new active batch ``x`` starts ascending; allocate state."""
-
-    def update(self, grad):
-        """Return the step direction for this iteration's gradient."""
-        return grad
-
-    def compact(self, keep):
-        """Finished seeds retired: keep only state rows where ``keep``."""
-
-    def clone(self):
-        """Independent copy with the same configuration."""
-        return copy.deepcopy(self)
-
-    def identity(self):
-        """Deterministic-identity string (part of a fuzz corpus's
-        resume contract: resuming under a different rule is an error)."""
-        return self.name
-
-
-class VanillaRule(AscentRule):
-    """The paper's line 14: step straight along the gradient."""
-
-    name = "vanilla"
-
-
-class MomentumRule(AscentRule):
-    """Heavy-ball ascent: ``v = beta*v + grad``; step along ``v``.
-
-    Plain gradient ascent can oscillate around narrow difference
-    regions, especially at large step sizes (the paper's Table 9 notes
-    "larger s may lead to oscillation around the local optimum");
-    momentum damps that oscillation.  ``beta = 0`` reduces exactly to
-    :class:`VanillaRule`.
-    """
-
-    name = "momentum"
-
-    def __init__(self, beta=DEFAULT_MOMENTUM_BETA):
-        if not 0.0 <= beta < 1.0:
-            raise ConfigError(f"beta must be in [0, 1), got {beta}")
-        self.beta = float(beta)
-        self._velocity = None
-
-    def reset(self, x):
-        self._velocity = np.zeros_like(x)
-
-    def update(self, grad):
-        self._velocity = self.beta * self._velocity + grad
-        return self._velocity
-
-    def compact(self, keep):
-        self._velocity = self._velocity[keep]
-
-    def identity(self):
-        # repr round-trips the float exactly — two distinct betas can
-        # never alias to one identity string (%g would collide past six
-        # significant digits and let a mismatched resume through).
-        return f"momentum(beta={self.beta!r})"
-
-
-#: Rule names accepted by :func:`make_rule` (and the CLI's ``--ascent``).
-ASCENT_RULES = ("vanilla", "momentum")
-
-
-def make_rule(ascent="vanilla", beta=None):
-    """Resolve an ``--ascent``-style spec into an :class:`AscentRule`.
-
-    ``ascent`` may already be a rule instance (returned unchanged; then
-    ``beta`` must be unset), or one of :data:`ASCENT_RULES`.  ``beta``
-    only applies to momentum.
-    """
-    if isinstance(ascent, AscentRule):
-        if beta is not None:
-            raise ConfigError(
-                "beta cannot be combined with an explicit rule instance")
-        return ascent
-    if ascent == "momentum":
-        return MomentumRule(DEFAULT_MOMENTUM_BETA if beta is None else beta)
-    if ascent == "vanilla":
-        if beta is not None:
-            raise ConfigError("beta only applies to the momentum rule")
-        return VanillaRule()
-    raise ConfigError(
-        f"unknown ascent rule {ascent!r}; known: {', '.join(ASCENT_RULES)}")
-
-
 # -- the loop -------------------------------------------------------------------
 def run_ascent(x, iterations, gradient, *, step, rule=None, constrain=None,
                direction=normalize_gradient, project=None, on_step=None):
@@ -256,7 +160,9 @@ def run_ascent(x, iterations, gradient, *, step, rule=None, constrain=None,
     2. rewrites it with ``constrain(grad, x)`` (domain constraints),
     3. maps it through ``direction`` (RMS-normalize by default;
        ``np.sign`` for FGSM; ``None`` to use the raw gradient),
-    4. asks the ``rule`` for the step direction and takes the step,
+    4. asks the ``rule`` for the step direction and takes the step —
+       scaled by ``step``, unless the rule declares ``absolute_step``
+       (DeepFool), in which case its update is the displacement itself,
     5. repairs the result with ``project(x_new, x_prev)``,
     6. hands the stepped batch to ``on_step(x, iteration)``, which may
        return a boolean *keep* mask: finished rows retire, and the loop
@@ -274,7 +180,8 @@ def run_ascent(x, iterations, gradient, *, step, rule=None, constrain=None,
             grad = constrain(grad, x)
         if direction is not None:
             grad = direction(grad)
-        stepped = x + step * rule.update(grad)
+        delta = rule.update(grad)
+        stepped = x + (delta if rule.absolute_step else step * delta)
         x = project(stepped, x) if project is not None else stepped
         if on_step is not None:
             keep = on_step(x, iteration)
@@ -359,6 +266,10 @@ class AscentEngine:
         self.rule = rule if rule is not None else VanillaRule()
         if not isinstance(self.rule, AscentRule):
             raise ConfigError("rule must be an AscentRule instance")
+        if task == "regression" and not self.rule.supports_regression:
+            raise ConfigError(
+                f"the {self.rule.name} rule does not support regression "
+                "tasks")
         self.update_coverage_with_tests = bool(update_coverage_with_tests)
         self.coverage_factory = coverage_factory or (
             lambda trackers, rng: CoverageObjective(trackers, rng=rng))
@@ -496,12 +407,14 @@ class AscentEngine:
             tracker.update_from_tape(tape, rows=rows)
 
     # -- the ascent -----------------------------------------------------------
-    def _ascend(self, seeds, result, max_tests, start):
+    def _ascend(self, seeds, result, max_tests, start, seed_scales=None):
         """Ascend one seed batch, appending to ``result`` in place.
 
         Seed indices on the appended tests are positions within
         ``seeds``; :meth:`generate_from_seed` and campaign shards
-        rewrite them into their own index spaces.
+        rewrite them into their own index spaces.  ``seed_scales``
+        aligns with ``seeds`` and is sliced to the rows that actually
+        ascend before reaching the rule.
         """
         n = seeds.shape[0]
         # Seeds the models already disagree on are immediate tests.
@@ -545,10 +458,17 @@ class AscentEngine:
             "seed_classes": seed_classes,
             "constraints": None,
             "aborted": False,
+            "x": x,
         }
         st["constraints"] = self._setup_constraints(x)
 
         def gradient(x_cur, iteration):
+            st["x"] = x_cur
+            if not self.rule.consumes_gradient:
+                # The rule derives its direction from the bound context
+                # (DeepFool); skip the obj1/obj2 backwards entirely —
+                # coverage absorption is unaffected, it reads tapes.
+                return np.zeros_like(x_cur)
             if self.hp.lambda2 > 0.0 and self.dtype == np.float32:
                 return self._joint_gradient(
                     st["tapes"], st["rows"], st["targets"],
@@ -603,10 +523,23 @@ class AscentEngine:
             st["rows"] = np.flatnonzero(keep)
             return keep
 
-        remaining = run_ascent(x, self.hp.max_iterations, gradient,
-                               step=self.hp.step, rule=self.rule,
-                               constrain=constrain, project=project,
-                               on_step=on_step)
+        if self.rule.accepts_seed_scales:
+            # Pending scales are per-run inputs: always (re)set them so
+            # a scale-less run never inherits a previous run's scales.
+            scales = (None if seed_scales is None
+                      else np.asarray(seed_scales)[active_idx])
+            self.rule.set_seed_scales(scales)
+        self.rule.bind(AscentContext(st, self.hp.step, constrain,
+                                     self.task))
+        try:
+            remaining = run_ascent(x, self.hp.max_iterations, gradient,
+                                   step=self.hp.step, rule=self.rule,
+                                   constrain=constrain, project=project,
+                                   on_step=on_step)
+        finally:
+            # The context holds live tapes; never let it outlive the
+            # ascent (rules must stay picklable for campaign specs).
+            self.rule.bind(None)
         if st["aborted"]:
             return
         if remaining.shape[0]:
@@ -617,9 +550,24 @@ class AscentEngine:
                 self._absorb_tapes(st["tapes"], st["rows"])
 
     # -- drivers --------------------------------------------------------------
-    def run(self, seeds, max_tests=None):
-        """Process all seeds in one vectorized ascent; returns results."""
+    def run(self, seeds, max_tests=None, seed_scales=None):
+        """Process all seeds in one vectorized ascent; returns results.
+
+        ``seed_scales`` (one float per seed) feeds rules that honour
+        per-seed step scaling (:class:`AdaptiveStepRule`); passing it to
+        any other rule is a :class:`~repro.errors.ConfigError`.
+        """
         seeds = np.asarray(seeds, dtype=self.dtype)
+        if seed_scales is not None:
+            if not self.rule.accepts_seed_scales:
+                raise ConfigError(
+                    f"the {self.rule.name} rule does not accept per-seed "
+                    "step scales")
+            seed_scales = np.asarray(seed_scales, dtype=np.float64)
+            if seed_scales.shape != (seeds.shape[0],):
+                raise ConfigError(
+                    f"need one seed scale per seed; got shape "
+                    f"{seed_scales.shape} for {seeds.shape[0]} seed(s)")
         result = GenerationResult()
         start = time.perf_counter()
         if seeds.shape[0] == 0:
@@ -628,7 +576,8 @@ class AscentEngine:
             # waves may legitimately drain to nothing).
             return self._finalize(result, start)
         result.seeds_processed = seeds.shape[0]
-        self._ascend(seeds, result, max_tests, start)
+        self._ascend(seeds, result, max_tests, start,
+                     seed_scales=seed_scales)
         return self._finalize(result, start)
 
     def generate_from_seed(self, seed_x, seed_index=0):

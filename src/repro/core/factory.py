@@ -39,8 +39,8 @@ def resolve_models(models, dtype=None, backend="numpy"):
 
 def make_engine(engine, models, hp, constraint, task, rng, workers=1,
                 shard_size=None, trackers=None, ascent="vanilla",
-                beta=None, absorb_exhausted=True, dtype=None,
-                backend="numpy"):
+                beta=None, overshoot=None, absorb_exhausted=True,
+                dtype=None, backend="numpy"):
     """Build a generation engine from CLI-flag-shaped knobs.
 
     ``engine`` is ``"sequential"`` (Algorithm 1 as the paper runs it,
@@ -53,9 +53,11 @@ def make_engine(engine, models, hp, constraint, task, rng, workers=1,
     children, like fuzz waves, can pass one through) for that engine;
     ``shard_size`` (campaign only) defaults to the campaign's own.
 
-    ``ascent``/``beta`` pick the per-iteration update rule
-    (:func:`repro.core.make_rule`) — every engine accepts every rule,
-    so e.g. momentum composes with campaigns and fuzz waves.
+    ``ascent``/``beta``/``overshoot`` pick the per-iteration update
+    rule (:func:`repro.core.make_rule`) — every engine accepts every
+    rule, so e.g. momentum or deepfool compose with campaigns and fuzz
+    waves.  Rule-specific flags are validated there (``beta`` is
+    momentum/nesterov-only, ``overshoot`` deepfool-only).
     ``absorb_exhausted=False`` selects the paper-exact coverage
     accounting (only difference-inducing inputs fold into coverage) on
     whichever engine is built.
@@ -77,7 +79,7 @@ def make_engine(engine, models, hp, constraint, task, rng, workers=1,
                 "the caller-built trackers; call resolve_models() first "
                 "and build trackers over its output")
         models = resolved
-    rule = make_rule(ascent, beta=beta)
+    rule = make_rule(ascent, beta=beta, overshoot=overshoot)
     if engine == "sequential":
         return DeepXplore(models, hp, constraint, task=task, rng=rng,
                           trackers=trackers, rule=rule,

@@ -280,7 +280,17 @@ class FuzzSession:
                 shard_size=self.shard_size, seed=children[round_index],
                 rule=self.rule, absorb_exhausted=self.absorb_exhausted,
                 mp_start_method=self.mp_start_method)
-            result = campaign.run(self.store.load_inputs(wave))
+            scales = None
+            if self.rule.accepts_seed_scales:
+                # Close the feedback loop: each scheduled seed's step
+                # scale comes from its scheduler energy (dry seeds step
+                # farther, hot ones more carefully).  Energies are part
+                # of the committed scheduler state, so a resumed wave
+                # recomputes the same scales bit-for-bit.
+                scales = self.rule.scales_from_energy(
+                    [self.scheduler.stats(h)["energy"] for h in wave])
+            result = campaign.run(self.store.load_inputs(wave),
+                                  seed_scales=scales)
             newly = sum(t.covered_count()
                         for t in self.trackers) - covered_before
             novelty = newly / tracked_total if tracked_total else 0.0

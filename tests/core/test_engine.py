@@ -35,7 +35,7 @@ sys.path.insert(0, os.path.join(_REPO_ROOT, "tools"))
 # (config list + result fingerprint); importing it keeps this test and
 # a golden regeneration structurally in lockstep.
 from capture_engine_goldens import CONFIGS, GOLDEN_PATH, \
-    digest_result  # noqa: E402
+    assert_matches_golden, digest_result  # noqa: E402
 
 GOLDEN_CONFIGS = {name: spec for (name, *spec) in CONFIGS}
 
@@ -76,7 +76,21 @@ class TestGoldenEquivalence:
 
     @pytest.mark.parametrize("name", sorted(GOLDEN_CONFIGS))
     def test_matches_pre_unification_golden(self, name, goldens, request):
-        assert _run_config(name, request) == goldens[name]
+        assert_matches_golden(name, _run_config(name, request),
+                              goldens[name])
+
+    def test_golden_mismatch_names_rule_and_field(self):
+        """A golden regression reads as 'which config, which field', not
+        a bare nested-dict diff."""
+        golden = {"tests": [{"seed_index": 0, "iterations": 4}],
+                  "seeds_exhausted": 0}
+        actual = {"tests": [{"seed_index": 0, "iterations": 7}],
+                  "seeds_exhausted": 0}
+        with pytest.raises(AssertionError) as err:
+            assert_matches_golden("deepfool-batch-mnist", actual, golden)
+        message = str(err.value)
+        assert "deepfool-batch-mnist" in message
+        assert "tests[0].iterations" in message
 
     def test_batch_alias_is_the_engine(self, mnist_trio, mnist_smoke,
                                        goldens):
@@ -146,16 +160,28 @@ def test_campaign_momentum_worker_invariance(mnist_trio, mnist_smoke):
 
 class TestAscentRules:
     def test_make_rule(self):
+        from repro.core.engine import (AdamRule, AdaptiveStepRule,
+                                       DeepFoolRule, NesterovRule)
         assert isinstance(make_rule("vanilla"), VanillaRule)
         rule = make_rule("momentum", beta=0.5)
         assert isinstance(rule, MomentumRule) and rule.beta == 0.5
         assert make_rule("momentum").beta == 0.9
+        assert isinstance(make_rule("nesterov"), NesterovRule)
+        assert make_rule("nesterov", beta=0.7).beta == 0.7
+        assert isinstance(make_rule("adam"), AdamRule)
+        assert isinstance(make_rule("adaptive"), AdaptiveStepRule)
+        fool = make_rule("deepfool", overshoot=0.05)
+        assert isinstance(fool, DeepFoolRule) and fool.overshoot == 0.05
         explicit = MomentumRule(0.3)
         assert make_rule(explicit) is explicit
         with pytest.raises(ConfigError):
-            make_rule("nesterov")
+            make_rule("rmsprop")
         with pytest.raises(ConfigError):
             make_rule("vanilla", beta=0.5)
+        with pytest.raises(ConfigError):
+            make_rule("adam", beta=0.5)
+        with pytest.raises(ConfigError):
+            make_rule("momentum", overshoot=0.1)
         with pytest.raises(ConfigError):
             make_rule(explicit, beta=0.5)
 
@@ -166,8 +192,16 @@ class TestAscentRules:
             MomentumRule(beta=-0.1)
 
     def test_identity_strings(self):
+        from repro.core.engine import (AdamRule, AdaptiveStepRule,
+                                       DeepFoolRule, NesterovRule)
         assert VanillaRule().identity() == "vanilla"
         assert MomentumRule(0.8).identity() == "momentum(beta=0.8)"
+        assert NesterovRule(0.8).identity() == "nesterov(beta=0.8)"
+        assert (AdamRule().identity()
+                == "adam(beta1=0.9,beta2=0.999,eps=1e-08)")
+        assert DeepFoolRule(0.02).identity() == "deepfool(overshoot=0.02)"
+        assert (AdaptiveStepRule(MomentumRule(0.8)).identity()
+                == "adaptive(momentum(beta=0.8),gamma=0.5,max_scale=4.0)")
 
     def test_momentum_state_compacts_with_retiring_seeds(self):
         rule = MomentumRule(0.5)

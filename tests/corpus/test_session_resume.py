@@ -11,7 +11,9 @@ strictly fewer forward passes than the first run did.
 import numpy as np
 import pytest
 
-from repro.core import LightingConstraint, MomentumRule, PAPER_HYPERPARAMS
+from repro.core import (AdamRule, AdaptiveStepRule, DeepFoolRule,
+                        LightingConstraint, MomentumRule, NesterovRule,
+                        PAPER_HYPERPARAMS)
 from repro.corpus import CorpusStore, FuzzSession
 from repro.errors import ConfigError
 from repro.nn.instrumentation import PassCounter
@@ -202,6 +204,71 @@ def test_momentum_resume_is_bit_identical(tmp_path, mnist_trio,
     assert resumed.completed_rounds == 1
     resumed.run(3)
     assert_stores_identical(tmp_path / "ref", tmp_path / "split")
+
+
+#: One factory per library rule beyond the vanilla/momentum pair the
+#: tests above already pin.  Factories, not instances: each session must
+#: get its own per-seed state.
+RULE_LIBRARY = {
+    "nesterov": lambda: NesterovRule(0.8),
+    "adam": lambda: AdamRule(),
+    "deepfool": lambda: DeepFoolRule(),
+    "adaptive": lambda: AdaptiveStepRule(MomentumRule(0.7)),
+}
+
+
+@pytest.mark.parametrize("rule_name", sorted(RULE_LIBRARY))
+def test_rule_library_kill_midwave_then_resume(tmp_path, mnist_trio,
+                                               mnist_smoke, monkeypatch,
+                                               rule_name):
+    """The ISSUE-7 acceptance bar: every library rule — including the
+    stateful ones (Adam moments, Nesterov velocity) and the ones that
+    read engine state (DeepFool tapes, adaptive scheduler feedback) —
+    survives a mid-wave kill under workers=2 and resumes to a corpus
+    bit-identical to an uninterrupted run."""
+    factory = RULE_LIBRARY[rule_name]
+    make_session(tmp_path / "ref", mnist_trio, mnist_smoke, workers=2,
+                 rule=factory()).run(3)
+
+    killed = make_session(tmp_path / "kill", mnist_trio, mnist_smoke,
+                          workers=2, rule=factory())
+    killed.run(1)
+    real_add = CorpusStore.add_entry
+    test_adds = {"n": 0}
+
+    def bomb(self, x, kind, **meta):
+        if kind == "test":
+            test_adds["n"] += 1
+            if test_adds["n"] > 2:   # die with a wave partially persisted
+                raise KeyboardInterrupt("simulated kill")
+        return real_add(self, x, kind, **meta)
+
+    monkeypatch.setattr(CorpusStore, "add_entry", bomb)
+    with pytest.raises(KeyboardInterrupt):
+        killed.run(3)
+    monkeypatch.setattr(CorpusStore, "add_entry", real_add)
+
+    resumed = make_session(tmp_path / "kill", mnist_trio, mnist_smoke,
+                           workers=2, rule=factory())
+    assert resumed.completed_rounds < 3
+    resumed.run(3)
+    assert_stores_identical(tmp_path / "ref", tmp_path / "kill")
+
+
+@pytest.mark.parametrize("rule_name", sorted(RULE_LIBRARY))
+def test_rule_library_resume_requires_matching_rule(tmp_path, mnist_trio,
+                                                    mnist_smoke, rule_name):
+    """Each library rule's identity() string guards its corpus: a
+    resume under any other rule (including vanilla) is refused."""
+    factory = RULE_LIBRARY[rule_name]
+    make_session(tmp_path / "c", mnist_trio, mnist_smoke,
+                 rule=factory()).run(1)
+    with pytest.raises(ConfigError):
+        make_session(tmp_path / "c", mnist_trio)           # vanilla
+    with pytest.raises(ConfigError):
+        make_session(tmp_path / "c", mnist_trio,
+                     rule=MomentumRule(0.8))
+    make_session(tmp_path / "c", mnist_trio, rule=factory())
 
 
 def test_resume_validates_ascent_rule(tmp_path, mnist_trio, mnist_smoke):

@@ -70,6 +70,49 @@ class TestCliCommands:
         assert f"engine               : {engine}" in out
         assert "differences found" in out
 
+    @pytest.mark.parametrize("extra", [
+        ["--ascent", "deepfool"],
+        ["--ascent", "deepfool", "--overshoot", "0.05"],
+        ["--ascent", "nesterov", "--beta", "0.8"],
+        ["--ascent", "adam"],
+        ["--ascent", "adaptive"],
+    ])
+    def test_generate_rule_library(self, capsys, extra):
+        assert main(["--scale", "smoke", "generate", "mnist",
+                     "--seeds", "8"] + extra) == 0
+        assert "differences found" in capsys.readouterr().out
+
+    def test_unknown_ascent_rule_is_one_line_error(self, capsys):
+        """An unknown --ascent name fails before any dataset or model
+        loads: exit 1 and a single error line naming the known rules."""
+        assert main(["--scale", "smoke", "generate", "mnist",
+                     "--ascent", "rmsprop"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and err.count("\n") == 1
+        assert "rmsprop" in err and "deepfool" in err
+
+    def test_fuzz_rejects_unknown_ascent_rule(self, tmp_path, capsys):
+        assert main(["--scale", "smoke", "fuzz", "mnist", "--corpus",
+                     str(tmp_path / "c"), "--ascent", "rmsprop"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "rmsprop" in err
+        assert not (tmp_path / "c").exists()   # failed before touching disk
+
+    @pytest.mark.parametrize("argv", [
+        ["--ascent", "adam", "--beta", "0.5"],
+        ["--ascent", "deepfool", "--beta", "0.5"],
+        ["--ascent", "vanilla", "--beta", "0.5"],
+        ["--ascent", "momentum", "--overshoot", "0.1"],
+        ["--ascent", "adam", "--overshoot", "0.1"],
+    ])
+    def test_rule_specific_flags_rejected_elsewhere(self, capsys, argv):
+        """--beta is momentum/nesterov-only and --overshoot is
+        deepfool-only; other combinations fail with the rule named."""
+        assert main(["--scale", "smoke", "generate", "mnist"] + argv) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert argv[1] in err                  # names the offending rule
+
     def test_fuzz_resumes_and_reports(self, tmp_path, capsys):
         corpus = str(tmp_path / "corpus")
         argv = ["--scale", "smoke", "fuzz", "mnist", "--corpus", corpus,

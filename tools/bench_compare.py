@@ -10,6 +10,14 @@ Records are matched by ``name``; every pair that carries a
 ``seeds_per_sec`` value is compared, and the exit status is non-zero
 when any current record regresses by more than ``--max-regression``
 (a fraction: 0.30 means "30% slower than the baseline fails").
+
+``ascent-rule[*]`` records (the per-rule iterations-to-difference
+leaderboard) get their own quality comparison: a rule whose
+``differences`` count drops, or whose ``mean_iterations`` rises, by
+more than ``--max-regression`` fails the check too — so a change that
+quietly blunts one rule's search power is caught even if throughput
+held steady.
+
 Records present on only one side are reported but never fail the
 check, so adding or retiring benchmark cells does not break CI.
 """
@@ -42,6 +50,28 @@ def compare(baseline, current, max_regression):
     return rows
 
 
+def compare_rules(baseline, current, max_regression):
+    """Quality rows for ``ascent-rule[*]`` records.
+
+    Yields ``(label, metric, base, cur, failed)``: ``differences``
+    regresses downward, ``mean_iterations`` regresses upward.
+    """
+    rows = []
+    for name in sorted(set(baseline) & set(current)):
+        if not name.startswith("ascent-rule["):
+            continue
+        base, cur = baseline[name], current[name]
+        b_diff, c_diff = base.get("differences"), cur.get("differences")
+        if b_diff and c_diff is not None:
+            rows.append((name, "differences", b_diff, c_diff,
+                         c_diff < b_diff * (1.0 - max_regression)))
+        b_it, c_it = base.get("mean_iterations"), cur.get("mean_iterations")
+        if b_it and c_it is not None:
+            rows.append((name, "mean_iterations", b_it, c_it,
+                         c_it > b_it * (1.0 + max_regression)))
+    return rows
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         description="Compare two BENCH_engine.json snapshots")
@@ -55,12 +85,12 @@ def main(argv=None):
     baseline = load_records(args.baseline)
     current = load_records(args.current)
     rows = compare(baseline, current, args.max_regression)
-    if not rows:
-        print("bench_compare: no comparable seeds_per_sec records",
-              file=sys.stderr)
+    rule_rows = compare_rules(baseline, current, args.max_regression)
+    if not rows and not rule_rows:
+        print("bench_compare: no comparable records", file=sys.stderr)
         return 2
 
-    width = max(len(name) for name, *_ in rows)
+    width = max(len(name) for name, *_ in rows + rule_rows)
     failed = []
     for name, base, cur, ratio, bad in rows:
         verdict = "FAIL" if bad else "ok"
@@ -68,6 +98,12 @@ def main(argv=None):
               f"(x{ratio:.2f})  {verdict}")
         if bad:
             failed.append(name)
+    for name, metric, base, cur, bad in rule_rows:
+        verdict = "FAIL" if bad else "ok"
+        print(f"{name:<{width}}  {base:>8.2f} -> {cur:>8.2f} "
+              f"{metric}  {verdict}")
+        if bad:
+            failed.append(f"{name}.{metric}")
     for name in sorted(set(baseline) - set(current)):
         print(f"{name:<{width}}  only in baseline (skipped)")
     for name in sorted(set(current) - set(baseline)):
@@ -78,8 +114,8 @@ def main(argv=None):
               f"than {args.max_regression:.0%}: {', '.join(failed)}",
               file=sys.stderr)
         return 1
-    print(f"bench_compare: {len(rows)} record(s) within "
-          f"{args.max_regression:.0%} of baseline")
+    print(f"bench_compare: {len(rows) + len(rule_rows)} record(s) "
+          f"within {args.max_regression:.0%} of baseline")
     return 0
 
 

@@ -50,7 +50,55 @@ CONFIGS = [
      ("momentum", 0.8), 3, 5, 10),
     ("vanilla-batch-driving", "driving", "regression", "batch",
      ("vanilla", None), 3, 5, 8),
+    # Rule-library rows (captured from the unified engine when each rule
+    # landed; there is no pre-unification counterpart for these).
+    ("nesterov-batch-mnist", "mnist", "classification", "batch",
+     ("nesterov", 0.9), 3, 5, 10),
+    ("adam-batch-mnist", "mnist", "classification", "batch",
+     ("adam", None), 3, 5, 10),
+    ("deepfool-batch-mnist", "mnist", "classification", "batch",
+     ("deepfool", None), 3, 5, 10),
+    ("adaptive-batch-mnist", "mnist", "classification", "batch",
+     ("adaptive", None), 3, 5, 10),
 ]
+
+
+def assert_matches_golden(name, actual, golden):
+    """Field-by-field golden comparison that fails loudly.
+
+    A mismatch names the rule configuration and the differing field
+    (and, for per-test rows, which test), so a regression reads as
+    "deepfool-batch-mnist: tests[3].iterations changed" instead of a
+    bare nested-dict diff.
+    """
+    def fail(field, expected, got):
+        raise AssertionError(
+            f"golden mismatch for config {name!r}, field {field}:\n"
+            f"  expected: {expected!r}\n"
+            f"  actual:   {got!r}")
+
+    for field in sorted(set(golden) | set(actual)):
+        expected, got = golden.get(field), actual.get(field)
+        if expected == got:
+            continue
+        if field == "tests" and isinstance(expected, list) \
+                and isinstance(got, list):
+            if len(expected) != len(got):
+                fail("len(tests)", len(expected), len(got))
+            for i, (erow, grow) in enumerate(zip(expected, got)):
+                for key in sorted(set(erow) | set(grow)):
+                    if erow.get(key) != grow.get(key):
+                        fail(f"tests[{i}].{key}", erow.get(key),
+                             grow.get(key))
+        if field == "coverage" and isinstance(expected, dict) \
+                and isinstance(got, dict):
+            for model in sorted(set(expected) | set(got)):
+                erow, grow = expected.get(model, {}), got.get(model, {})
+                for key in sorted(set(erow) | set(grow)):
+                    if erow.get(key) != grow.get(key):
+                        fail(f"coverage[{model!r}].{key}", erow.get(key),
+                             grow.get(key))
+        fail(field, expected, got)
 
 
 def _make_engine(models, hp, constraint, task, rng, driver, rule_spec):

@@ -17,6 +17,10 @@ Commands
 ``corpus``
     Inspect (``info``), fold together (``merge``), or shrink
     (``distill``) corpus stores.
+``serve`` / ``submit`` / ``status``
+    The fuzz farm: run the always-on campaign daemon over a farm root,
+    submit generate/fuzz jobs against its named tenant stores, and
+    inspect job state (see docs/FARM.md).
 ``experiment``
     Run one named experiment (table1..table12, figure8..figure10,
     pollution) and print its table.
@@ -159,6 +163,58 @@ def build_parser():
                         "subset (greedy set-cover)")
     distill.add_argument("corpus_dir")
     distill.add_argument("dataset", choices=dataset_names())
+
+    serve = sub.add_parser(
+        "serve", help="run the fuzz-farm daemon over a farm root")
+    serve.add_argument("--root", required=True, metavar="DIR",
+                       help="farm root directory (created if absent); "
+                            "tenant stores live under DIR/stores/")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="worker threads pulling jobs (jobs on one "
+                            "store always serialize)")
+    serve.add_argument("--capacity", type=int, default=8,
+                       help="max jobs in flight before submits are "
+                            "rejected with a retry-after hint")
+    serve.add_argument("--max-attempts", type=int, default=3,
+                       help="attempts per job before it parks as failed")
+    serve.add_argument("--backoff", type=float, default=1.0,
+                       help="base seconds for exponential retry backoff")
+
+    submit = sub.add_parser(
+        "submit", help="submit a job to a running farm daemon")
+    submit.add_argument("--root", required=True, metavar="DIR",
+                        help="farm root the daemon was started with")
+    submit.add_argument("--store", required=True,
+                        help="tenant corpus store name under the root")
+    submit.add_argument("--kind", default="fuzz",
+                        choices=["fuzz", "generate"])
+    submit.add_argument("--dataset", default="mnist",
+                        choices=dataset_names())
+    submit.add_argument("--rounds", type=int, default=2,
+                        help="target total waves for the store (fuzz)")
+    submit.add_argument("--seeds", type=int, default=16,
+                        help="initial pool size (fuzz) / seed count "
+                             "(generate)")
+    submit.add_argument("--wave-size", type=int, default=8)
+    submit.add_argument("--shard-size", type=int, default=8)
+    submit.add_argument("--ascent", default="vanilla", metavar="RULE",
+                        help="per-iteration update rule: "
+                             f"{' | '.join(ASCENT_RULES)}")
+    submit.add_argument("--constraint", default="default",
+                        help="image constraint: light | occl | blackout")
+    submit.add_argument("--workers", type=int, default=1,
+                        help="campaign worker processes inside the job")
+    submit.add_argument("--wait", action="store_true",
+                        help="block until the job finishes and print "
+                             "its result")
+    submit.add_argument("--timeout", type=float, default=600.0,
+                        help="--wait timeout in seconds")
+
+    status = sub.add_parser(
+        "status", help="show a farm daemon's jobs (or one job)")
+    status.add_argument("--root", required=True, metavar="DIR")
+    status.add_argument("job_id", nargs="?",
+                        help="show one job in detail")
 
     exp = sub.add_parser("experiment", help="run one paper experiment")
     exp.add_argument("experiment_id", choices=sorted(EXPERIMENTS))
@@ -340,6 +396,67 @@ def _cmd_corpus(args):
     return 0
 
 
+def _cmd_serve(args):
+    import os
+    import signal
+
+    from repro.farm import FarmDaemon, FarmServer
+    daemon = FarmDaemon(args.root, workers=args.workers,
+                        capacity=args.capacity,
+                        max_attempts=args.max_attempts,
+                        backoff_base=args.backoff,
+                        scale=args.scale, seed=args.seed)
+    daemon.start()
+    server = FarmServer(daemon)
+    print(f"farm daemon serving {daemon.root} on "
+          f"127.0.0.1:{server.port} (pid {os.getpid()}, "
+          f"workers={args.workers}, capacity={args.capacity})",
+          flush=True)
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signum, lambda *_: server.request_drain())
+    server.serve_until_drained()
+    print("farm daemon drained")
+    return 0
+
+
+def _cmd_submit(args):
+    from repro.farm import FarmClient
+    client = FarmClient(args.root)
+    job = client.submit({
+        "kind": args.kind, "store": args.store, "dataset": args.dataset,
+        "rounds": args.rounds, "seeds": args.seeds,
+        "wave_size": args.wave_size, "shard_size": args.shard_size,
+        "seed": args.seed, "ascent": args.ascent,
+        "constraint": args.constraint, "workers": args.workers,
+    })
+    print(f"submitted {job['job_id']} ({args.kind} -> {args.store})")
+    if args.wait:
+        final = client.wait(job["job_id"], timeout=args.timeout)
+        for key, value in sorted(final["result"].items()):
+            print(f"  {key}: {value}")
+    return 0
+
+
+def _cmd_status(args):
+    from repro.farm import FarmClient, Job
+    client = FarmClient(args.root)
+    if args.job_id:
+        job = client.status(args.job_id)
+        print(Job.from_dict(job).describe())
+        for key, value in sorted(job.get("result", {}).items()):
+            print(f"  {key}: {value}")
+        if job.get("error"):
+            print(f"  error: {job['error']}")
+        return 0
+    jobs = client.status()
+    if not jobs:
+        print("no jobs")
+        return 0
+    for record in jobs:
+        print(Job.from_dict(record).describe())
+    return 0
+
+
 def _cmd_experiment(args):
     result = EXPERIMENTS[args.experiment_id](scale=args.scale,
                                              seed=args.seed)
@@ -361,6 +478,9 @@ _COMMANDS = {
     "generate": _cmd_generate,
     "fuzz": _cmd_fuzz,
     "corpus": _cmd_corpus,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "status": _cmd_status,
     "experiment": _cmd_experiment,
     "report": _cmd_report,
 }

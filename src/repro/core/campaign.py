@@ -34,7 +34,9 @@ boundaries are picklable dicts of numpy arrays.
 
 from __future__ import annotations
 
+import hashlib
 import multiprocessing
+import threading
 import time
 from dataclasses import dataclass
 
@@ -49,8 +51,8 @@ from repro.errors import ConfigError
 from repro.nn.config import network_from_payload, network_to_payload
 from repro.utils.rng import rng_from_seed_sequence, spawn_seed_sequences
 
-__all__ = ["Campaign", "CampaignShard", "shard_corpus",
-           "DEFAULT_SHARD_SIZE"]
+__all__ = ["Campaign", "CampaignPool", "CampaignShard", "shard_corpus",
+           "payload_digest", "DEFAULT_SHARD_SIZE"]
 
 #: Default seeds per shard.  Independent of ``workers`` on purpose: the
 #: shard layout (and therefore every random draw) must not change when a
@@ -111,37 +113,84 @@ def shard_corpus(seeds, shard_size=DEFAULT_SHARD_SIZE, seed=0,
 
 
 # -- worker side ----------------------------------------------------------------
-# Pool workers unpack the campaign spec once per process (initializer),
-# then process any number of shards against the cached models.  The
-# in-process path (workers=1) calls the very same two functions, so a
-# serial campaign exercises the identical code a parallel one does.
+# Pool workers unpack the campaign's *static* spec once per worker
+# lifetime (initializer) and rebuild each model payload at most once —
+# later waves over the same models hit the per-worker digest cache
+# instead of re-deserializing weights.  Per-shard tasks carry only the
+# dynamic state (the driver's tracker snapshots plus the shard itself).
+# The in-process path (workers=1) calls the very same two functions, so
+# a serial campaign exercises the identical code a parallel one does.
+# All worker state is thread-local: the farm daemon runs many campaigns
+# concurrently on worker threads, and their caches must not collide.
 
-_WORKER_STATE = {}
+_LOCAL = threading.local()
+
+#: Per-worker model-cache bound (~4 trios).  The cache is keyed by
+#: payload content digest, so an in-place weight change simply misses.
+_MODEL_CACHE_CAP = 12
 
 
-def _init_worker(spec):
-    """Per-process setup: rebuild models from payloads, cache the spec."""
-    _WORKER_STATE["models"] = [network_from_payload(p)
-                               for p in spec["models"]]
-    _WORKER_STATE["spec"] = spec
+def payload_digest(payload):
+    """Content digest of a model payload (architecture JSON + weights).
 
-
-def _run_shard(shard):
-    """Run one shard through BatchDeepXplore; returns a picklable dict.
-
-    Worker trackers start from the driver's coverage state, so the
-    coverage objective steers ascent toward neurons *genuinely* still
-    uncovered — a campaign resumed over persisted coverage (``generate
-    --resume``, fuzz waves) must not chase neurons earlier runs already
-    lit up.  The merge back into the driver is an OR, so seeding every
-    shard with the same prior loses nothing and double-counts nothing.
-    Generated tests are rewritten to carry their *global* seed index
-    before leaving the worker.
+    Computed from the payload's actual bytes — not object identity — so
+    a cached rebuild is reused exactly when the model is bit-identical.
     """
-    spec = _WORKER_STATE["spec"]
-    models = _WORKER_STATE["models"]
+    import json
+    digest = hashlib.sha256()
+    digest.update(json.dumps(payload["config"],
+                             sort_keys=True).encode("utf-8"))
+    for key in sorted(payload["state"]):
+        array = np.ascontiguousarray(payload["state"][key])
+        digest.update(key.encode("utf-8"))
+        digest.update(repr((array.shape, str(array.dtype))).encode("utf-8"))
+        digest.update(array.tobytes())
+    return digest.hexdigest()
+
+
+def _cached_models(entries):
+    """Resolve ``[{"digest", "payload"}]`` via the per-worker cache."""
+    cache = getattr(_LOCAL, "model_cache", None)
+    if cache is None:
+        cache = _LOCAL.model_cache = {}
+    models = []
+    for entry in entries:
+        key = entry["digest"]
+        if key in cache:
+            model = cache.pop(key)          # re-insert: LRU move-to-end
+        else:
+            model = network_from_payload(entry["payload"])
+        cache[key] = model
+        models.append(model)
+    while len(cache) > _MODEL_CACHE_CAP:
+        cache.pop(next(iter(cache)))
+    return models
+
+
+def _init_worker(static_spec):
+    """Per-worker setup: resolve models through the cache, keep the spec."""
+    _LOCAL.static = static_spec
+    _LOCAL.models = _cached_models(static_spec["models"])
+
+
+def _run_shard(task):
+    """Run one shard through the ascent engine; returns a picklable dict.
+
+    ``task`` is ``(tracker_states, shard)`` — the per-wave dynamic
+    state.  Worker trackers start from the driver's coverage state, so
+    the coverage objective steers ascent toward neurons *genuinely*
+    still uncovered — a campaign resumed over persisted coverage
+    (``generate --resume``, fuzz waves) must not chase neurons earlier
+    runs already lit up.  The merge back into the driver is an OR, so
+    seeding every shard with the same prior loses nothing and
+    double-counts nothing.  Generated tests are rewritten to carry
+    their *global* seed index before leaving the worker.
+    """
+    tracker_states, shard = task
+    spec = _LOCAL.static
+    models = _LOCAL.models
     trackers = [NeuronCoverageTracker.from_state(m, s)
-                for m, s in zip(models, spec["tracker_states"])]
+                for m, s in zip(models, tracker_states)]
     engine = AscentEngine(
         models, spec["hp"], spec["constraint"].clone(), task=spec["task"],
         trackers=trackers, rng=rng_from_seed_sequence(shard.seed_seq),
@@ -153,6 +202,62 @@ def _run_shard(shard):
     return {"shard_index": shard.shard_index,
             "result": result,
             "coverage": [t.state_dict() for t in trackers]}
+
+
+class CampaignPool:
+    """A reusable worker pool pinned to one campaign's static spec.
+
+    Created via :meth:`Campaign.make_pool` and passed to any number of
+    :meth:`Campaign.run` calls whose static identity (models, hyper-
+    params, constraint kind, rule, task) matches.  Worker processes
+    live for the pool's lifetime, so each worker deserializes each
+    model payload exactly once — a multi-wave fuzz session stops paying
+    the rebuild cost per wave, and a farm daemon amortizes it across
+    jobs.  Throughput-only: a pooled run is bit-identical to a fresh
+    per-wave pool (and to ``workers=1``).
+    """
+
+    def __init__(self, static_spec, workers, mp_start_method=None):
+        if workers < 2:
+            raise ConfigError(
+                f"CampaignPool needs workers >= 2, got {workers} "
+                "(workers=1 runs in-process and needs no pool)")
+        self.workers = int(workers)
+        self.spec_digest = _static_spec_digest(static_spec)
+        ctx = multiprocessing.get_context(mp_start_method)
+        self._pool = ctx.Pool(self.workers, initializer=_init_worker,
+                              initargs=(static_spec,))
+        self._closed = False
+
+    def run_shards(self, tracker_states, shards):
+        if self._closed:
+            raise ConfigError("CampaignPool is closed")
+        return self._pool.map(_run_shard,
+                              [(tracker_states, shard) for shard in shards])
+
+    def close(self):
+        if not self._closed:
+            self._closed = True
+            self._pool.close()
+            self._pool.join()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+
+def _static_spec_digest(static_spec):
+    """Cheap identity for pool-vs-campaign compatibility checks."""
+    parts = [entry["digest"] for entry in static_spec["models"]]
+    parts.append(static_spec["rule"].identity())
+    parts.append(type(static_spec["constraint"]).__name__)
+    parts.append(str(static_spec["task"]))
+    parts.append(str(bool(static_spec["absorb_exhausted"])))
+    parts.append(repr(static_spec["hp"]))
+    return hashlib.sha256("|".join(parts).encode("utf-8")).hexdigest()
 
 
 # -- driver side ----------------------------------------------------------------
@@ -223,19 +328,35 @@ class Campaign:
         self.trackers = list(trackers)
         self.mp_start_method = mp_start_method
 
-    def _spec(self):
-        """The per-process campaign spec shipped to every worker."""
+    def _static_spec(self):
+        """The wave-invariant worker spec (shipped once per worker).
+
+        Model payloads travel with their content digests so workers can
+        satisfy rebuild requests from their local cache; everything
+        else here is plain campaign configuration.  Per-wave dynamic
+        state (tracker snapshots, shards) ships per task instead.
+        """
+        entries = []
+        for model in self.models:
+            payload = network_to_payload(model)
+            entries.append({"digest": payload_digest(payload),
+                            "payload": payload})
         return {
-            "models": [network_to_payload(m) for m in self.models],
+            "models": entries,
             "hp": self.hp,
             "constraint": self.constraint,
             "task": self.task,
             "rule": self.rule,
             "absorb_exhausted": self.absorb_exhausted,
-            "tracker_states": [t.state_dict() for t in self.trackers],
         }
 
-    def run(self, seeds, seed_scales=None):
+    def make_pool(self):
+        """Build a :class:`CampaignPool` reusable across this campaign's
+        waves (and any later campaign with the same static identity)."""
+        return CampaignPool(self._static_spec(), self.workers,
+                            mp_start_method=self.mp_start_method)
+
+    def run(self, seeds, seed_scales=None, pool=None):
         """Shard ``seeds``, fan out, merge; returns a GenerationResult.
 
         ``result.elapsed`` is the campaign's wall-clock (not the sum of
@@ -243,6 +364,10 @@ class Campaign:
         its shard's start.  ``seed_scales`` (one float per seed, for
         rules that honour per-seed step scaling) shards contiguously
         alongside the seeds, so scaling is worker-count invariant.
+        ``pool`` reuses a :class:`CampaignPool` (built by
+        :meth:`make_pool` on a campaign with the same static identity)
+        instead of spinning one up per call — throughput only, never
+        results.
         """
         if seed_scales is not None and not self.rule.accepts_seed_scales:
             raise ConfigError(
@@ -251,21 +376,34 @@ class Campaign:
         start = time.perf_counter()
         shards = shard_corpus(seeds, self.shard_size, seed=self.seed,
                               seed_scales=seed_scales)
-        spec = self._spec()
-        if self.workers == 1 or len(shards) <= 1:
+        tracker_states = [t.state_dict() for t in self.trackers]
+        if pool is not None:
+            if pool.spec_digest != _static_spec_digest(self._static_spec()):
+                raise ConfigError(
+                    "CampaignPool was built for a different campaign "
+                    "identity (models/rule/constraint/hyperparams); "
+                    "make a fresh pool with Campaign.make_pool()")
+            outcomes = pool.run_shards(tracker_states, shards)
+        elif self.workers == 1 or len(shards) <= 1:
+            spec = self._static_spec()
             try:
                 _init_worker(spec)
-                outcomes = [_run_shard(shard) for shard in shards]
+                outcomes = [_run_shard((tracker_states, shard))
+                            for shard in shards]
             finally:
-                # Don't keep payload-rebuilt model copies alive in the
-                # module global after an in-process run.
-                _WORKER_STATE.clear()
+                # Drop the payload copies (weights) from the thread's
+                # state; the rebuilt models stay in the bounded digest
+                # cache so the next wave skips re-deserializing them.
+                _LOCAL.static = None
+                _LOCAL.models = None
         else:
             ctx = multiprocessing.get_context(self.mp_start_method)
             with ctx.Pool(min(self.workers, len(shards)),
                           initializer=_init_worker,
-                          initargs=(spec,)) as pool:
-                outcomes = pool.map(_run_shard, shards)
+                          initargs=(self._static_spec(),)) as mp_pool:
+                outcomes = mp_pool.map(
+                    _run_shard, [(tracker_states, shard)
+                                 for shard in shards])
         merged = GenerationResult()
         for outcome in sorted(outcomes, key=lambda o: o["shard_index"]):
             merged.merge(outcome["result"])

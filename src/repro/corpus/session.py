@@ -269,53 +269,65 @@ class FuzzSession:
             return report
         children = spawn_seed_sequences(self.seed, rounds)
         tracked_total = sum(t.tracked_count for t in self.trackers)
-        for round_index in range(self.completed_rounds, rounds):
-            wave = self.scheduler.next_wave(self.wave_size)
-            if not wave:
-                break
-            covered_before = sum(t.covered_count() for t in self.trackers)
-            campaign = Campaign(
-                self.models, self.hp, self.constraint, task=self.task,
-                trackers=self.trackers, workers=self.workers,
-                shard_size=self.shard_size, seed=children[round_index],
-                rule=self.rule, absorb_exhausted=self.absorb_exhausted,
-                mp_start_method=self.mp_start_method)
-            scales = None
-            if self.rule.accepts_seed_scales:
-                # Close the feedback loop: each scheduled seed's step
-                # scale comes from its scheduler energy (dry seeds step
-                # farther, hot ones more carefully).  Energies are part
-                # of the committed scheduler state, so a resumed wave
-                # recomputes the same scales bit-for-bit.
-                scales = self.rule.scales_from_energy(
-                    [self.scheduler.stats(h)["energy"] for h in wave])
-            result = campaign.run(self.store.load_inputs(wave),
-                                  seed_scales=scales)
-            newly = sum(t.covered_count()
-                        for t in self.trackers) - covered_before
-            novelty = newly / tracked_total if tracked_total else 0.0
-            yielded, new_tests = set(), 0
-            for test in result.tests:
-                yielded.add(wave[test.seed_index])
-                entry_hash, added = self.store.add_entry(
-                    test.x, "test",
-                    origin=wave[test.seed_index], round=round_index,
-                    iterations=int(test.iterations),
-                    predictions=np.asarray(test.predictions).tolist(),
-                    seed_class=test.seed_class)
-                self.scheduler.add(entry_hash, schedulable=False)
-                new_tests += int(added)
-            self.scheduler.record_wave(wave, yielded, novelty)
-            self.completed_rounds = round_index + 1
-            self._commit(self.completed_rounds)
-            report.waves.append({
-                "round": round_index,
-                "wave_size": len(wave),
-                "yielded": len(yielded),
-                "new_tests": new_tests,
-                "novelty": novelty,
-                "pending": self.scheduler.pending_count(),
-            })
+        # One persistent worker pool for every wave of this call: worker
+        # processes deserialize each model payload exactly once per run,
+        # not once per wave (throughput only — a pooled wave is
+        # bit-identical to a per-wave pool).
+        pool = None
+        try:
+            for round_index in range(self.completed_rounds, rounds):
+                wave = self.scheduler.next_wave(self.wave_size)
+                if not wave:
+                    break
+                covered_before = sum(t.covered_count()
+                                     for t in self.trackers)
+                campaign = Campaign(
+                    self.models, self.hp, self.constraint, task=self.task,
+                    trackers=self.trackers, workers=self.workers,
+                    shard_size=self.shard_size, seed=children[round_index],
+                    rule=self.rule, absorb_exhausted=self.absorb_exhausted,
+                    mp_start_method=self.mp_start_method)
+                if pool is None and self.workers > 1:
+                    pool = campaign.make_pool()
+                scales = None
+                if self.rule.accepts_seed_scales:
+                    # Close the feedback loop: each scheduled seed's step
+                    # scale comes from its scheduler energy (dry seeds step
+                    # farther, hot ones more carefully).  Energies are part
+                    # of the committed scheduler state, so a resumed wave
+                    # recomputes the same scales bit-for-bit.
+                    scales = self.rule.scales_from_energy(
+                        [self.scheduler.stats(h)["energy"] for h in wave])
+                result = campaign.run(self.store.load_inputs(wave),
+                                      seed_scales=scales, pool=pool)
+                newly = sum(t.covered_count()
+                            for t in self.trackers) - covered_before
+                novelty = newly / tracked_total if tracked_total else 0.0
+                yielded, new_tests = set(), 0
+                for test in result.tests:
+                    yielded.add(wave[test.seed_index])
+                    entry_hash, added = self.store.add_entry(
+                        test.x, "test",
+                        origin=wave[test.seed_index], round=round_index,
+                        iterations=int(test.iterations),
+                        predictions=np.asarray(test.predictions).tolist(),
+                        seed_class=test.seed_class)
+                    self.scheduler.add(entry_hash, schedulable=False)
+                    new_tests += int(added)
+                self.scheduler.record_wave(wave, yielded, novelty)
+                self.completed_rounds = round_index + 1
+                self._commit(self.completed_rounds)
+                report.waves.append({
+                    "round": round_index,
+                    "wave_size": len(wave),
+                    "yielded": len(yielded),
+                    "new_tests": new_tests,
+                    "novelty": novelty,
+                    "pending": self.scheduler.pending_count(),
+                })
+        finally:
+            if pool is not None:
+                pool.close()
         report.completed_rounds = self.completed_rounds
         report.elapsed = time.perf_counter() - start
         return report

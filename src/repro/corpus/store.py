@@ -44,13 +44,14 @@ import io
 import json
 import os
 import re
-import tempfile
 
 import numpy as np
 
 from repro.analysis.minimize import minimize_suite
 from repro.coverage import merge_state_dicts
 from repro.errors import ConfigError
+from repro.utils.atomicio import atomic_write_bytes, atomic_write_json
+from repro.utils.faults import fault_point
 
 __all__ = ["CorpusStore", "CorpusEntry", "corpus_fingerprint", "input_hash"]
 
@@ -89,24 +90,11 @@ def input_hash(x):
     return digest.hexdigest()
 
 
-def _atomic_write_bytes(path, payload):
-    """Write ``payload`` to ``path`` atomically (temp file + replace)."""
-    directory = os.path.dirname(path)
-    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
-    try:
-        with os.fdopen(fd, "wb") as handle:
-            handle.write(payload)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, path)
-    finally:
-        if os.path.exists(tmp):
-            os.unlink(tmp)
-
-
-def _atomic_write_json(path, obj):
-    _atomic_write_bytes(path, (json.dumps(obj, indent=2, sort_keys=True)
-                               + "\n").encode("utf-8"))
+# The write discipline now lives in repro.utils.atomicio (the farm's
+# journal and endpoint files use the same one); these aliases keep this
+# module's historical names working.
+_atomic_write_bytes = atomic_write_bytes
+_atomic_write_json = atomic_write_json
 
 
 def _coverage_to_npz_bytes(state):
@@ -277,10 +265,14 @@ class CorpusStore:
         a partially persisted wave converges.  The ``.npy`` lands
         atomically *before* the ``meta.jsonl`` record references it.
         """
+        # Countdown N dies on the Nth NEW entry of that kind — with the
+        # first N-1 already on disk and unreferenced by any checkpoint,
+        # the exact mid-wave state the resume contract must absorb.
         x = np.ascontiguousarray(np.asarray(x, dtype=np.float64))
         entry_hash = input_hash(x)
         if entry_hash in self._entries:
             return entry_hash, False
+        fault_point(f"corpus.add-{kind}")
         buffer = io.BytesIO()
         np.save(buffer, x)
         _atomic_write_bytes(self.input_path(entry_hash), buffer.getvalue())
@@ -332,6 +324,9 @@ class CorpusStore:
                 coverage_refs[name] = rel_path
         checkpoint = {"version": STORE_VERSION, "coverage_gen": gen,
                       "coverage": coverage_refs, "fuzz": fuzz_state}
+        # The narrowest crash window the commit protocol defends: new
+        # snapshots on disk, checkpoint not yet flipped to them.
+        fault_point("corpus.commit.mid")
         _atomic_write_json(self.checkpoint_path, checkpoint)
         self._checkpoint = checkpoint
         self._gc_coverage()

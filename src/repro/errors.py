@@ -34,3 +34,7 @@ class CoverageError(ReproError):
 
 class DatasetError(ReproError):
     """A synthetic dataset generator received invalid parameters."""
+
+
+class FarmError(ReproError):
+    """A farm daemon / job-queue operation failed (see :mod:`repro.farm`)."""

@@ -1,0 +1,98 @@
+"""Client for a running farm daemon, addressed by farm root.
+
+The submit/status half of the control protocol (see
+:mod:`repro.farm.server`).  Typed rejections come back as the same
+exceptions the daemon raised locally — saturation as
+:class:`~repro.farm.queue.QueueSaturatedError` with its ``retry_after``
+hint intact, a locked store as
+:class:`~repro.farm.locks.StoreLockedError`-shaped
+:class:`~repro.errors.FarmError`, an unknown job id as
+:class:`~repro.farm.queue.UnknownJobError` — so the CLI's one-line
+error reporting needs no special cases for remote vs local.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from repro.errors import FarmError
+from repro.farm import server as farm_server
+from repro.farm.queue import QueueSaturatedError, UnknownJobError
+
+__all__ = ["FarmClient"]
+
+
+class FarmClient:
+    """Thin per-request client (one connection per call, like the wire
+    protocol itself)."""
+
+    def __init__(self, root, timeout=10.0):
+        self.root = root
+        self.timeout = timeout
+
+    def _request(self, payload):
+        with farm_server.connect(self.root, timeout=self.timeout) as sock:
+            sock.sendall((json.dumps(payload) + "\n").encode("utf-8"))
+            with sock.makefile("rb") as handle:
+                line = handle.readline()
+        if not line:
+            raise FarmError(
+                f"farm daemon at {self.root} closed the connection "
+                "without answering")
+        response = json.loads(line.decode("utf-8"))
+        if response.get("ok"):
+            return response
+        kind = response.get("kind")
+        message = response.get("error", "farm request failed")
+        # Re-raise the daemon's typed rejection with its original
+        # message (the wire carries the text, not the constructor args).
+        if kind == "saturated":
+            error = QueueSaturatedError.__new__(QueueSaturatedError)
+            error.retry_after = float(response.get("retry_after", 1.0))
+            error.capacity = 0
+            FarmError.__init__(error, message)
+            raise error
+        if kind == "unknown-job":
+            error = UnknownJobError.__new__(UnknownJobError)
+            FarmError.__init__(error, message)
+            raise error
+        raise FarmError(message)
+
+    def ping(self):
+        return self._request({"cmd": "ping"})
+
+    def submit(self, spec):
+        """Submit a job spec; returns the created job record (dict)."""
+        return self._request({"cmd": "submit", "spec": spec})["job"]
+
+    def status(self, job_id=None):
+        if job_id is not None:
+            return self._request({"cmd": "status", "job_id": job_id})["job"]
+        return self._request({"cmd": "status"})["jobs"]
+
+    def counts(self):
+        return self._request({"cmd": "counts"})["counts"]
+
+    def drain(self):
+        return self._request({"cmd": "drain"})
+
+    def wait(self, job_id, timeout=120.0, poll=0.2):
+        """Block until a job finishes; returns its final record.
+
+        Raises :class:`FarmError` if the job ends ``failed`` or the
+        timeout expires — a stuck farm should fail loudly in scripts.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.status(job_id)
+            if job["status"] == "done":
+                return job
+            if job["status"] == "failed":
+                raise FarmError(
+                    f"job {job_id} failed: {job.get('error')}")
+            if time.monotonic() >= deadline:
+                raise FarmError(
+                    f"timed out after {timeout:.0f}s waiting for "
+                    f"{job_id} (status: {job['status']})")
+            time.sleep(poll)

@@ -1,0 +1,318 @@
+"""The farm daemon: a long-lived, multi-tenant fuzzing campaign service.
+
+One :class:`FarmDaemon` owns a *farm root* directory::
+
+    root/
+      queue.json            # journaled job queue (atomic JSON)
+      daemon.json           # live endpoint record (written by the server)
+      LOCK                  # daemon liveness lock (pid-checked)
+      stores/<name>/        # one corpus store per tenant
+
+and runs a fixed pool of worker *threads* that pull jobs from the
+queue.  Threads, not processes, on purpose: each worker's thread-local
+model cache (``repro.core.campaign``) then persists across jobs, so a
+warm farm stops paying model-payload deserialization per job — and a
+job may still fan out its own campaign worker *processes* when its
+spec asks for ``workers > 1``.
+
+Crash story (the tentpole contract): every durable structure already
+survives ``kill -9`` — the queue journal is atomic, running jobs
+re-queue on reload, and corpus stores checkpoint per wave — so a
+daemon killed mid-wave restarts, re-claims the interrupted job, and
+the resumed store converges bit-identically to an uninterrupted run.
+``tests/farm/`` pins exactly that with deterministic fault injection
+(:mod:`repro.utils.faults`).
+
+Graceful drain: :meth:`drain` stops workers at the next *wave
+boundary*; the interrupted job is released back to queued (not a
+failure, no attempt burned) with its progress in the store checkpoint.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+
+import numpy as np
+
+from repro.core import (Campaign, PAPER_HYPERPARAMS, constraint_for_dataset,
+                        make_rule)
+from repro.corpus import CorpusStore, FuzzSession, corpus_fingerprint
+from repro.coverage import NeuronCoverageTracker
+from repro.errors import FarmError, ReproError
+from repro.farm.jobs import normalize_spec
+from repro.farm.locks import StoreLock, StoreLockedError, lock_holder
+from repro.farm.queue import JobQueue
+from repro.utils.faults import fault_point
+
+__all__ = ["FarmDaemon"]
+
+#: How long an idle worker sleeps before re-checking the queue; also
+#: bounds how late a backoff-gated retry can start.
+_POLL_INTERVAL = 0.1
+
+
+def _default_model_source(dataset_name, scale, seed):
+    from repro.datasets import load_dataset
+    from repro.models import get_trio
+    dataset = load_dataset(dataset_name, scale=scale, seed=seed)
+    return get_trio(dataset_name, scale=scale, seed=seed,
+                    dataset=dataset), dataset
+
+
+class FarmDaemon:
+    """Job-queue daemon over a farm root (see module docstring).
+
+    Parameters
+    ----------
+    root:
+        The farm root directory (created if absent).
+    workers:
+        Worker threads pulling jobs (concurrency across *stores*; jobs
+        on one store always serialize).
+    capacity:
+        Max jobs in flight (queued + running) before submits are
+        rejected with a retry-after hint.
+    max_attempts, backoff_base:
+        Retry policy for crashed jobs (see :class:`JobQueue`).
+    scale, seed:
+        Zoo scale/seed used when loading model trios for jobs.
+    model_source:
+        ``f(dataset_name, scale, seed) -> (models, dataset)`` override;
+        tests inject session-scoped fixtures here so the daemon never
+        trains.
+    """
+
+    def __init__(self, root, workers=2, capacity=8, max_attempts=3,
+                 backoff_base=1.0, scale="smoke", seed=0,
+                 model_source=None):
+        if workers < 1:
+            raise FarmError(f"workers must be >= 1, got {workers}")
+        self.root = os.path.abspath(root)
+        self.stores_dir = os.path.join(self.root, "stores")
+        os.makedirs(self.stores_dir, exist_ok=True)
+        self.workers = int(workers)
+        self.scale = scale
+        self.seed = int(seed)
+        self._model_source = model_source or _default_model_source
+        self._trios = {}             # dataset name -> (models, dataset)
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._draining = False
+        self._threads = []
+        self._daemon_lock = StoreLock(self.root,
+                                      owner=f"farm-daemon:{os.getpid()}")
+        self._daemon_lock.acquire()
+        self.queue = JobQueue(os.path.join(self.root, "queue.json"),
+                              capacity=capacity, max_attempts=max_attempts,
+                              backoff_base=backoff_base)
+
+    # -- store plumbing -----------------------------------------------------
+    def store_path(self, name):
+        return os.path.join(self.stores_dir, name)
+
+    def _models_for(self, dataset_name):
+        """Model trio + dataset for a job, cached for the daemon's life."""
+        if dataset_name not in self._trios:
+            self._trios[dataset_name] = self._model_source(
+                dataset_name, self.scale, self.seed)
+        return self._trios[dataset_name]
+
+    # -- public surface (called by the server and by tests) -----------------
+    def submit(self, spec):
+        """Validate + enqueue a job; returns the :class:`Job`.
+
+        Fails fast — before the job ever reaches a worker — when the
+        target store is locked by a live outside process or the queue
+        is saturated.
+        """
+        spec = normalize_spec(spec)
+        holder = lock_holder(self.store_path(spec["store"]))
+        if holder is not None:
+            raise StoreLockedError(self.store_path(spec["store"]), holder)
+        with self._wake:
+            job = self.queue.submit(spec)
+            self._wake.notify_all()
+        return job
+
+    def status(self, job_id=None):
+        """All jobs (as dicts), or one job's dict; raises on unknown id."""
+        with self._lock:
+            if job_id is not None:
+                return self.queue.get(job_id).to_dict()
+            return [job.to_dict() for job in self.queue.jobs()]
+
+    def counts(self):
+        with self._lock:
+            jobs = self.queue.jobs()
+        return {status: sum(1 for j in jobs if j.status == status)
+                for status in ("queued", "running", "done", "failed")}
+
+    # -- worker pool --------------------------------------------------------
+    def start(self):
+        """Spawn the worker threads; returns self."""
+        for index in range(self.workers):
+            thread = threading.Thread(target=self._worker_loop,
+                                      name=f"farm-worker-{index}",
+                                      daemon=True)
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def drain(self, timeout=None):
+        """Graceful shutdown: finish in-flight waves, release the rest.
+
+        Blocks until every worker thread exits (or ``timeout``).  Jobs
+        interrupted at a wave boundary go back to queued with their
+        progress checkpointed in their stores.
+        """
+        with self._wake:
+            self._draining = True
+            self._wake.notify_all()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        for thread in self._threads:
+            remaining = None if deadline is None \
+                else max(0.0, deadline - time.monotonic())
+            thread.join(remaining)
+        self._threads = [t for t in self._threads if t.is_alive()]
+        if not self._threads:
+            self._daemon_lock.release()
+        return not self._threads
+
+    @property
+    def draining(self):
+        return self._draining
+
+    def _worker_loop(self):
+        while True:
+            with self._wake:
+                job = None
+                while not self._draining:
+                    job = self.queue.claim()
+                    if job is not None:
+                        break
+                    self._wake.wait(_POLL_INTERVAL)
+                if job is None:
+                    return      # draining and nothing claimed
+            released = False
+            try:
+                result, finished = self._execute(job)
+                with self._wake:
+                    if finished:
+                        self.queue.mark_done(job.job_id, result)
+                    else:
+                        # Drained mid-job at a wave boundary.
+                        self.queue.release(job.job_id)
+                        released = True
+                    self._wake.notify_all()
+            except BaseException as error:    # noqa: BLE001 — a worker
+                # must survive anything a job throws (including
+                # injected faults) and convert it into retry state.
+                # Library errors are deterministic rejections (bad spec,
+                # identity mismatch): retrying them re-fails identically,
+                # so they park immediately instead of burning backoff.
+                with self._wake:
+                    self.queue.mark_failed(
+                        job.job_id, error,
+                        permanent=isinstance(error, ReproError))
+                    self._wake.notify_all()
+                if isinstance(error, (KeyboardInterrupt, SystemExit)):
+                    raise
+            if released and self._draining:
+                return
+
+    # -- job execution ------------------------------------------------------
+    def _execute(self, job):
+        """Run one claimed job; returns ``(result_dict, finished)``."""
+        fault_point("farm.job.start")
+        if job.spec["dataset"] not in PAPER_HYPERPARAMS:
+            raise FarmError(
+                f"unknown dataset {job.spec['dataset']!r}; want one of "
+                f"{sorted(PAPER_HYPERPARAMS)}")
+        models, dataset = self._models_for(job.spec["dataset"])
+        store_path = self.store_path(job.store)
+        with StoreLock(store_path, owner=f"farm-job:{job.job_id}"):
+            if job.spec["kind"] == "generate":
+                return self._run_generate(job, models, dataset,
+                                          store_path), True
+            return self._run_fuzz(job, models, dataset, store_path)
+
+    def _run_fuzz(self, job, models, dataset, store_path):
+        """Advance the store to the job's target rounds, wave by wave.
+
+        Waves run one at a time so the drain flag is honoured at wave
+        boundaries — exactly the granularity the store checkpoints at,
+        which is what lets a released job resume losslessly.
+        """
+        spec = job.spec
+        session = FuzzSession(
+            store_path, models, PAPER_HYPERPARAMS[spec["dataset"]],
+            constraint_for_dataset(dataset, kind=spec["constraint"]),
+            task=dataset.task, wave_size=spec["wave_size"],
+            workers=spec["workers"], shard_size=spec["shard_size"],
+            seed=spec["seed"],
+            rule=make_rule(spec["ascent"], beta=spec["beta"],
+                           overshoot=spec["overshoot"]),
+            dataset=dataset, initial_seed_count=spec["seeds"])
+        new_tests = 0
+        while session.completed_rounds < spec["rounds"]:
+            if self._draining:
+                return self._fuzz_result(session, new_tests), False
+            fault_point("farm.wave")
+            report = session.run(session.completed_rounds + 1)
+            new_tests += report.new_tests
+            if report.waves_run == 0:
+                break               # scheduler has no pending seeds
+        return self._fuzz_result(session, new_tests), True
+
+    @staticmethod
+    def _fuzz_result(session, new_tests):
+        return {"completed_rounds": session.completed_rounds,
+                "new_tests": int(new_tests),
+                "entries": len(session.store),
+                "mean_coverage": float(session.mean_coverage())}
+
+    def _run_generate(self, job, models, dataset, store_path):
+        """One deterministic generation pass absorbed into the store.
+
+        Trackers start empty so the pass is a pure function of the job
+        spec (see :mod:`repro.farm.jobs`); the commit OR-merges into
+        whatever coverage the store already holds.  Re-running after a
+        crash therefore reproduces the same entries (content-addressed
+        no-ops) and the same merged coverage.
+        """
+        spec = job.spec
+        hp = PAPER_HYPERPARAMS[spec["dataset"]]
+        store = CorpusStore(store_path)
+        store.bind_config(corpus_fingerprint(models, hp, dataset.task))
+        trackers = [NeuronCoverageTracker(m, threshold=hp.threshold)
+                    for m in models]
+        seeds, _ = dataset.sample_seeds(
+            min(spec["seeds"], dataset.x_test.shape[0]),
+            np.random.default_rng(spec["seed"] + 1))
+        campaign = Campaign(
+            models, hp, constraint_for_dataset(dataset,
+                                               kind=spec["constraint"]),
+            task=dataset.task, trackers=trackers, workers=spec["workers"],
+            shard_size=spec["shard_size"], seed=spec["seed"] + 2,
+            rule=make_rule(spec["ascent"], beta=spec["beta"],
+                           overshoot=spec["overshoot"]))
+        result = campaign.run(seeds)
+        seed_hashes = [store.add_entry(x, "seed", origin=int(i))[0]
+                       for i, x in enumerate(seeds)]
+        new_tests = 0
+        for test in result.tests:
+            _, added = store.add_entry(
+                test.x, "test", origin=seed_hashes[test.seed_index],
+                iterations=int(test.iterations),
+                predictions=np.asarray(test.predictions).tolist(),
+                seed_class=test.seed_class)
+            new_tests += int(added)
+        store.commit(coverage_states=store.merge_coverage(
+            {m.name: t.state_dict() for m, t in zip(models, trackers)}),
+            fuzz_state=store.fuzz_state())
+        return {"seeds_processed": int(result.seeds_processed),
+                "differences": int(result.difference_count),
+                "new_tests": new_tests,
+                "entries": len(store)}

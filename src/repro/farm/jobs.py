@@ -1,0 +1,136 @@
+"""Farm job specs: what a tenant asks the daemon to do.
+
+A job is a JSON-safe dict all the way down — it crosses the submit
+socket, lives in the queue journal, and comes back from ``repro
+status`` without ever holding a live object.  Two kinds:
+
+``fuzz``
+    Advance the named corpus store to ``rounds`` total completed waves
+    (a :class:`~repro.corpus.session.FuzzSession` target, not an
+    increment), drawing an initial ``seeds``-sized pool when the store
+    is fresh.  Resumable at wave granularity: a killed daemon re-runs
+    the job and the session continues from the store's checkpoint.
+
+``generate``
+    One deterministic DeepXplore generation pass: ``seeds`` inputs
+    sampled from the dataset, ascended by a campaign, results absorbed
+    into the store.  Trackers start empty on purpose — the pass is a
+    pure function of its spec, never of the store's current state, so
+    re-running a half-applied job converges (content-addressed entries
+    dedup, coverage OR-merges the same masks).
+
+The identity fields (``wave_size``, ``shard_size``, ``seed``,
+``ascent``, ``constraint``) mean exactly what they mean on the ``repro
+fuzz`` command line; ``workers`` is campaign fan-out inside the job and
+is throughput-only as everywhere else.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import asdict, dataclass, field
+
+from repro.errors import FarmError
+
+__all__ = ["Job", "JOB_KINDS", "JOB_STATUSES", "normalize_spec"]
+
+JOB_KINDS = ("fuzz", "generate")
+
+JOB_STATUSES = ("queued", "running", "done", "failed")
+
+#: Store names become directories under ``<root>/stores/``; keep them
+#: path-safe and unsurprising.
+_STORE_NAME = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]*$")
+
+#: Spec fields a submitter may set, with their defaults.  ``None``
+#: means required.
+_SPEC_FIELDS = {
+    "kind": "fuzz",
+    "store": None,
+    "dataset": "mnist",
+    "rounds": 2,
+    "seeds": 16,
+    "wave_size": 8,
+    "shard_size": 8,
+    "seed": 0,
+    "ascent": "vanilla",
+    "beta": None,
+    "overshoot": None,
+    "constraint": "default",
+    "workers": 1,
+}
+
+
+def normalize_spec(spec):
+    """Validate + default a submitted job spec; returns a clean dict.
+
+    Raises :class:`~repro.errors.FarmError` — which the server maps to
+    a one-line submit rejection — rather than letting a bad spec crash
+    a worker thread three retries deep.
+    """
+    if not isinstance(spec, dict):
+        raise FarmError(f"job spec must be a mapping, got {type(spec).__name__}")
+    unknown = set(spec) - set(_SPEC_FIELDS)
+    if unknown:
+        raise FarmError(f"unknown job spec field(s): {sorted(unknown)}")
+    clean = dict(_SPEC_FIELDS)
+    clean.update({k: v for k, v in spec.items() if v is not None})
+    if clean["store"] is None:
+        raise FarmError("job spec needs a store name")
+    if not _STORE_NAME.match(str(clean["store"])):
+        raise FarmError(
+            f"bad store name {clean['store']!r}; use letters, digits, "
+            "dot, dash, underscore")
+    if clean["kind"] not in JOB_KINDS:
+        raise FarmError(
+            f"unknown job kind {clean['kind']!r}; want one of {JOB_KINDS}")
+    for key in ("rounds", "seeds", "wave_size", "shard_size", "workers"):
+        try:
+            clean[key] = int(clean[key])
+        except (TypeError, ValueError):
+            raise FarmError(f"job {key} must be an integer, "
+                            f"got {clean[key]!r}") from None
+        if clean[key] < 1:
+            raise FarmError(f"job {key} must be >= 1, got {clean[key]}")
+    clean["seed"] = int(clean["seed"])
+    return clean
+
+
+@dataclass
+class Job:
+    """One queued/running/finished unit of farm work."""
+
+    job_id: str
+    spec: dict
+    status: str = "queued"
+    attempts: int = 0
+    not_before: float = 0.0     # wall-clock gate for retry backoff
+    submitted: float = 0.0
+    error: str = None
+    result: dict = field(default_factory=dict)
+
+    @property
+    def store(self):
+        return self.spec["store"]
+
+    def to_dict(self):
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, record):
+        return cls(**record)
+
+    def describe(self):
+        """One status line (the ``repro status`` table row)."""
+        extra = ""
+        if self.status == "failed" and self.error:
+            extra = f"  error: {self.error}"
+        elif self.status == "queued" and self.attempts:
+            extra = f"  retry #{self.attempts}"
+        elif self.status == "done" and self.result:
+            parts = [f"{k}={self.result[k]}" for k in
+                     ("completed_rounds", "new_tests", "entries")
+                     if k in self.result]
+            extra = "  " + " ".join(parts)
+        return (f"{self.job_id:<12} {self.spec['kind']:<9} "
+                f"{self.store:<16} {self.status:<8}{extra}")

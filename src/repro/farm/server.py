@@ -1,0 +1,166 @@
+"""JSON-lines TCP front door for a :class:`~repro.farm.daemon.FarmDaemon`.
+
+One request per connection: the client sends a single JSON object on
+one line, the server answers with one JSON line and closes.  Loopback
+only, ephemeral port; the bound endpoint is published atomically to
+``<root>/daemon.json`` so clients discover it by farm root, not by
+port number::
+
+    {"host": "127.0.0.1", "port": 40123, "pid": 12345}
+
+Commands: ``ping``, ``submit`` (spec → job record, or a typed
+rejection), ``status`` (all jobs or one ``job_id``), ``counts``, and
+``drain`` (graceful shutdown).  Errors travel as
+``{"ok": false, "error": ..., "kind": ...}`` with ``kind`` naming the
+error class so the client re-raises the right exception — saturation
+keeps its ``retry_after`` hint across the wire.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import socketserver
+import threading
+
+from repro.errors import FarmError, ReproError
+from repro.farm.locks import StoreLockedError
+from repro.farm.queue import QueueSaturatedError, UnknownJobError
+from repro.utils.atomicio import atomic_write_json
+
+__all__ = ["FarmServer", "ENDPOINT_NAME"]
+
+ENDPOINT_NAME = "daemon.json"
+
+_HOST = "127.0.0.1"
+
+
+def _error_response(error):
+    response = {"ok": False, "error": str(error)}
+    if isinstance(error, QueueSaturatedError):
+        response["kind"] = "saturated"
+        response["retry_after"] = error.retry_after
+    elif isinstance(error, StoreLockedError):
+        response["kind"] = "locked"
+    elif isinstance(error, UnknownJobError):
+        response["kind"] = "unknown-job"
+    else:
+        response["kind"] = "error"
+    return response
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self):
+        line = self.rfile.readline(1 << 20)
+        if not line:
+            return
+        try:
+            request = json.loads(line.decode("utf-8"))
+            response = self.server.dispatch(request)
+        except ReproError as error:
+            response = _error_response(error)
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            response = _error_response(FarmError(f"bad request: {error}"))
+        self.wfile.write((json.dumps(response) + "\n").encode("utf-8"))
+
+
+class FarmServer(socketserver.ThreadingTCPServer):
+    """Serve one daemon's control socket; publishes the endpoint file."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, daemon):
+        self.farm = daemon
+        self.endpoint_path = os.path.join(daemon.root, ENDPOINT_NAME)
+        self._drain_requested = threading.Event()
+        super().__init__((_HOST, 0), _Handler)
+        atomic_write_json(self.endpoint_path, {
+            "host": _HOST,
+            "port": self.server_address[1],
+            "pid": os.getpid(),
+        })
+
+    @property
+    def port(self):
+        return self.server_address[1]
+
+    def request_drain(self):
+        """Ask the serve loop to shut down gracefully (signal-safe)."""
+        self._drain_requested.set()
+
+    def dispatch(self, request):
+        cmd = request.get("cmd")
+        if cmd == "ping":
+            return {"ok": True, "pid": os.getpid(),
+                    "counts": self.farm.counts()}
+        if cmd == "submit":
+            job = self.farm.submit(request.get("spec") or {})
+            return {"ok": True, "job": job.to_dict()}
+        if cmd == "status":
+            if request.get("job_id") is not None:
+                return {"ok": True,
+                        "job": self.farm.status(request["job_id"])}
+            return {"ok": True, "jobs": self.farm.status()}
+        if cmd == "counts":
+            return {"ok": True, "counts": self.farm.counts()}
+        if cmd == "drain":
+            self._drain_requested.set()
+            return {"ok": True, "draining": True}
+        raise FarmError(f"unknown command {cmd!r}")
+
+    def serve_until_drained(self, poll=0.1):
+        """Run the accept loop until a ``drain`` command arrives, then
+        drain the daemon and clean up the endpoint file."""
+        thread = threading.Thread(target=self.serve_forever,
+                                  kwargs={"poll_interval": poll},
+                                  daemon=True)
+        thread.start()
+        try:
+            self._drain_requested.wait()
+        finally:
+            self.farm.drain()
+            self.shutdown()
+            thread.join()
+            self.close()
+
+    def close(self):
+        self.server_close()
+        try:
+            os.unlink(self.endpoint_path)
+        except FileNotFoundError:
+            pass
+
+
+def read_endpoint(root):
+    """Load ``<root>/daemon.json`` if it names a live process."""
+    path = os.path.join(os.path.abspath(root), ENDPOINT_NAME)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            endpoint = json.load(handle)
+    except (FileNotFoundError, json.JSONDecodeError, OSError):
+        return None
+    try:
+        os.kill(int(endpoint.get("pid", -1)), 0)
+    except (ProcessLookupError, TypeError, ValueError):
+        return None     # stale endpoint from a killed daemon
+    except PermissionError:
+        pass
+    return endpoint
+
+
+def connect(root, timeout=5.0):
+    """TCP-connect to the daemon serving ``root``; socket or FarmError."""
+    endpoint = read_endpoint(root)
+    if endpoint is None:
+        raise FarmError(
+            f"no farm daemon running at {root} "
+            "(start one with `repro serve --root ...`)")
+    try:
+        return socket.create_connection(
+            (endpoint["host"], endpoint["port"]), timeout=timeout)
+    except OSError as error:
+        raise FarmError(
+            f"farm daemon at {root} is not answering "
+            f"({endpoint['host']}:{endpoint['port']}: {error})") from None

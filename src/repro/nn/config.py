@@ -156,8 +156,10 @@ def network_from_payload(payload, dtype=None):
     Passing ``dtype`` converts the rebuilt network (e.g. a float64-trained
     model re-materialized at float32 for generation).
     """
+    from repro.nn.instrumentation import record_deserialization
     network = network_from_config(payload["config"], dtype=dtype)
     network.load_state_dict(payload["state"])
+    record_deserialization(network.name)
     return network
 
 

@@ -20,12 +20,16 @@ from __future__ import annotations
 
 from collections import Counter
 
-__all__ = ["PassCounter", "record_forward", "record_backward"]
+__all__ = ["PassCounter", "PayloadCounter", "record_forward",
+           "record_backward", "record_deserialization"]
 
 #: Currently installed counters (innermost last).  Module-level on
 #: purpose: counting must work without threading a counter object through
 #: every engine API.
 _ACTIVE = []
+
+#: Installed payload counters (see :class:`PayloadCounter`).
+_ACTIVE_PAYLOAD = []
 
 
 def record_forward(network, batch_size):
@@ -40,6 +44,17 @@ def record_backward(network, batch_size):
     for counter in _ACTIVE:
         counter._record(counter.backwards, counter.backward_samples,
                         network.name, batch_size)
+
+
+def record_deserialization(name):
+    """Notify payload counters that one model payload was rebuilt.
+
+    Called by :func:`repro.nn.config.network_from_payload` — the
+    weights-and-all reconstruction campaign/farm workers pay when their
+    per-worker cache misses.
+    """
+    for counter in _ACTIVE_PAYLOAD:
+        counter.deserializations[name] += 1
 
 
 class PassCounter:
@@ -86,3 +101,36 @@ class PassCounter:
     def __repr__(self):
         return (f"PassCounter(forwards={dict(self.forwards)}, "
                 f"backwards={dict(self.backwards)})")
+
+
+class PayloadCounter:
+    """Counts model-payload deserializations per network name.
+
+    The per-worker model caches (``repro.core.campaign``) exist so a
+    long-lived worker rebuilds each model from its pickled payload
+    exactly once; this counter is how tests pin that contract:
+
+    >>> with PayloadCounter() as counter:
+    ...     session.run(rounds)
+    >>> counter.total()            # == len(models), not waves * models
+    """
+
+    def __init__(self):
+        self.deserializations = Counter()
+
+    def total(self):
+        return int(sum(self.deserializations.values()))
+
+    def reset(self):
+        self.deserializations.clear()
+
+    def __enter__(self):
+        _ACTIVE_PAYLOAD.append(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        _ACTIVE_PAYLOAD.remove(self)
+        return False
+
+    def __repr__(self):
+        return f"PayloadCounter({dict(self.deserializations)})"

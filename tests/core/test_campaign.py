@@ -175,11 +175,13 @@ def test_shard_workers_start_from_driver_coverage(mnist_trio, mnist_smoke):
     assert prior.any()
     campaign = _campaign(mnist_trio, workers=1, trackers=trackers)
     shard = shard_corpus(seeds, shard_size=6, seed=17)[0]
+    tracker_states = [t.state_dict() for t in trackers]
     try:
-        campaign_mod._init_worker(campaign._spec())
-        outcome = campaign_mod._run_shard(shard)
+        campaign_mod._init_worker(campaign._static_spec())
+        outcome = campaign_mod._run_shard((tracker_states, shard))
     finally:
-        campaign_mod._WORKER_STATE.clear()
+        campaign_mod._LOCAL.static = None
+        campaign_mod._LOCAL.models = None
     covered = np.asarray(outcome["coverage"][0]["covered"], dtype=bool)
     assert (covered & prior).sum() == prior.sum()
 

@@ -1,0 +1,171 @@
+"""Per-worker model-payload caching: one deserialization per lifetime.
+
+The regression this file pins (ISSUE 8): campaign workers used to
+rebuild every model from its pickled payload once per wave — a
+multi-wave fuzz session paid ``waves x models`` deserializations
+instead of ``models``.  The fix routes every rebuild through the
+per-worker digest-keyed cache installed by ``_init_worker``, and
+:class:`repro.nn.instrumentation.PayloadCounter` is how we count the
+rebuilds that actually happen.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import (Campaign, LightingConstraint, PAPER_HYPERPARAMS,
+                        shard_corpus)
+from repro.core import campaign as campaign_mod
+from repro.corpus import FuzzSession
+from repro.errors import ConfigError
+from repro.nn.config import network_to_payload
+from repro.nn.instrumentation import PayloadCounter
+
+
+@pytest.fixture
+def fresh_cache():
+    """Empty this thread's model cache so rebuild counts start at zero."""
+    campaign_mod._LOCAL.model_cache = {}
+    yield
+    campaign_mod._LOCAL.model_cache = {}
+
+
+def _campaign(models, workers=1):
+    return Campaign(models, PAPER_HYPERPARAMS["mnist"],
+                    LightingConstraint(), workers=workers, shard_size=4,
+                    seed=17)
+
+
+def test_session_waves_deserialize_each_model_once(tmp_path, mnist_trio,
+                                                   mnist_smoke, fresh_cache):
+    """Three waves, workers=1: exactly one rebuild per model, not per
+    wave — the cache carries models across the session's campaigns."""
+    session = FuzzSession(tmp_path / "c", mnist_trio,
+                          PAPER_HYPERPARAMS["mnist"], LightingConstraint(),
+                          wave_size=8, workers=1, shard_size=4, seed=7,
+                          dataset=mnist_smoke, initial_seed_count=12)
+    with PayloadCounter() as counter:
+        report = session.run(3)
+    assert report.waves_run == 3
+    assert counter.total() == len(mnist_trio)
+    for model in mnist_trio:
+        assert counter.deserializations[model.name] == 1
+
+
+def test_second_campaign_run_hits_the_cache(mnist_trio, mnist_smoke,
+                                            fresh_cache):
+    seeds, _ = mnist_smoke.sample_seeds(8, np.random.default_rng(3))
+    campaign = _campaign(mnist_trio)
+    with PayloadCounter() as counter:
+        campaign.run(seeds)
+        first = counter.total()
+        campaign.run(seeds)
+        second = counter.total() - first
+    assert first == len(mnist_trio)
+    assert second == 0
+
+
+def test_weight_change_misses_the_cache(mnist_trio, mnist_smoke,
+                                        fresh_cache):
+    """The cache keys on payload *content*: an in-place weight change
+    must rebuild, never serve the stale model."""
+    seeds, _ = mnist_smoke.sample_seeds(4, np.random.default_rng(5))
+    campaign = _campaign(mnist_trio)
+    with PayloadCounter() as counter:
+        campaign.run(seeds)
+        assert counter.total() == len(mnist_trio)
+        state = mnist_trio[0].state_dict()
+        key = sorted(state)[0]
+        original = state[key].copy()
+        state[key] += 1e-3
+        mnist_trio[0].load_state_dict(state)
+        try:
+            campaign.run(seeds)
+        finally:
+            state[key] = original
+            mnist_trio[0].load_state_dict(state)
+    # Exactly one extra rebuild: the perturbed model, nothing else.
+    assert counter.total() == len(mnist_trio) + 1
+    assert counter.deserializations[mnist_trio[0].name] == 2
+
+
+def test_payload_digest_tracks_content(mnist_trio):
+    payload = network_to_payload(mnist_trio[0])
+    again = network_to_payload(mnist_trio[0])
+    assert campaign_mod.payload_digest(payload) == \
+        campaign_mod.payload_digest(again)
+    key = sorted(payload["state"])[0]
+    payload["state"][key] = payload["state"][key] + 1e-6
+    assert campaign_mod.payload_digest(payload) != \
+        campaign_mod.payload_digest(again)
+
+
+def test_pool_reuse_is_bit_identical(mnist_trio, mnist_smoke):
+    """A persistent CampaignPool is throughput-only: three runs through
+    one pool equal three runs through fresh per-run pools."""
+    seeds, _ = mnist_smoke.sample_seeds(12, np.random.default_rng(9))
+    pooled = _campaign(mnist_trio, workers=2)
+    fresh = _campaign(mnist_trio, workers=2)
+    with pooled.make_pool() as pool:
+        pooled_results = [pooled.run(seeds, pool=pool) for _ in range(2)]
+    fresh_results = [fresh.run(seeds) for _ in range(2)]
+    for rp, rf in zip(pooled_results, fresh_results):
+        assert [t.seed_index for t in rp.tests] == \
+            [t.seed_index for t in rf.tests]
+        for a, b in zip(rp.tests, rf.tests):
+            np.testing.assert_array_equal(a.x, b.x)
+    for tp, tf in zip(pooled.trackers, fresh.trackers):
+        np.testing.assert_array_equal(tp.covered, tf.covered)
+
+
+def test_pool_rejects_mismatched_campaign(mnist_trio, mnist_smoke):
+    seeds, _ = mnist_smoke.sample_seeds(4, np.random.default_rng(2))
+    campaign = _campaign(mnist_trio, workers=2)
+    other = Campaign(mnist_trio, PAPER_HYPERPARAMS["mnist"],
+                     LightingConstraint(), workers=2, shard_size=4,
+                     seed=17, absorb_exhausted=False)
+    with campaign.make_pool() as pool:
+        with pytest.raises(ConfigError):
+            other.run(seeds, pool=pool)
+    with pytest.raises(ConfigError):
+        campaign.run(seeds, pool=pool)   # closed pool
+    with pytest.raises(ConfigError):     # workers=1 needs no pool
+        campaign_mod.CampaignPool(campaign._static_spec(), workers=1)
+
+
+def _probe(_):
+    """Report (pid, payload rebuilds seen in this worker process)."""
+    from repro.nn import instrumentation
+    total = sum(c.total() for c in instrumentation._ACTIVE_PAYLOAD)
+    return (os.getpid(), total)
+
+
+@pytest.mark.skipif("fork" not in
+                    __import__("multiprocessing").get_all_start_methods(),
+                    reason="needs fork to inherit the installed counter")
+def test_pooled_workers_deserialize_once_per_lifetime(mnist_trio,
+                                                      mnist_smoke):
+    """The cross-process pin: after three waves through one pool, every
+    worker process has rebuilt each model exactly once (at initializer
+    time), never once per wave.  The counter is installed *before* the
+    fork, so each child inherits — and increments — its own copy, which
+    the probe reads back from inside the worker."""
+    seeds, _ = mnist_smoke.sample_seeds(12, np.random.default_rng(4))
+    campaign = Campaign(mnist_trio, PAPER_HYPERPARAMS["mnist"],
+                        LightingConstraint(), workers=2, shard_size=4,
+                        seed=17, mp_start_method="fork")
+    with PayloadCounter() as counter:
+        with campaign.make_pool() as pool:
+            for _ in range(3):
+                campaign.run(seeds, pool=pool)
+            probes = pool._pool.map(_probe, range(8), chunksize=1)
+    # Nothing was rebuilt in the parent (workers did all the work)...
+    assert counter.total() == 0
+    # ...and each worker rebuilt the trio once, not 3 waves x trio.
+    per_worker = dict(probes)
+    assert len(per_worker) >= 1
+    for pid, rebuilds in per_worker.items():
+        assert rebuilds == len(mnist_trio), (
+            f"worker {pid} rebuilt payloads {rebuilds} times; the "
+            f"per-worker cache should cap this at {len(mnist_trio)}")

@@ -1,0 +1,173 @@
+"""Property-based merge laws, with Hypothesis choosing the masks.
+
+``tests/coverage/test_merge.py`` pins the laws on hand-picked examples;
+here Hypothesis searches for counterexamples over arbitrary covered
+masks, merge orders, and shard partitions.  The laws under test are the
+exact ones sharded campaigns and the farm's multi-tenant stores rely on:
+
+* snapshot merging (:func:`merge_state_dicts`) is a semilattice join —
+  commutative, associative, idempotent, with the empty mask as identity;
+* :meth:`NeuronCoverageTracker.merge` over any permutation of shard
+  snapshots equals one tracker that saw the union;
+* :meth:`GenerationResult.merge` is permutation-invariant but — unlike
+  coverage — deliberately NOT idempotent: counters add, so folding the
+  same shard twice double-counts (the campaign never does).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import GeneratedTest, GenerationResult
+from repro.coverage import NeuronCoverageTracker, merge_state_dicts
+from repro.errors import CoverageError
+from repro.nn import Dense, Network
+
+N_NEURONS = 16
+
+
+def snapshot(covered, tracked=None, threshold=0.5, network="propnet",
+             total=N_NEURONS):
+    return {
+        "network": network,
+        "total_neurons": total,
+        "threshold": threshold,
+        "scaled": True,
+        "tracked": (np.ones(total, dtype=bool) if tracked is None
+                    else np.asarray(tracked, dtype=bool)),
+        "covered": np.asarray(covered, dtype=bool),
+    }
+
+
+masks = st.lists(st.booleans(), min_size=N_NEURONS,
+                 max_size=N_NEURONS).map(lambda bits: np.array(bits))
+
+
+@given(a=masks, b=masks)
+def test_snapshot_merge_is_commutative(a, b):
+    ab = merge_state_dicts(snapshot(a), snapshot(b))
+    ba = merge_state_dicts(snapshot(b), snapshot(a))
+    np.testing.assert_array_equal(ab["covered"], ba["covered"])
+
+
+@given(a=masks, b=masks, c=masks)
+def test_snapshot_merge_is_associative(a, b, c):
+    left = merge_state_dicts(merge_state_dicts(snapshot(a), snapshot(b)),
+                             snapshot(c))
+    right = merge_state_dicts(snapshot(a),
+                              merge_state_dicts(snapshot(b), snapshot(c)))
+    np.testing.assert_array_equal(left["covered"], right["covered"])
+
+
+@given(a=masks)
+def test_snapshot_merge_is_idempotent_with_empty_identity(a):
+    twice = merge_state_dicts(snapshot(a), snapshot(a))
+    np.testing.assert_array_equal(twice["covered"], a)
+    padded = merge_state_dicts(snapshot(a),
+                               snapshot(np.zeros(N_NEURONS, dtype=bool)))
+    np.testing.assert_array_equal(padded["covered"], a)
+
+
+@given(a=masks, b=masks)
+def test_snapshot_merge_does_not_mutate_inputs(a, b):
+    snap_a, snap_b = snapshot(a), snapshot(b)
+    merge_state_dicts(snap_a, snap_b)
+    np.testing.assert_array_equal(snap_a["covered"], a)
+    np.testing.assert_array_equal(snap_b["covered"], b)
+
+
+@given(a=masks)
+def test_incompatible_snapshots_never_merge(a):
+    for clash in (snapshot(a, network="othernet"),
+                  snapshot(a, threshold=0.25),
+                  snapshot(np.zeros(8, dtype=bool), total=8)):
+        with pytest.raises(CoverageError):
+            merge_state_dicts(snapshot(a), clash)
+
+
+@pytest.fixture(scope="module")
+def net():
+    rng = np.random.default_rng(0)
+    return Network([
+        Dense(4, 6, rng=rng, name="h1"),
+        Dense(6, 3, activation="softmax", rng=rng, name="out"),
+    ], input_shape=(4,), name="propnet")
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data(),
+       n_batches=st.integers(min_value=1, max_value=5),
+       seed=st.integers(min_value=0, max_value=2 ** 16))
+def test_sharded_tracker_merge_equals_union_in_any_order(
+        net, data, n_batches, seed):
+    """Per-shard trackers merged in a Hypothesis-chosen order must equal
+    one tracker that saw every batch — the serial/parallel equivalence
+    the campaign's shard fan-out depends on."""
+    rng = np.random.default_rng(seed)
+    batches = [rng.random((4, 4)) for _ in range(n_batches)]
+    order = data.draw(st.permutations(range(n_batches)))
+
+    whole = NeuronCoverageTracker(net, threshold=0.5)
+    parts = []
+    for x in batches:
+        whole.update(x)
+        part = NeuronCoverageTracker(net, threshold=0.5)
+        part.update(x)
+        parts.append(part)
+
+    merged = NeuronCoverageTracker(net, threshold=0.5)
+    for index in order:
+        merged.merge(parts[index])
+    np.testing.assert_array_equal(merged.covered, whole.covered)
+    assert merged.coverage() == whole.coverage()
+
+
+def _shard_results(counts):
+    """Fake per-shard GenerationResults with globally unique seed
+    indices, one test per seed (inputs encode the index for identity)."""
+    results, seed_index = [], 0
+    for count in counts:
+        tests = []
+        for _ in range(count):
+            tests.append(GeneratedTest(
+                x=np.full((2,), float(seed_index)), seed_index=seed_index,
+                iterations=1, predictions=np.zeros(2), seed_class=0,
+                elapsed=0.0))
+            seed_index += 1
+        results.append(GenerationResult(
+            tests=tests, seeds_processed=count, seeds_disagreed=0,
+            seeds_exhausted=0, elapsed=0.5))
+    return results
+
+
+@given(data=st.data(),
+       counts=st.lists(st.integers(min_value=0, max_value=4),
+                       min_size=1, max_size=6))
+def test_generation_result_merge_is_permutation_invariant(data, counts):
+    order = data.draw(st.permutations(range(len(counts))))
+
+    forward = GenerationResult()
+    for result in _shard_results(counts):
+        forward.merge(result)
+    shuffled = GenerationResult()
+    permuted = _shard_results(counts)
+    for index in order:
+        shuffled.merge(permuted[index])
+
+    assert [t.seed_index for t in shuffled.tests] \
+        == [t.seed_index for t in forward.tests] == sorted(
+            t.seed_index for t in forward.tests)
+    assert shuffled.seeds_processed == forward.seeds_processed == sum(counts)
+    assert shuffled.elapsed == pytest.approx(forward.elapsed)
+
+
+@given(count=st.integers(min_value=1, max_value=5))
+def test_generation_result_merge_is_not_idempotent(count):
+    """Counters ADD — folding the same shard twice double-counts.  This
+    is the law that forbids blind re-absorption of a replayed shard; the
+    store's content-addressed dedup, not result merging, is what makes
+    crash replays converge."""
+    first, second = _shard_results([count, count])
+    merged = GenerationResult().merge(first).merge(second)
+    assert merged.seeds_processed == 2 * count

@@ -1,0 +1,57 @@
+"""Farm test helpers: injected model sources and store comparison."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.corpus import CorpusStore
+
+
+def _assert_stores_identical(path_a, path_b):
+    """Bit-level equality of two corpus stores (same helper contract as
+    tests/corpus/test_session_resume.py)."""
+    a, b = CorpusStore(path_a), CorpusStore(path_b)
+    assert [dict(e) for e in a.entries()] == [dict(e) for e in b.entries()]
+    for entry in a.entries():
+        np.testing.assert_array_equal(a.load_input(entry["hash"]),
+                                      b.load_input(entry["hash"]))
+    cov_a, cov_b = a.coverage_states(), b.coverage_states()
+    assert set(cov_a) == set(cov_b)
+    for name in cov_a:
+        np.testing.assert_array_equal(cov_a[name]["covered"],
+                                      cov_b[name]["covered"])
+    assert a.fuzz_state() == b.fuzz_state()
+
+
+def _wait_for(predicate, timeout=120.0, poll=0.02):
+    """Poll ``predicate`` until truthy; returns its final value."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        value = predicate()
+        if value:
+            return value
+        time.sleep(poll)
+    return predicate()
+
+
+@pytest.fixture
+def assert_stores_identical():
+    return _assert_stores_identical
+
+
+@pytest.fixture
+def wait_for():
+    return _wait_for
+
+
+@pytest.fixture
+def model_source(mnist_trio, mnist_smoke):
+    """A daemon ``model_source`` serving the session-cached mnist trio —
+    farm tests never train."""
+    def source(dataset_name, scale, seed):
+        assert dataset_name == "mnist"
+        return mnist_trio, mnist_smoke
+    return source

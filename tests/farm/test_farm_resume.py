@@ -1,0 +1,168 @@
+"""The tentpole contract, end to end: ``kill -9`` a real ``repro
+serve`` daemon mid-wave / mid-checkpoint, restart it, and the resumed
+corpus is bit-identical to an uninterrupted run.
+
+Deterministic crashes use the ``REPRO_FAULTS`` env plan (the whole
+point of :mod:`repro.utils.faults`: the crash lands at the same
+instruction every run); one test also sends a real ``SIGKILL`` to pin
+that the injected ``os._exit(137)`` is a faithful stand-in.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.core import PAPER_HYPERPARAMS, constraint_for_dataset
+from repro.corpus import CorpusStore, FuzzSession
+from repro.farm import FarmClient
+from repro.utils.faults import KILL_EXIT_CODE
+
+SRC = os.path.abspath(os.path.join(os.path.dirname(__file__),
+                                   "..", "..", "src"))
+
+SPEC = {"store": "tenant", "kind": "fuzz", "rounds": 2, "seeds": 12,
+        "wave_size": 6, "shard_size": 4, "seed": 7}
+
+
+def start_daemon(root, faults=None):
+    """Launch ``repro serve`` on ``root`` as a real subprocess."""
+    env = dict(os.environ, PYTHONPATH=SRC)
+    env.pop("REPRO_FAULTS", None)
+    if faults:
+        env["REPRO_FAULTS"] = faults
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--root", str(root),
+         "--workers", "1"],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True)
+
+
+def wait_ready(root, proc, timeout=120.0):
+    """Block until the daemon answers ping (or it died at startup)."""
+    client = FarmClient(str(root), timeout=5)
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise AssertionError(
+                f"daemon exited {proc.returncode} before becoming ready:\n"
+                f"{proc.stdout.read()}")
+        try:
+            client.ping()
+            return client
+        except Exception:
+            time.sleep(0.05)
+    raise AssertionError("daemon never became ready")
+
+
+def reference_store(path, models, dataset, spec=SPEC):
+    """The uninterrupted run every crashed-and-resumed store must match."""
+    FuzzSession(str(path), models, PAPER_HYPERPARAMS["mnist"],
+                constraint_for_dataset(dataset, kind="default"),
+                task=dataset.task, wave_size=spec["wave_size"], workers=1,
+                shard_size=spec["shard_size"], seed=spec["seed"],
+                dataset=dataset,
+                initial_seed_count=spec["seeds"]).run(spec["rounds"])
+    return str(path)
+
+
+def resume_and_verify(root, spec, reference, assert_stores_identical,
+                      wait_timeout=300.0):
+    """Start a clean daemon over ``root``, let the auto-requeued job
+    finish, drain, and compare the store against ``reference``."""
+    proc = start_daemon(root)
+    try:
+        client = wait_ready(root, proc)
+        jobs = client.status()
+        assert len(jobs) == 1           # the interrupted job, re-queued
+        record = client.wait(jobs[0]["job_id"], timeout=wait_timeout)
+        assert record["status"] == "done"
+        assert record["result"]["completed_rounds"] == spec["rounds"]
+        client.drain()
+        assert proc.wait(timeout=60) == 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+    assert_stores_identical(os.path.join(str(root), "stores",
+                                         spec["store"]), reference)
+
+
+@pytest.fixture
+def reference(tmp_path, mnist_trio, mnist_smoke):
+    path = reference_store(tmp_path / "reference", mnist_trio, mnist_smoke)
+    # The crash tests below need enough new tests for their countdowns
+    # to fire mid-run; this pins the spec stays crash-worthy.
+    assert len(CorpusStore(path).entries(kind="test")) >= 3
+    return path
+
+
+def test_daemon_killed_mid_wave_resumes_bit_identically(
+        tmp_path, reference, assert_stores_identical):
+    """``corpus.add-test:3``: the daemon dies absorbing the 3rd new test
+    of the campaign — two tests persisted, the wave half-applied."""
+    root = tmp_path / "farm"
+    proc = start_daemon(root, faults="corpus.add-test:3")
+    try:
+        client = wait_ready(root, proc)
+        client.submit(SPEC)
+        assert proc.wait(timeout=300) == KILL_EXIT_CODE
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+    resume_and_verify(root, SPEC, reference, assert_stores_identical)
+
+
+def test_daemon_killed_mid_checkpoint_resumes_bit_identically(
+        tmp_path, reference, assert_stores_identical):
+    """``corpus.commit.mid:3``: the daemon dies inside a commit — wave
+    snapshots written, ``checkpoint.json`` not yet flipped — the
+    narrowest crash window the store's commit protocol defends."""
+    root = tmp_path / "farm"
+    proc = start_daemon(root, faults="corpus.commit.mid:3")
+    try:
+        client = wait_ready(root, proc)
+        client.submit(SPEC)
+        assert proc.wait(timeout=300) == KILL_EXIT_CODE
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+    resume_and_verify(root, SPEC, reference, assert_stores_identical)
+
+
+def test_daemon_sigkilled_for_real_resumes_to_completion(
+        tmp_path, mnist_trio, mnist_smoke, assert_stores_identical):
+    """A genuine ``kill -9`` (not injected) once the store shows real
+    progress; the restarted daemon finishes the job losslessly."""
+    spec = dict(SPEC, rounds=8)
+    root = tmp_path / "farm"
+    store_path = os.path.join(str(root), "stores", spec["store"])
+    proc = start_daemon(root)
+    try:
+        client = wait_ready(root, proc)
+        client.submit(spec)
+        deadline = time.monotonic() + 300
+        while time.monotonic() < deadline:
+            state = CorpusStore(store_path).fuzz_state() \
+                if os.path.isdir(store_path) else None
+            if state is not None and state["completed_rounds"] >= 1:
+                break
+            time.sleep(0.05)
+        else:
+            raise AssertionError("job never made progress")
+        os.kill(proc.pid, signal.SIGKILL)
+        assert proc.wait(timeout=60) == -signal.SIGKILL
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+    resume_and_verify(
+        root, spec,
+        reference_store(tmp_path / "reference", mnist_trio, mnist_smoke,
+                        spec),
+        assert_stores_identical)

@@ -1,0 +1,94 @@
+"""The fault-injection rig itself: plans, countdowns, kill semantics."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.utils import faults
+from repro.utils.faults import (InjectedFault, KILL_EXIT_CODE, fault_point,
+                                inject, reset_faults)
+
+
+@pytest.fixture(autouse=True)
+def _clean_plan(monkeypatch):
+    monkeypatch.delenv(faults.ENV_VAR, raising=False)
+    reset_faults()
+    yield
+    reset_faults()
+
+
+def test_unarmed_points_are_noops():
+    for _ in range(100):
+        fault_point("anything.at.all")
+
+
+def test_countdown_fires_on_nth_hit():
+    with inject("p", countdown=3) as arm:
+        fault_point("p")
+        fault_point("p")
+        assert arm["remaining"] == 1
+        with pytest.raises(InjectedFault):
+            fault_point("p")
+        assert arm["remaining"] == 0
+        fault_point("p")          # exhausted arms never fire again
+
+
+def test_points_are_independent():
+    with inject("a", countdown=1):
+        fault_point("b")          # different point: untouched
+        with pytest.raises(InjectedFault):
+            fault_point("a")
+
+
+def test_env_plan_parsing(monkeypatch):
+    monkeypatch.setenv(faults.ENV_VAR, "x.y:2:raise, z:1:raise")
+    reset_faults()
+    fault_point("x.y")
+    with pytest.raises(InjectedFault):
+        fault_point("z")
+    with pytest.raises(InjectedFault):
+        fault_point("x.y")
+
+
+@pytest.mark.parametrize("spec", [
+    "point",                      # no countdown
+    "p:1:explode",                # unknown action
+    "p:zero",                     # non-integer countdown
+    "p:0",                        # countdown below 1
+    "p:1:raise:extra",            # too many fields
+])
+def test_bad_plans_are_config_errors(monkeypatch, spec):
+    monkeypatch.setenv(faults.ENV_VAR, spec)
+    reset_faults()
+    with pytest.raises(ConfigError):
+        fault_point("p")
+
+
+def test_kill_action_exits_like_sigkill():
+    """A ``kill`` arm takes the process down with exit 137 and no
+    cleanup — verified in a child so this suite survives."""
+    code = (
+        "import atexit, sys\n"
+        "atexit.register(lambda: print('CLEANUP RAN'))\n"
+        "from repro.utils.faults import fault_point\n"
+        "fault_point('die.here')\n"
+        "print('SURVIVED')\n"
+    )
+    src = os.path.abspath(os.path.join(os.path.dirname(__file__),
+                                       "..", "..", "src"))
+    env = dict(os.environ, REPRO_FAULTS="die.here:1", PYTHONPATH=src)
+    result = subprocess.run([sys.executable, "-c", code], env=env,
+                            capture_output=True, text=True, timeout=60)
+    assert result.returncode == KILL_EXIT_CODE
+    assert "SURVIVED" not in result.stdout
+    assert "CLEANUP RAN" not in result.stdout
+
+
+def test_injected_fault_is_not_a_repro_error():
+    """Library error handling (one-line CLI errors, permanent job
+    failures) must never swallow an injected crash as handled."""
+    from repro.errors import ReproError
+    assert not issubclass(InjectedFault, ReproError)

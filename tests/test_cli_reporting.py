@@ -218,6 +218,90 @@ class TestCliCommands:
         assert "table7" in text
 
 
+class TestFarmCli:
+    """Farm command error paths: every rejection is exit 1 plus one
+    ``error:`` line — no tracebacks across the daemon socket."""
+
+    @pytest.fixture
+    def farm_root(self, tmp_path):
+        """A live farm server (capacity 1, workers never started, so
+        submitted jobs stay queued deterministically)."""
+        import threading
+
+        from repro.farm import FarmDaemon, FarmServer
+
+        def no_jobs_should_run(*_):
+            raise AssertionError("CLI error-path tests must not run jobs")
+
+        root = str(tmp_path / "root")
+        daemon = FarmDaemon(root, capacity=1,
+                            model_source=no_jobs_should_run)
+        server = FarmServer(daemon)
+        thread = threading.Thread(target=server.serve_forever,
+                                  kwargs={"poll_interval": 0.05},
+                                  daemon=True)
+        thread.start()
+        yield root
+        server.shutdown()
+        thread.join()
+        server.close()
+        daemon.drain(timeout=5)
+
+    @staticmethod
+    def one_error_line(capsys):
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and err.count("\n") == 1
+        return err
+
+    def test_submit_without_daemon(self, tmp_path, capsys):
+        assert main(["submit", "--root", str(tmp_path / "nowhere"),
+                     "--store", "s"]) == 1
+        err = self.one_error_line(capsys)
+        assert "no farm daemon running" in err
+        assert "repro serve" in err            # tells the user the fix
+
+    def test_status_without_daemon(self, tmp_path, capsys):
+        assert main(["status", "--root", str(tmp_path / "nowhere")]) == 1
+        assert "no farm daemon running" in self.one_error_line(capsys)
+
+    def test_submit_against_locked_store(self, farm_root, capsys):
+        """A store held by a live outside process is rejected at submit
+        time, before the job ever reaches the queue."""
+        import json
+        import os
+
+        store = os.path.join(farm_root, "stores", "captive")
+        os.makedirs(store)
+        with open(os.path.join(store, "LOCK"), "w",
+                  encoding="utf-8") as handle:
+            json.dump({"pid": 1, "owner": "init"}, handle)
+        assert main(["submit", "--root", farm_root,
+                     "--store", "captive"]) == 1
+        err = self.one_error_line(capsys)
+        assert "locked" in err and "pid 1" in err
+
+    def test_submit_saturated_queue_reports_retry_hint(self, farm_root,
+                                                       capsys):
+        assert main(["submit", "--root", farm_root, "--store", "a"]) == 0
+        assert "submitted job-000001" in capsys.readouterr().out
+        assert main(["submit", "--root", farm_root, "--store", "b"]) == 1
+        err = self.one_error_line(capsys)
+        assert "saturated" in err and "retry" in err
+
+    def test_status_unknown_job_id(self, farm_root, capsys):
+        assert main(["status", "--root", farm_root, "job-999999"]) == 1
+        assert "unknown job id 'job-999999'" in self.one_error_line(capsys)
+
+    def test_status_lists_queued_jobs(self, farm_root, capsys):
+        assert main(["status", "--root", farm_root]) == 0
+        assert "no jobs" in capsys.readouterr().out
+        assert main(["submit", "--root", farm_root, "--store", "a"]) == 0
+        capsys.readouterr()
+        assert main(["status", "--root", farm_root]) == 0
+        out = capsys.readouterr().out
+        assert "job-000001" in out and "queued" in out
+
+
 class TestReporting:
     def test_result_to_markdown(self):
         result = ExperimentResult(

@@ -6,8 +6,9 @@ Usage::
     python tools/bench_compare.py BASELINE.json CURRENT.json \
         [--max-regression 0.30]
 
-Records are matched by ``name``; every pair that carries a
-``seeds_per_sec`` value is compared, and the exit status is non-zero
+Records are matched by ``name``; every pair that carries a throughput
+value (``seeds_per_sec``, or ``jobs_per_sec`` for the farm daemon
+benchmarks) is compared, and the exit status is non-zero
 when any current record regresses by more than ``--max-regression``
 (a fraction: 0.30 means "30% slower than the baseline fails").
 
@@ -36,17 +37,25 @@ def load_records(path):
     return {r["name"]: r for r in records if "name" in r}
 
 
+#: Throughput metrics compared when both sides carry them.  The farm
+#: benchmarks report ``jobs_per_sec`` (daemon dispatch throughput) next
+#: to the engine/fuzz suites' ``seeds_per_sec``.
+THROUGHPUT_METRICS = ("seeds_per_sec", "jobs_per_sec")
+
+
 def compare(baseline, current, max_regression):
-    """Yield (name, base, cur, ratio, failed) rows for common records."""
+    """Yield (name, metric, base, cur, ratio, failed) rows for common
+    records, one row per throughput metric both sides report."""
     rows = []
     for name in sorted(set(baseline) & set(current)):
-        base = baseline[name].get("seeds_per_sec")
-        cur = current[name].get("seeds_per_sec")
-        if not base or cur is None:
-            continue
-        ratio = cur / base
-        rows.append((name, base, cur, ratio,
-                     ratio < 1.0 - max_regression))
+        for metric in THROUGHPUT_METRICS:
+            base = baseline[name].get(metric)
+            cur = current[name].get(metric)
+            if not base or cur is None:
+                continue
+            ratio = cur / base
+            rows.append((name, metric, base, cur, ratio,
+                         ratio < 1.0 - max_regression))
     return rows
 
 
@@ -92,12 +101,13 @@ def main(argv=None):
 
     width = max(len(name) for name, *_ in rows + rule_rows)
     failed = []
-    for name, base, cur, ratio, bad in rows:
+    for name, metric, base, cur, ratio, bad in rows:
         verdict = "FAIL" if bad else "ok"
-        print(f"{name:<{width}}  {base:>8.2f} -> {cur:>8.2f} seeds/s  "
+        unit = "jobs/s" if metric == "jobs_per_sec" else "seeds/s"
+        print(f"{name:<{width}}  {base:>8.2f} -> {cur:>8.2f} {unit}  "
               f"(x{ratio:.2f})  {verdict}")
         if bad:
-            failed.append(name)
+            failed.append(f"{name}.{metric}")
     for name, metric, base, cur, bad in rule_rows:
         verdict = "FAIL" if bad else "ok"
         print(f"{name:<{width}}  {base:>8.2f} -> {cur:>8.2f} "

@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""CI smoke check for the farm daemon: kill -9 mid-job, restart, finish.
+
+Boots a real ``repro serve`` daemon on a temp farm root, submits two
+concurrent jobs against separate tenant stores (one fuzz, one
+generate), SIGKILLs the daemon once the fuzz store shows committed
+progress, restarts it, and asserts both jobs run to ``done`` — the
+interrupted one resumed from its store checkpoint, the queue recovered
+from its journal.  This is the farm's crash contract (docs/FARM.md) at
+CLI-smoke scale; the deterministic fault-injection matrix lives in
+``tests/farm/``.
+
+Exit code 0 on success, non-zero with a summary on any failure.
+
+Usage:  PYTHONPATH=src python tools/farm_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+from repro.corpus import CorpusStore
+from repro.farm import FarmClient
+
+SRC = os.path.abspath(os.path.join(os.path.dirname(__file__),
+                                   os.pardir, "src"))
+
+FUZZ_SPEC = {"store": "tenant-a", "kind": "fuzz", "rounds": 4,
+             "seeds": 12, "wave_size": 6, "shard_size": 4, "seed": 7}
+GEN_SPEC = {"store": "tenant-b", "kind": "generate", "seeds": 8,
+            "shard_size": 4, "seed": 3}
+
+
+def start_daemon(root):
+    env = dict(os.environ, PYTHONPATH=SRC)
+    env.pop("REPRO_FAULTS", None)
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--root", root,
+         "--workers", "2"],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True)
+
+
+def wait_ready(root, proc, timeout=300.0):
+    client = FarmClient(root, timeout=5)
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise SystemExit(f"daemon exited {proc.returncode} before "
+                             f"ready:\n{proc.stdout.read()}")
+        try:
+            client.ping()
+            return client
+        except Exception:
+            time.sleep(0.1)
+    raise SystemExit("daemon never became ready")
+
+
+def wait_for_store_progress(store_path, timeout=420.0):
+    """Block until the fuzz store has committed at least one round
+    (the first run in CI also trains the smoke model trio here)."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if os.path.isdir(store_path):
+            state = CorpusStore(store_path).fuzz_state()
+            if state is not None and state["completed_rounds"] >= 1:
+                return state
+        time.sleep(0.1)
+    raise SystemExit("fuzz job never committed a round")
+
+
+def main():
+    with tempfile.TemporaryDirectory() as tmp:
+        root = os.path.join(tmp, "farm")
+
+        proc = start_daemon(root)
+        client = wait_ready(root, proc)
+        fuzz = client.submit(FUZZ_SPEC)
+        gen = client.submit(GEN_SPEC)
+        print(f"submitted {fuzz['job_id']} (fuzz -> tenant-a) and "
+              f"{gen['job_id']} (generate -> tenant-b)")
+
+        state = wait_for_store_progress(
+            os.path.join(root, "stores", "tenant-a"))
+        print(f"fuzz store at {state['completed_rounds']} committed "
+              f"round(s); sending SIGKILL to daemon pid {proc.pid}")
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.wait()
+
+        proc = start_daemon(root)
+        client = wait_ready(root, proc)
+        for job_id in (fuzz["job_id"], gen["job_id"]):
+            record = client.wait(job_id, timeout=420)
+            result = " ".join(f"{k}={v}" for k, v in
+                              sorted(record["result"].items()))
+            print(f"{job_id} done after restart: {result}")
+
+        counts = client.counts()
+        client.drain()
+        code = proc.wait(timeout=120)
+        if counts.get("done") != 2 or counts.get("failed"):
+            raise SystemExit(f"unexpected final job counts: {counts}")
+        if code != 0:
+            raise SystemExit(f"drained daemon exited {code}")
+        final = CorpusStore(
+            os.path.join(root, "stores", "tenant-a")).fuzz_state()
+        if final["completed_rounds"] != FUZZ_SPEC["rounds"]:
+            raise SystemExit(
+                f"fuzz store resumed to {final['completed_rounds']} "
+                f"round(s), wanted {FUZZ_SPEC['rounds']}")
+
+    print("farm smoke OK: daemon kill -9 + restart completed both jobs")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

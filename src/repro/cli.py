@@ -18,9 +18,14 @@ Commands
     Inspect (``info``), fold together (``merge``), or shrink
     (``distill``) corpus stores.
 ``serve`` / ``submit`` / ``status``
-    The fuzz farm: run the always-on campaign daemon over a farm root,
-    submit generate/fuzz jobs against its named tenant stores, and
-    inspect job state (see docs/FARM.md).
+    The fuzz farm: run the always-on campaign daemon over a farm root
+    (``--compact-every`` adds background compaction), submit
+    generate/fuzz/federate/compact jobs against its named tenant
+    stores, and inspect job state (see docs/FARM.md).
+``join`` / ``peers``
+    Federation (see docs/DISTRIBUTED.md): edit a farm root's persisted
+    peer list and show the live gossip from each peer.  ``generate
+    --peers HOST:PORT,...`` fans campaign shards across those daemons.
 ``experiment``
     Run one named experiment (table1..table12, figure8..figure10,
     pollution) and print its table.
@@ -109,6 +114,11 @@ def build_parser():
     gen.add_argument("--resume", action="store_true",
                      help="start from the coverage saved in --corpus "
                           "instead of from zero")
+    gen.add_argument("--peers", metavar="HOST:PORT,...",
+                     help="fan campaign shards across these farm "
+                          "daemons (campaign engine only; results are "
+                          "bit-identical to a local run, peers only "
+                          "add throughput)")
 
     fuzz = sub.add_parser(
         "fuzz", help="resumable coverage-guided fuzzing over a corpus")
@@ -179,6 +189,12 @@ def build_parser():
                        help="attempts per job before it parks as failed")
     serve.add_argument("--backoff", type=float, default=1.0,
                        help="base seconds for exponential retry backoff")
+    serve.add_argument("--compact-every", type=float, default=None,
+                       metavar="SECONDS",
+                       help="run a background compaction sweep this "
+                            "often: each sweep schedules a "
+                            "compact-distill job per tenant store with "
+                            "distillable tests (default: off)")
 
     submit = sub.add_parser(
         "submit", help="submit a job to a running farm daemon")
@@ -187,7 +203,21 @@ def build_parser():
     submit.add_argument("--store", required=True,
                         help="tenant corpus store name under the root")
     submit.add_argument("--kind", default="fuzz",
-                        choices=["fuzz", "generate"])
+                        choices=["fuzz", "generate", "federate",
+                                 "compact-merge", "compact-distill"])
+    submit.add_argument("--campaign", metavar="DIR", default=None,
+                        help="shared shard-ledger directory (federate "
+                             "jobs only; every participating host must "
+                             "reach it)")
+    submit.add_argument("--lease", type=float, default=None,
+                        metavar="SECONDS",
+                        help="how long a crashed host's shard claim "
+                             "blocks a steal (federate jobs only; "
+                             "default 60)")
+    submit.add_argument("--sources", default=None,
+                        metavar="STORE,STORE,...",
+                        help="tenant stores to fold into --store "
+                             "(compact-merge jobs only)")
     submit.add_argument("--dataset", default="mnist",
                         choices=dataset_names())
     submit.add_argument("--rounds", type=int, default=2,
@@ -215,6 +245,20 @@ def build_parser():
     status.add_argument("--root", required=True, metavar="DIR")
     status.add_argument("job_id", nargs="?",
                         help="show one job in detail")
+
+    join = sub.add_parser(
+        "join", help="add (or remove) a peer in a farm root's peer list")
+    join.add_argument("--root", required=True, metavar="DIR",
+                      help="farm root whose peers.json to edit (the "
+                           "daemon there gossips with these peers)")
+    join.add_argument("peer", metavar="HOST:PORT",
+                      help="the other daemon's control endpoint")
+    join.add_argument("--remove", action="store_true",
+                      help="remove the peer instead of adding it")
+
+    peers = sub.add_parser(
+        "peers", help="show a farm root's peer list with live gossip")
+    peers.add_argument("--root", required=True, metavar="DIR")
 
     exp = sub.add_parser("experiment", help="run one paper experiment")
     exp.add_argument("experiment_id", choices=sorted(EXPERIMENTS))
@@ -276,12 +320,34 @@ def _cmd_generate(args):
             for model, tracker in zip(models, trackers):
                 if model.name in persisted:
                     tracker.load_state_dict(persisted[model.name])
+    shard_runner = None
+    if args.peers:
+        if args.engine != "campaign":
+            print("error: --peers needs --engine campaign "
+                  "(shards are the unit of distribution)",
+                  file=sys.stderr)
+            return 2
+        from repro.dist import PeerShardRunner, parse_peer
+        shard_runner = PeerShardRunner(
+            [parse_peer(text) for text in args.peers.split(",")
+             if text.strip()],
+            args.dataset, constraint=args.constraint)
     engine = make_engine(
         args.engine, models, hp,
         constraint_for_dataset(dataset, kind=args.constraint),
         dataset.task, args.seed + 2, workers=args.workers,
         shard_size=args.shard_size, trackers=trackers, ascent=rule)
-    result = engine.run(seeds)
+    if shard_runner is not None:
+        result = engine.run(seeds, shard_runner=shard_runner)
+        remote = sum(1 for place in shard_runner.placements.values()
+                     if place != "local")
+        print(f"peers                : {remote}/"
+              f"{len(shard_runner.placements)} shards ran remotely")
+        for peer, error in sorted(shard_runner.failures.items()):
+            print(f"  peer {peer[0]}:{peer[1]} retired: {error}",
+                  file=sys.stderr)
+    else:
+        result = engine.run(seeds)
     if store is not None:
         seed_hashes = [store.add_entry(x, "seed", origin=int(i))[0]
                        for i, x in enumerate(seeds)]
@@ -405,7 +471,8 @@ def _cmd_serve(args):
                         capacity=args.capacity,
                         max_attempts=args.max_attempts,
                         backoff_base=args.backoff,
-                        scale=args.scale, seed=args.seed)
+                        scale=args.scale, seed=args.seed,
+                        compact_every=args.compact_every)
     daemon.start()
     server = FarmServer(daemon)
     print(f"farm daemon serving {daemon.root} on "
@@ -422,13 +489,22 @@ def _cmd_serve(args):
 def _cmd_submit(args):
     from repro.farm import FarmClient
     client = FarmClient(args.root)
-    job = client.submit({
+    spec = {
         "kind": args.kind, "store": args.store, "dataset": args.dataset,
         "rounds": args.rounds, "seeds": args.seeds,
         "wave_size": args.wave_size, "shard_size": args.shard_size,
         "seed": args.seed, "ascent": args.ascent,
         "constraint": args.constraint, "workers": args.workers,
-    })
+    }
+    if args.campaign is not None:
+        spec["campaign"] = args.campaign
+    if args.lease is not None:
+        spec["lease"] = args.lease
+    if args.sources is not None:
+        spec["sources"] = [name.strip()
+                           for name in args.sources.split(",")
+                           if name.strip()]
+    job = client.submit(spec)
     print(f"submitted {job['job_id']} ({args.kind} -> {args.store})")
     if args.wait:
         final = client.wait(job["job_id"], timeout=args.timeout)
@@ -457,6 +533,44 @@ def _cmd_status(args):
     return 0
 
 
+def _cmd_join(args):
+    from repro.dist import PeerList, parse_peer
+    host, port = parse_peer(args.peer)
+    peer_list = PeerList(args.root)
+    if args.remove:
+        removed = peer_list.remove(host, port)
+        print(f"{'removed' if removed else 'not a peer:'} {host}:{port}")
+        return 0 if removed else 1
+    if peer_list.add(host, port):
+        print(f"joined {host}:{port}")
+    else:
+        print(f"already a peer: {host}:{port}")
+    return 0
+
+
+def _cmd_peers(args):
+    from repro.dist import PeerList
+    from repro.farm import PeerClient
+    peer_list = PeerList(args.root)
+    peers = peer_list.peers()
+    if not peers:
+        print("no peers configured (add one with `repro join`)")
+        return 0
+    for host, port in peers:
+        try:
+            gossip = PeerClient(host, port, timeout=2.0).peers()["gossip"]
+        except ReproError as error:
+            print(f"{host}:{port:<6} unreachable ({error})")
+            continue
+        stores = gossip.get("stores", {})
+        store_bits = " ".join(
+            f"{name}[{info['entries']}e g{info['coverage_gen']}]"
+            for name, info in sorted(stores.items())) or "-"
+        print(f"{host}:{port:<6} queue={gossip.get('queue_depth', '?')} "
+              f"draining={gossip.get('draining')} stores: {store_bits}")
+    return 0
+
+
 def _cmd_experiment(args):
     result = EXPERIMENTS[args.experiment_id](scale=args.scale,
                                              seed=args.seed)
@@ -481,6 +595,8 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "submit": _cmd_submit,
     "status": _cmd_status,
+    "join": _cmd_join,
+    "peers": _cmd_peers,
     "experiment": _cmd_experiment,
     "report": _cmd_report,
 }

@@ -356,7 +356,28 @@ class Campaign:
         return CampaignPool(self._static_spec(), self.workers,
                             mp_start_method=self.mp_start_method)
 
-    def run(self, seeds, seed_scales=None, pool=None):
+    def execute_shard(self, tracker_states, shard):
+        """Run exactly one shard in-process through the worker code path.
+
+        The escape hatch the distribution layer (``repro.dist``) builds
+        on: this is the same ``_init_worker``/``_run_shard`` pair pool
+        workers execute, so a shard's outcome is bit-identical whether
+        it ran here, in a local pool worker, or on another host that
+        rebuilt the campaign from the same models and seed.  The static
+        spec (payload digests are not free) is computed once per
+        campaign and reused across calls.
+        """
+        spec = getattr(self, "_spec_cache", None)
+        if spec is None:
+            spec = self._spec_cache = self._static_spec()
+        try:
+            _init_worker(spec)
+            return _run_shard((tracker_states, shard))
+        finally:
+            _LOCAL.static = None
+            _LOCAL.models = None
+
+    def run(self, seeds, seed_scales=None, pool=None, shard_runner=None):
         """Shard ``seeds``, fan out, merge; returns a GenerationResult.
 
         ``result.elapsed`` is the campaign's wall-clock (not the sum of
@@ -368,6 +389,14 @@ class Campaign:
         :meth:`make_pool` on a campaign with the same static identity)
         instead of spinning one up per call — throughput only, never
         results.
+
+        ``shard_runner`` overrides shard *placement* entirely: a
+        callable ``(campaign, tracker_states, shards) -> outcomes``
+        returning one ``_run_shard``-shaped dict per shard, in any
+        order.  This is how the distribution layer fans shards across
+        hosts (``repro.dist.shards.LedgerShardRunner``, peer RPC) —
+        like ``pool``, it may only change where shards run, never what
+        they compute, because the merge below is order-independent.
         """
         if seed_scales is not None and not self.rule.accepts_seed_scales:
             raise ConfigError(
@@ -377,7 +406,9 @@ class Campaign:
         shards = shard_corpus(seeds, self.shard_size, seed=self.seed,
                               seed_scales=seed_scales)
         tracker_states = [t.state_dict() for t in self.trackers]
-        if pool is not None:
+        if shard_runner is not None:
+            outcomes = shard_runner(self, tracker_states, shards)
+        elif pool is not None:
             if pool.spec_digest != _static_spec_digest(self._static_spec()):
                 raise ConfigError(
                     "CampaignPool was built for a different campaign "

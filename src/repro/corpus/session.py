@@ -251,7 +251,7 @@ class FuzzSession:
                                 initial_seeds)
 
     # -- the wave loop ------------------------------------------------------
-    def run(self, rounds):
+    def run(self, rounds, shard_runner=None):
         """Advance the corpus to ``rounds`` total completed rounds.
 
         ``rounds`` is a *target*, not an increment: a fresh corpus runs
@@ -259,6 +259,12 @@ class FuzzSession:
         nothing; a corpus killed mid-way continues from its checkpoint.
         Stops early when the scheduler has no pending seeds.  Returns a
         :class:`FuzzReport`.
+
+        ``shard_runner`` overrides each wave campaign's shard placement
+        (see :meth:`Campaign.run`); the distribution layer passes a
+        ledger-backed runner here so federated hosts split a wave's
+        shards between them.  Placement only — results are identical
+        with or without one.
         """
         if rounds < 0:
             raise ConfigError(f"rounds must be >= 0, got {rounds}")
@@ -287,7 +293,8 @@ class FuzzSession:
                     shard_size=self.shard_size, seed=children[round_index],
                     rule=self.rule, absorb_exhausted=self.absorb_exhausted,
                     mp_start_method=self.mp_start_method)
-                if pool is None and self.workers > 1:
+                if pool is None and self.workers > 1 \
+                        and shard_runner is None:
                     pool = campaign.make_pool()
                 scales = None
                 if self.rule.accepts_seed_scales:
@@ -299,7 +306,8 @@ class FuzzSession:
                     scales = self.rule.scales_from_energy(
                         [self.scheduler.stats(h)["energy"] for h in wave])
                 result = campaign.run(self.store.load_inputs(wave),
-                                      seed_scales=scales, pool=pool)
+                                      seed_scales=scales, pool=pool,
+                                      shard_runner=shard_runner)
                 newly = sum(t.covered_count()
                             for t in self.trackers) - covered_before
                 novelty = newly / tracked_total if tracked_total else 0.0

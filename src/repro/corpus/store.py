@@ -53,9 +53,14 @@ from repro.errors import ConfigError
 from repro.utils.atomicio import atomic_write_bytes, atomic_write_json
 from repro.utils.faults import fault_point
 
-__all__ = ["CorpusStore", "CorpusEntry", "corpus_fingerprint", "input_hash"]
+__all__ = ["CorpusStore", "CorpusEntry", "corpus_fingerprint", "input_hash",
+           "coverage_to_bytes", "coverage_from_bytes"]
 
 STORE_VERSION = 1
+
+#: How many times :meth:`CorpusStore.snapshot` restarts when a racing
+#: commit garbage-collects a coverage generation out from under it.
+_SNAPSHOT_RETRIES = 5
 
 _SAFE_NAME = re.compile(r"[^A-Za-z0-9_.-]")
 
@@ -126,6 +131,21 @@ def _coverage_from_npz(path):
     return state
 
 
+def coverage_to_bytes(state):
+    """Serialize one tracker ``state_dict`` to portable ``.npz`` bytes.
+
+    The exact byte format committed snapshots use on disk, exposed so
+    the distribution layer (``repro.dist``) can ship coverage over the
+    wire without inventing a second encoding.
+    """
+    return _coverage_to_npz_bytes(state)
+
+
+def coverage_from_bytes(payload):
+    """Inverse of :func:`coverage_to_bytes`."""
+    return _coverage_from_npz(io.BytesIO(payload))
+
+
 class CorpusEntry(dict):
     """One corpus record (a dict with attribute sugar for common keys)."""
 
@@ -177,22 +197,34 @@ class CorpusStore:
         self._checkpoint = self._load_checkpoint()
 
     # -- loading ------------------------------------------------------------
-    def _load_meta(self):
+    def _read_meta_records(self):
+        """Parse ``meta.jsonl`` from disk into ``{hash: CorpusEntry}``.
+
+        The file content is captured in one read, so the result is a
+        point-in-time prefix of the append-only log even while another
+        process (or thread) is appending to it.  A truncated trailing
+        line (a crash or an in-flight append) is ignored — the entry's
+        ``.npy`` may exist but unreferenced files are harmless and
+        re-adding is idempotent.
+        """
+        records = {}
         if not os.path.exists(self.meta_path):
-            return
+            return records
         with open(self.meta_path, "r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError:
-                    # A crash mid-append can truncate the final line;
-                    # the entry's .npy may exist but unreferenced files
-                    # are harmless and re-adding is idempotent.
-                    continue
-                self._entries[record["hash"]] = CorpusEntry(record)
+            data = handle.read()
+        for line in data.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            records[record["hash"]] = CorpusEntry(record)
+        return records
+
+    def _load_meta(self):
+        self._entries.update(self._read_meta_records())
 
     def _load_checkpoint(self):
         if not os.path.exists(self.checkpoint_path):
@@ -365,6 +397,50 @@ class CorpusStore:
             "coverage_gen": self._checkpoint.get("coverage_gen", 0),
         })
 
+    # -- consistent reads ---------------------------------------------------
+    def snapshot(self):
+        """Crash-consistent point-in-time view of this store's disk state.
+
+        Everything is read from disk — never from this handle's caches —
+        so the snapshot observes entries and commits made by *other*
+        processes or threads since this handle was opened.  Ordering is
+        the consistency argument:
+
+        1. the checkpoint is captured first (one atomic file), pinning a
+           coverage generation;
+        2. the referenced ``.npz`` snapshots are loaded — if a racing
+           commit's GC deleted that generation mid-read, the whole read
+           restarts from a fresh checkpoint (bounded retries);
+        3. ``meta.jsonl`` is captured *after* the checkpoint, and the
+           log is append-only, so the entry list is always a superset of
+           what the captured coverage has seen — never missing an entry
+           the coverage refers to.
+
+        Returns ``{"config", "generation", "entries", "coverage",
+        "fuzz"}`` where ``entries`` is a list of plain record dicts.
+        """
+        last_error = None
+        for _ in range(_SNAPSHOT_RETRIES):
+            manifest = self._load_manifest()
+            checkpoint = self._load_checkpoint()
+            try:
+                coverage = {
+                    name: _coverage_from_npz(os.path.join(self.path, rel))
+                    for name, rel in checkpoint.get("coverage", {}).items()}
+            except FileNotFoundError as error:
+                last_error = error
+                continue
+            entries = list(self._read_meta_records().values())
+            return {"config": manifest.get("config"),
+                    "generation": int(checkpoint.get("coverage_gen", 0)),
+                    "entries": entries,
+                    "coverage": coverage,
+                    "fuzz": checkpoint.get("fuzz")}
+        raise ConfigError(
+            f"could not take a consistent snapshot of {self.path} after "
+            f"{_SNAPSHOT_RETRIES} attempts: a writer kept committing over "
+            f"the read ({last_error})")
+
     # -- store-level merge --------------------------------------------------
     def merge(self, other):
         """Fold another store (or store directory) into this one.
@@ -374,20 +450,26 @@ class CorpusStore:
         the PR-2 laws.  The other store's fuzz-session state is *not*
         imported — scheduling state only makes sense against the store
         that produced it.  Returns the number of entries added.
+
+        The source is read through :meth:`snapshot`, so merging from a
+        store that another process is actively fuzzing is safe: this
+        folds in a crash-consistent prefix of the source, and a later
+        merge picks up the rest (idempotent by content address).
         """
         if not isinstance(other, CorpusStore):
             other = CorpusStore(other, create=False)
-        if other.config is not None:
+        snap = other.snapshot()
+        if snap["config"] is not None:
             # Adopts the config when this store has none (fresh merge
             # destination); otherwise a mismatch is a ConfigError.
-            self.bind_config(other.config)
+            self.bind_config(snap["config"])
         # Validate + compute the merged coverage BEFORE copying any
         # entry: merge_coverage is pure and raises CoverageError on a
         # criterion/architecture mismatch, so an incompatible source
         # fails without polluting this store.
-        merged_coverage = self.merge_coverage(other.coverage_states())
+        merged_coverage = self.merge_coverage(snap["coverage"])
         added = 0
-        for entry in other.entries():
+        for entry in snap["entries"]:
             if entry["hash"] in self._entries:
                 # Content address already present — skip the .npy read
                 # and re-hash entirely (overlapping corpora are the

@@ -1,0 +1,37 @@
+"""Distributed campaign fabric: multi-host sync, shards, federation.
+
+Three layers, each useful alone (docs/DISTRIBUTED.md is the manual):
+
+* :mod:`repro.dist.sync` — corpus synchronisation between stores, over
+  a shared filesystem or the farm's TCP verbs.  A semilattice join:
+  idempotent, commutative, crash-safe.
+* :mod:`repro.dist.shards` — the work-stealing shard ledger.  Hosts
+  claim ``(campaign seed, shard)`` units by lock-protected CAS and
+  publish results as atomic files; any host can run any shard and the
+  merged campaign is bit-identical to a solo run.
+* :mod:`repro.dist.coordinator` — the federation surface: persisted
+  peer lists (``repro join`` / ``repro peers``), ledger-federated fuzz
+  sessions, and RPC shard fan-out for ``generate --peers``.
+
+Imports are kept lazy toward :mod:`repro.farm` (the daemon imports this
+package for its ``federate`` job kind, and the RPC paths import the
+farm client), so the two packages compose without an import cycle.
+"""
+
+from repro.dist.coordinator import (PEERS_NAME, FederatedSession,
+                                    PeerList, PeerShardRunner, parse_peer)
+from repro.dist.shards import (LedgerShardRunner, ShardLedger,
+                               decode_outcome, encode_outcome, round_key,
+                               shard_digest, shard_id)
+from repro.dist.sync import (LocalSource, RemoteSource, decode_array,
+                             decode_coverage, encode_array,
+                             encode_coverage, pull, push)
+
+__all__ = [
+    "PEERS_NAME", "FederatedSession", "PeerList", "PeerShardRunner",
+    "parse_peer",
+    "LedgerShardRunner", "ShardLedger", "decode_outcome",
+    "encode_outcome", "round_key", "shard_digest", "shard_id",
+    "LocalSource", "RemoteSource", "decode_array", "decode_coverage",
+    "encode_array", "encode_coverage", "pull", "push",
+]

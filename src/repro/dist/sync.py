@@ -1,0 +1,201 @@
+"""Corpus synchronisation between hosts: pull/push with semilattice merge.
+
+One protocol, two transports.  A *source* exposes exactly two reads —
+a crash-consistent manifest (config + entry records + coverage states)
+and per-entry input fetch — over either a shared filesystem
+(:class:`LocalSource`, built on :meth:`CorpusStore.snapshot`) or the
+farm daemon's JSON-over-TCP plumbing (:class:`RemoteSource`, the
+``store-*`` RPC verbs from ``repro.farm.server``).  :func:`pull` drains
+a source into a local store; :func:`push` is the write-side inverse,
+feeding a remote daemon's store through the same verbs.
+
+The whole protocol is a semilattice join, which is what makes it safe
+to run at any time, from any side, any number of times:
+
+* **idempotent** — entries are content-addressed (SHA-256), so a
+  re-transferred entry dedups to a no-op; coverage merges with
+  :func:`repro.coverage.merge_state_dicts` (OR), so replaying a
+  snapshot changes nothing.
+* **commutative** — A⊔B = B⊔A for both entries (set union, insertion
+  order only affects iteration order, never content addressing) and
+  coverage masks.
+* **crash-safe** — entries land via the store's atomic ``.npy`` +
+  append-only meta discipline *before* the coverage commit flips the
+  checkpoint; a sync killed anywhere leaves a valid store that the next
+  sync converges from.  The interesting crash addresses are armed as
+  ``REPRO_FAULTS`` points: ``dist.pull.entry`` (per entry transferred)
+  and ``dist.sync.mid`` (after entries, before the coverage commit).
+"""
+
+from __future__ import annotations
+
+import base64
+import io
+
+import numpy as np
+
+from repro.corpus.store import (CorpusStore, coverage_from_bytes,
+                                coverage_to_bytes)
+from repro.errors import FarmError
+from repro.utils.faults import fault_point
+
+__all__ = ["LocalSource", "RemoteSource", "pull", "push",
+           "encode_array", "decode_array", "encode_coverage",
+           "decode_coverage"]
+
+
+# -- wire encoding ----------------------------------------------------------
+# Arrays travel as base64 of their ``.npy`` serialization and coverage
+# states as base64 of the exact ``.npz`` bytes committed snapshots use
+# on disk — no second format to keep compatible, and both are
+# self-describing (shape + dtype ride along).
+
+def encode_array(x):
+    buffer = io.BytesIO()
+    np.save(buffer, np.asarray(x))
+    return base64.b64encode(buffer.getvalue()).decode("ascii")
+
+
+def decode_array(payload):
+    raw = base64.b64decode(payload.encode("ascii"))
+    return np.load(io.BytesIO(raw), allow_pickle=False)
+
+
+def encode_coverage(state):
+    return base64.b64encode(coverage_to_bytes(state)).decode("ascii")
+
+
+def decode_coverage(payload):
+    return coverage_from_bytes(base64.b64decode(payload.encode("ascii")))
+
+
+# -- sources ----------------------------------------------------------------
+class LocalSource:
+    """Shared-filesystem source: another store directory, possibly live.
+
+    Reads go through :meth:`CorpusStore.snapshot`, so pulling from a
+    store that another process is actively fuzzing yields a
+    crash-consistent prefix — never a torn checkpoint.
+    """
+
+    def __init__(self, path):
+        self.store = path if isinstance(path, CorpusStore) \
+            else CorpusStore(path, create=False)
+
+    def describe(self):
+        return self.store.path
+
+    def manifest(self):
+        snap = self.store.snapshot()
+        return {"config": snap["config"], "entries": snap["entries"],
+                "coverage": snap["coverage"]}
+
+    def fetch(self, entry_hash):
+        return self.store.load_input(entry_hash)
+
+
+class RemoteSource:
+    """TCP source: a named store behind a farm daemon's ``store-*`` verbs."""
+
+    def __init__(self, host, port, store, timeout=10.0):
+        from repro.farm.client import PeerClient
+        self.client = PeerClient(host, port, timeout=timeout)
+        self.store = str(store)
+
+    def describe(self):
+        return f"{self.client.host}:{self.client.port}/{self.store}"
+
+    def manifest(self):
+        reply = self.client.store_manifest(self.store)
+        return {"config": reply.get("config"),
+                "entries": reply.get("entries", []),
+                "coverage": {name: decode_coverage(payload)
+                             for name, payload
+                             in reply.get("coverage", {}).items()}}
+
+    def fetch(self, entry_hash):
+        return decode_array(
+            self.client.store_entry(self.store, entry_hash)["data"])
+
+
+def _as_source(source):
+    if isinstance(source, (LocalSource, RemoteSource)):
+        return source
+    if hasattr(source, "manifest") and hasattr(source, "fetch"):
+        return source
+    return LocalSource(source)
+
+
+# -- the protocol -----------------------------------------------------------
+def pull(dest, source):
+    """Pull everything ``source`` has that ``dest`` lacks; returns added.
+
+    Order is the crash-safety contract: durable entry writes first
+    (content-addressed, idempotent), then one atomic coverage commit.
+    A crash mid-pull leaves entries without their coverage — harmless,
+    the store's invariants hold — and re-pulling converges because the
+    already-present prefix dedups away.
+    """
+    if not isinstance(dest, CorpusStore):
+        dest = CorpusStore(dest)
+    source = _as_source(source)
+    manifest = source.manifest()
+    if manifest.get("config") is not None:
+        # Adopt when fresh, validate otherwise — syncing stores built
+        # against different model trios is a ConfigError, not a merge.
+        dest.bind_config(manifest["config"])
+    merged = dest.merge_coverage(manifest.get("coverage") or {})
+    added = 0
+    for entry in manifest.get("entries", []):
+        if entry["hash"] in dest:
+            continue
+        # Countdown N dies with N-1 entries transferred and no coverage
+        # commit — the partial-sync state the idempotence tests replay.
+        fault_point("dist.pull.entry")
+        x = source.fetch(entry["hash"])
+        meta = {k: v for k, v in entry.items() if k not in ("hash", "kind")}
+        got, was_new = dest.add_entry(x, entry["kind"], **meta)
+        if got != entry["hash"]:
+            raise FarmError(
+                f"entry {entry['hash'][:12]}… from {source.describe()} "
+                f"hashed to {got[:12]}… after transfer — corrupt source "
+                f"or wire")
+        added += int(was_new)
+    # Entries are durable; the coverage join is the commit point.
+    fault_point("dist.sync.mid")
+    dest.commit(coverage_states=merged, fuzz_state=dest.fuzz_state())
+    return added
+
+
+def push(source, host, port, store, timeout=10.0):
+    """Push a local store into a remote daemon's store; returns pushed.
+
+    The write-side mirror of :func:`pull`, for hosts that cannot be
+    dialed back (NAT, firewalled workers): per-entry ``store-push``
+    requests for everything the remote manifest lacks, then one
+    ``store-merge-coverage`` to join coverage.  Same laws, same fault
+    points, same convergence-by-replay story.
+    """
+    from repro.farm.client import PeerClient
+    if not isinstance(source, CorpusStore):
+        source = CorpusStore(source, create=False)
+    client = PeerClient(host, port, timeout=timeout)
+    snap = source.snapshot()
+    remote = client.store_manifest(store)
+    have = {entry["hash"] for entry in remote.get("entries", [])}
+    pushed = 0
+    for entry in snap["entries"]:
+        if entry["hash"] in have:
+            continue
+        fault_point("dist.pull.entry")
+        client.store_push(store, dict(entry),
+                          encode_array(source.load_input(entry["hash"])),
+                          config=snap["config"])
+        pushed += 1
+    fault_point("dist.sync.mid")
+    client.store_merge_coverage(
+        store,
+        {name: encode_coverage(state)
+         for name, state in snap["coverage"].items()},
+        config=snap["config"])
+    return pushed

@@ -14,12 +14,15 @@ Layered bottom-up (each layer unit-tested on its own in
     The worker-threaded daemon executing jobs over per-tenant corpus
     stores under one farm root.
 :mod:`repro.farm.server` / :mod:`repro.farm.client`
-    JSON-lines control socket (``repro serve | submit | status``).
+    JSON-lines control socket (``repro serve | submit | status``),
+    plus the federation verbs :mod:`repro.dist` speaks
+    (:class:`PeerClient`, gossip, corpus sync, remote shards).
 
-See docs/FARM.md for the operational story.
+See docs/FARM.md for the operational story and docs/DISTRIBUTED.md
+for the multi-host fabric built on top.
 """
 
-from repro.farm.client import FarmClient
+from repro.farm.client import FarmClient, PeerClient
 from repro.farm.daemon import FarmDaemon
 from repro.farm.jobs import JOB_KINDS, Job, normalize_spec
 from repro.farm.locks import StoreLock, StoreLockedError, lock_holder
@@ -34,6 +37,7 @@ __all__ = [
     "JOB_KINDS",
     "Job",
     "JobQueue",
+    "PeerClient",
     "QueueSaturatedError",
     "StoreLock",
     "StoreLockedError",

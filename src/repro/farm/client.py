@@ -1,8 +1,17 @@
-"""Client for a running farm daemon, addressed by farm root.
+"""Clients for a running farm daemon.
 
-The submit/status half of the control protocol (see
-:mod:`repro.farm.server`).  Typed rejections come back as the same
-exceptions the daemon raised locally — saturation as
+Two addressing modes over the same one-line JSON protocol (see
+:mod:`repro.farm.server`):
+
+* :class:`FarmClient` — addressed by *farm root*: reads the published
+  ``daemon.json`` endpoint, so local tooling never touches port
+  numbers.  The submit/status half of the control protocol.
+* :class:`PeerClient` — addressed by *host:port*: what federation
+  peers use for gossip, corpus sync, and remote shard execution, where
+  the other daemon's root directory is on a different machine.
+
+Typed rejections come back as the same exceptions the daemon raised
+locally — saturation as
 :class:`~repro.farm.queue.QueueSaturatedError` with its ``retry_after``
 hint intact, a locked store as
 :class:`~repro.farm.locks.StoreLockedError`-shaped
@@ -14,13 +23,43 @@ error reporting needs no special cases for remote vs local.
 from __future__ import annotations
 
 import json
+import socket
 import time
 
 from repro.errors import FarmError
 from repro.farm import server as farm_server
 from repro.farm.queue import QueueSaturatedError, UnknownJobError
 
-__all__ = ["FarmClient"]
+__all__ = ["FarmClient", "PeerClient"]
+
+
+def _roundtrip(sock, payload, where):
+    """One request/response exchange on an open socket."""
+    sock.sendall((json.dumps(payload) + "\n").encode("utf-8"))
+    with sock.makefile("rb") as handle:
+        line = handle.readline(farm_server._MAX_LINE)
+    if not line:
+        raise FarmError(
+            f"farm daemon at {where} closed the connection "
+            "without answering")
+    response = json.loads(line.decode("utf-8"))
+    if response.get("ok"):
+        return response
+    kind = response.get("kind")
+    message = response.get("error", "farm request failed")
+    # Re-raise the daemon's typed rejection with its original
+    # message (the wire carries the text, not the constructor args).
+    if kind == "saturated":
+        error = QueueSaturatedError.__new__(QueueSaturatedError)
+        error.retry_after = float(response.get("retry_after", 1.0))
+        error.capacity = 0
+        FarmError.__init__(error, message)
+        raise error
+    if kind == "unknown-job":
+        error = UnknownJobError.__new__(UnknownJobError)
+        FarmError.__init__(error, message)
+        raise error
+    raise FarmError(message)
 
 
 class FarmClient:
@@ -33,31 +72,12 @@ class FarmClient:
 
     def _request(self, payload):
         with farm_server.connect(self.root, timeout=self.timeout) as sock:
-            sock.sendall((json.dumps(payload) + "\n").encode("utf-8"))
-            with sock.makefile("rb") as handle:
-                line = handle.readline()
-        if not line:
-            raise FarmError(
-                f"farm daemon at {self.root} closed the connection "
-                "without answering")
-        response = json.loads(line.decode("utf-8"))
-        if response.get("ok"):
-            return response
-        kind = response.get("kind")
-        message = response.get("error", "farm request failed")
-        # Re-raise the daemon's typed rejection with its original
-        # message (the wire carries the text, not the constructor args).
-        if kind == "saturated":
-            error = QueueSaturatedError.__new__(QueueSaturatedError)
-            error.retry_after = float(response.get("retry_after", 1.0))
-            error.capacity = 0
-            FarmError.__init__(error, message)
-            raise error
-        if kind == "unknown-job":
-            error = UnknownJobError.__new__(UnknownJobError)
-            FarmError.__init__(error, message)
-            raise error
-        raise FarmError(message)
+            try:
+                return _roundtrip(sock, payload, self.root)
+            except OSError as error:
+                raise FarmError(
+                    f"farm daemon at {self.root} dropped the "
+                    f"connection mid-request ({error})") from None
 
     def ping(self):
         return self._request({"cmd": "ping"})
@@ -76,6 +96,10 @@ class FarmClient:
 
     def drain(self):
         return self._request({"cmd": "drain"})
+
+    def peers(self):
+        """This daemon's own gossip plus its cached view of its peers."""
+        return self._request({"cmd": "peers"})
 
     def wait(self, job_id, timeout=120.0, poll=0.2):
         """Block until a job finishes; returns its final record.
@@ -96,3 +120,65 @@ class FarmClient:
                     f"timed out after {timeout:.0f}s waiting for "
                     f"{job_id} (status: {job['status']})")
             time.sleep(poll)
+
+
+class PeerClient:
+    """Host:port-addressed client for the federation verbs.
+
+    The transport behind :class:`~repro.dist.sync.RemoteSource`,
+    ``repro.dist.sync.push``, daemon gossip, and
+    :class:`~repro.dist.coordinator.PeerShardRunner`.  Same
+    one-connection-per-request protocol and typed errors as
+    :class:`FarmClient`; only the addressing differs.
+    """
+
+    def __init__(self, host, port, timeout=10.0):
+        self.host = str(host)
+        self.port = int(port)
+        self.timeout = float(timeout)
+
+    def _request(self, payload):
+        where = f"{self.host}:{self.port}"
+        try:
+            sock = socket.create_connection((self.host, self.port),
+                                            timeout=self.timeout)
+        except OSError as error:
+            raise FarmError(
+                f"peer {where} is not answering ({error})") from None
+        # A reset/timeout mid-request must surface as the same typed
+        # error as a refused connection: every consumer (peer gossip,
+        # sync, shard fan-out) treats FarmError as "this peer failed",
+        # and a raw OSError would crash them instead.
+        with sock:
+            try:
+                return _roundtrip(sock, payload, where)
+            except OSError as error:
+                raise FarmError(
+                    f"peer {where} dropped the connection "
+                    f"mid-request ({error})") from None
+
+    def ping(self):
+        return self._request({"cmd": "ping"})
+
+    def peers(self):
+        return self._request({"cmd": "peers"})
+
+    def store_manifest(self, store):
+        return self._request({"cmd": "store-manifest", "store": store})
+
+    def store_entry(self, store, entry_hash):
+        return self._request({"cmd": "store-entry", "store": store,
+                              "hash": entry_hash})
+
+    def store_push(self, store, entry, data, config=None):
+        return self._request({"cmd": "store-push", "store": store,
+                              "entry": entry, "data": data,
+                              "config": config})
+
+    def store_merge_coverage(self, store, coverage, config=None):
+        return self._request({"cmd": "store-merge-coverage",
+                              "store": store, "coverage": coverage,
+                              "config": config})
+
+    def run_shard(self, request):
+        return self._request({"cmd": "run-shard", **request})

@@ -26,11 +26,22 @@ the resumed store converges bit-identically to an uninterrupted run.
 Graceful drain: :meth:`drain` stops workers at the next *wave
 boundary*; the interrupted job is released back to queued (not a
 failure, no attempt burned) with its progress in the store checkpoint.
+
+Beyond the job queue, a daemon is also a *federation peer* (see
+``repro.dist`` and docs/DISTRIBUTED.md): it answers gossip (``peers``)
+and store-sync verbs (``store-manifest`` / ``store-entry`` /
+``store-push`` / ``store-merge-coverage``), executes single campaign
+shards for remote drivers (``run-shard``), runs ledger-federated fuzz
+jobs (kind ``federate``), and — when started with ``compact_every`` —
+keeps its tenant stores bounded by scheduling ``compact-distill`` jobs
+in the background.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import socket
 import threading
 import time
 
@@ -82,11 +93,16 @@ class FarmDaemon:
         ``f(dataset_name, scale, seed) -> (models, dataset)`` override;
         tests inject session-scoped fixtures here so the daemon never
         trains.
+    compact_every:
+        Seconds between background compaction sweeps (``None``
+        disables).  Each sweep submits a ``compact-distill`` job per
+        tenant store that has grown since its last distillation, so an
+        unattended farm root stays bounded without an operator.
     """
 
     def __init__(self, root, workers=2, capacity=8, max_attempts=3,
                  backoff_base=1.0, scale="smoke", seed=0,
-                 model_source=None):
+                 model_source=None, compact_every=None):
         if workers < 1:
             raise FarmError(f"workers must be >= 1, got {workers}")
         self.root = os.path.abspath(root)
@@ -101,6 +117,21 @@ class FarmDaemon:
         self._wake = threading.Condition(self._lock)
         self._draining = False
         self._threads = []
+        self._housekeeper = None
+        self.compact_every = (None if compact_every is None
+                              else float(compact_every))
+        if self.compact_every is not None and self.compact_every <= 0:
+            raise FarmError(
+                f"compact_every must be > 0, got {self.compact_every}")
+        #: Per-store thread mutexes.  Jobs hold their store's guard for
+        #: their whole run; sync verbs try-acquire it and fail fast with
+        #: a retryable error instead of blocking a server thread behind
+        #: a minutes-long job.  (StoreLock can't arbitrate this: it is
+        #: pid-keyed, and all daemon threads share one pid.)
+        self._store_guards = {}
+        #: Latest gossip heard from each configured peer (the ``peers``
+        #: verb returns it alongside our own).
+        self._peer_state = {}
         self._daemon_lock = StoreLock(self.root,
                                       owner=f"farm-daemon:{os.getpid()}")
         self._daemon_lock.acquire()
@@ -111,6 +142,20 @@ class FarmDaemon:
     # -- store plumbing -----------------------------------------------------
     def store_path(self, name):
         return os.path.join(self.stores_dir, name)
+
+    def store_names(self):
+        """Tenant store directories that exist right now, sorted."""
+        try:
+            return sorted(
+                name for name in os.listdir(self.stores_dir)
+                if os.path.isdir(self.store_path(name)))
+        except FileNotFoundError:
+            return []
+
+    def _store_guard(self, name):
+        with self._lock:
+            return self._store_guards.setdefault(str(name),
+                                                 threading.Lock())
 
     def _models_for(self, dataset_name):
         """Model trio + dataset for a job, cached for the daemon's life."""
@@ -151,13 +196,18 @@ class FarmDaemon:
 
     # -- worker pool --------------------------------------------------------
     def start(self):
-        """Spawn the worker threads; returns self."""
+        """Spawn the worker threads (and housekeeper); returns self."""
         for index in range(self.workers):
             thread = threading.Thread(target=self._worker_loop,
                                       name=f"farm-worker-{index}",
                                       daemon=True)
             thread.start()
             self._threads.append(thread)
+        if self.compact_every is not None:
+            self._housekeeper = threading.Thread(
+                target=self._housekeeping_loop, name="farm-housekeeper",
+                daemon=True)
+            self._housekeeper.start()
         return self
 
     def drain(self, timeout=None):
@@ -171,10 +221,16 @@ class FarmDaemon:
             self._draining = True
             self._wake.notify_all()
         deadline = None if timeout is None else time.monotonic() + timeout
-        for thread in self._threads:
+        joinable = list(self._threads)
+        if self._housekeeper is not None:
+            joinable.append(self._housekeeper)
+        for thread in joinable:
             remaining = None if deadline is None \
                 else max(0.0, deadline - time.monotonic())
             thread.join(remaining)
+        if self._housekeeper is not None \
+                and not self._housekeeper.is_alive():
+            self._housekeeper = None
         self._threads = [t for t in self._threads if t.is_alive()]
         if not self._threads:
             self._daemon_lock.release()
@@ -226,24 +282,59 @@ class FarmDaemon:
     def _execute(self, job):
         """Run one claimed job; returns ``(result_dict, finished)``."""
         fault_point("farm.job.start")
-        if job.spec["dataset"] not in PAPER_HYPERPARAMS:
-            raise FarmError(
-                f"unknown dataset {job.spec['dataset']!r}; want one of "
-                f"{sorted(PAPER_HYPERPARAMS)}")
-        models, dataset = self._models_for(job.spec["dataset"])
-        store_path = self.store_path(job.store)
-        with StoreLock(store_path, owner=f"farm-job:{job.job_id}"):
-            if job.spec["kind"] == "generate":
-                return self._run_generate(job, models, dataset,
-                                          store_path), True
-            return self._run_fuzz(job, models, dataset, store_path)
+        guard = self._store_guard(job.store)
+        # The guard (thread mutex) keeps this daemon's sync verbs off
+        # the store while the job runs; the StoreLock (pid-keyed file)
+        # keeps other *processes* off it.  Both are released on any
+        # exit, so a failed job never wedges the store.
+        with guard:
+            store_path = self.store_path(job.store)
+            if job.spec["kind"] == "compact-merge":
+                # Pure store-to-store work: no models, no dataset.
+                with StoreLock(store_path,
+                               owner=f"farm-job:{job.job_id}"):
+                    return self._run_compact_merge(job, store_path), True
+            if job.spec["dataset"] not in PAPER_HYPERPARAMS:
+                raise FarmError(
+                    f"unknown dataset {job.spec['dataset']!r}; want one "
+                    f"of {sorted(PAPER_HYPERPARAMS)}")
+            models, dataset = self._models_for(job.spec["dataset"])
+            with StoreLock(store_path, owner=f"farm-job:{job.job_id}"):
+                if job.spec["kind"] == "generate":
+                    return self._run_generate(job, models, dataset,
+                                              store_path), True
+                if job.spec["kind"] == "compact-distill":
+                    return self._run_compact_distill(
+                        job, models, dataset, store_path), True
+                if job.spec["kind"] == "federate":
+                    return self._run_fuzz(job, models, dataset,
+                                          store_path,
+                                          shard_runner=self._federate_runner(
+                                              job))
+                return self._run_fuzz(job, models, dataset, store_path)
 
-    def _run_fuzz(self, job, models, dataset, store_path):
+    @staticmethod
+    def _federate_runner(job):
+        """Ledger runner for a federate job's shared campaign dir."""
+        # Imported lazily: repro.dist imports the farm client for its
+        # RPC transports, so a top-level import here would be a cycle.
+        from repro.dist.shards import DEFAULT_LEASE, LedgerShardRunner
+        lease = job.spec.get("lease")
+        return LedgerShardRunner(job.spec["campaign"],
+                                 host=f"{socket.gethostname()}"
+                                      f"/{job.job_id}",
+                                 lease=(DEFAULT_LEASE if lease is None
+                                        else float(lease)))
+
+    def _run_fuzz(self, job, models, dataset, store_path,
+                  shard_runner=None):
         """Advance the store to the job's target rounds, wave by wave.
 
         Waves run one at a time so the drain flag is honoured at wave
         boundaries — exactly the granularity the store checkpoints at,
-        which is what lets a released job resume losslessly.
+        which is what lets a released job resume losslessly.  A
+        ``federate`` job is this same loop with a ledger-backed
+        ``shard_runner`` splitting each wave across hosts.
         """
         spec = job.spec
         session = FuzzSession(
@@ -260,7 +351,8 @@ class FarmDaemon:
             if self._draining:
                 return self._fuzz_result(session, new_tests), False
             fault_point("farm.wave")
-            report = session.run(session.completed_rounds + 1)
+            report = session.run(session.completed_rounds + 1,
+                                 shard_runner=shard_runner)
             new_tests += report.new_tests
             if report.waves_run == 0:
                 break               # scheduler has no pending seeds
@@ -316,3 +408,327 @@ class FarmDaemon:
                 "differences": int(result.difference_count),
                 "new_tests": new_tests,
                 "entries": len(store)}
+
+    # -- background compaction ----------------------------------------------
+    def _run_compact_merge(self, job, store_path):
+        """Fold the spec's source stores into the (archive) destination.
+
+        Sources are read through :meth:`CorpusStore.snapshot`, so they
+        may be mid-fuzz under another job or another daemon — the merge
+        takes a crash-consistent prefix and a later sweep picks up the
+        rest.  Only the destination is locked.
+        """
+        dest = CorpusStore(store_path)
+        added, merged = 0, 0
+        for name in job.spec["sources"]:
+            source_path = self.store_path(name)
+            if not os.path.isdir(source_path):
+                raise FarmError(
+                    f"compact-merge source store {name!r} does not exist")
+            added += dest.merge(source_path)
+            merged += 1
+        return {"merged_sources": merged, "new_entries": added,
+                "entries": len(dest)}
+
+    def _run_compact_distill(self, job, models, dataset, store_path):
+        """Shrink a store to a coverage-preserving regression suite.
+
+        The store-level half of :meth:`FuzzSession.distill` without
+        requiring the session's deterministic identity: distill the
+        test entries, then prune any committed fuzz scheduler of the
+        dropped hashes and commit, so a later resumed session never
+        schedules an entry that no longer exists.
+        """
+        spec = job.spec
+        hp = PAPER_HYPERPARAMS[spec["dataset"]]
+        store = CorpusStore(store_path, create=False)
+        threshold = (store.config or {}).get("threshold", hp.threshold)
+        store.bind_config(corpus_fingerprint(models, hp, dataset.task))
+        kept, dropped = store.distill(models, threshold=float(threshold))
+        state = store.fuzz_state()
+        if state and state.get("scheduler"):
+            remaining = {entry["hash"] for entry in store.entries()}
+            state["scheduler"]["entries"] = [
+                record for record in state["scheduler"]["entries"]
+                if record["hash"] in remaining]
+            store.commit(fuzz_state=state)
+        return {"kept_tests": int(kept), "dropped": int(dropped),
+                "entries": len(store)}
+
+    def _housekeeping_loop(self):
+        """Periodic background sweeps: compaction + peer gossip refresh."""
+        while True:
+            with self._wake:
+                self._wake.wait(self.compact_every)
+                if self._draining:
+                    return
+            try:
+                self._compact_sweep()
+            except Exception:       # noqa: BLE001 — a sweep must never
+                pass                # kill the housekeeper; next tick retries
+            try:
+                self.poll_peers()
+            except Exception:       # noqa: BLE001
+                pass
+
+    def _dataset_for_store(self, name):
+        """Infer which dataset a tenant store was built against.
+
+        The store's config fingerprint records its model trio; the trio
+        registry maps straight back to the dataset.  ``None`` when the
+        store has no config yet (nothing committed) or the models are
+        not a registry trio.
+        """
+        try:
+            config = CorpusStore(self.store_path(name),
+                                 create=False).config
+        except ReproError:
+            return None
+        if not config:
+            return None
+        from repro.models import TRIOS
+        for dataset_name, trio in TRIOS.items():
+            if list(trio) == list(config.get("models", [])):
+                return dataset_name
+        return None
+
+    def _compact_sweep(self):
+        """Submit one ``compact-distill`` per distillable tenant store.
+
+        Skips stores that already have a compaction queued or running,
+        stores another job is using, and stores whose dataset cannot be
+        inferred; queue saturation just means this sweep waits for the
+        next tick.  Returns the job ids it submitted.
+        """
+        with self._lock:
+            busy = self.queue.active_stores()
+            pending = {job.store for job in self.queue.jobs()
+                       if job.status in ("queued", "running")
+                       and job.spec["kind"].startswith("compact")}
+        submitted = []
+        for name in self.store_names():
+            if name in busy or name in pending:
+                continue
+            try:
+                store = CorpusStore(self.store_path(name), create=False)
+            except ReproError:
+                continue
+            if not store.entries(kind="test"):
+                continue            # nothing distillable yet
+            dataset_name = self._dataset_for_store(name)
+            if dataset_name is None or dataset_name not in \
+                    PAPER_HYPERPARAMS:
+                continue
+            try:
+                job = self.submit({"kind": "compact-distill",
+                                   "store": name,
+                                   "dataset": dataset_name})
+            except FarmError:
+                continue            # saturated or locked: next tick
+            submitted.append(job.job_id)
+        return submitted
+
+    # -- federation surface (the dist-layer RPC verbs) -----------------------
+    def gossip(self):
+        """What this daemon tells its peers: load + store generations."""
+        stores = {}
+        for name in self.store_names():
+            manifest_path = os.path.join(self.store_path(name),
+                                         "MANIFEST.json")
+            try:
+                with open(manifest_path, "r", encoding="utf-8") as handle:
+                    manifest = json.load(handle)
+            except (FileNotFoundError, ValueError):
+                continue
+            stores[name] = {
+                "entries": int(manifest.get("entries", 0)),
+                "coverage_gen": int(manifest.get("coverage_gen", 0))}
+        counts = self.counts()
+        from repro.dist.coordinator import PeerList
+        return {"root": self.root,
+                "pid": os.getpid(),
+                "draining": bool(self._draining),
+                "counts": counts,
+                "queue_depth": counts["queued"] + counts["running"],
+                "stores": stores,
+                "peers": [f"{host}:{port}" for host, port
+                          in PeerList(self.root).peers()]}
+
+    def poll_peers(self):
+        """Refresh gossip from every configured peer; returns the map.
+
+        Unreachable peers record their error string instead of gossip —
+        the federation tolerates them by design, so this never raises.
+        """
+        from repro.dist.coordinator import PeerList
+        from repro.farm.client import PeerClient
+        state = {}
+        for host, port in PeerList(self.root).peers():
+            key = f"{host}:{port}"
+            try:
+                reply = PeerClient(host, port, timeout=2.0).peers()
+                state[key] = {"ok": True, "gossip": reply["gossip"]}
+            except Exception as error:      # noqa: BLE001 — down peers
+                state[key] = {"ok": False, "error": str(error)}
+        with self._lock:
+            self._peer_state = state
+        return state
+
+    def peer_state(self):
+        with self._lock:
+            return dict(self._peer_state)
+
+    def _sync_store(self, name, create=False):
+        """Open a tenant store for a sync verb, with fail-fast guards.
+
+        Rejects (as retryable :class:`FarmError`s) stores a running job
+        owns or a live foreign process has locked; the caller then
+        holds the per-store guard for the duration of its mutation.
+        """
+        if name is None or not str(name):
+            raise FarmError("store verb needs a store name")
+        name = str(name)
+        store_path = self.store_path(name)
+        if not create and not os.path.isdir(store_path):
+            raise FarmError(f"no store named {name!r} on this farm")
+        holder = lock_holder(store_path)
+        if holder is not None:
+            raise StoreLockedError(store_path, holder)
+        return name, store_path
+
+    def store_manifest(self, name):
+        """Crash-consistent manifest of one tenant store (read verb)."""
+        from repro.dist.sync import encode_coverage
+        name, store_path = self._sync_store(name)
+        snap = CorpusStore(store_path, create=False).snapshot()
+        return {"config": snap["config"],
+                "generation": snap["generation"],
+                "entries": [dict(entry) for entry in snap["entries"]],
+                "coverage": {model: encode_coverage(state)
+                             for model, state
+                             in snap["coverage"].items()}}
+
+    def store_entry(self, name, entry_hash):
+        """One content-addressed input, base64-``.npy`` (read verb)."""
+        from repro.dist.sync import encode_array
+        name, store_path = self._sync_store(name)
+        store = CorpusStore(store_path, create=False)
+        path = store.input_path(str(entry_hash))
+        if not os.path.exists(path):
+            raise FarmError(f"store {name!r} has no entry "
+                            f"{str(entry_hash)[:12]}…")
+        return {"hash": str(entry_hash),
+                "data": encode_array(store.load_input(str(entry_hash)))}
+
+    def _guarded_store(self, name):
+        """Acquire (non-blocking) the guard + store for a write verb."""
+        guard = self._store_guard(name)
+        if not guard.acquire(blocking=False):
+            raise FarmError(
+                f"store {name!r} is busy under a running job; retry "
+                "after it finishes (sync is idempotent — nothing is "
+                "lost by retrying)")
+        return guard
+
+    def store_push(self, name, entry, data, config=None):
+        """Accept one pushed entry (write verb; idempotent by hash)."""
+        from repro.dist.sync import decode_array
+        if not isinstance(entry, dict) or "hash" not in entry \
+                or "kind" not in entry:
+            raise FarmError("store-push needs an entry record with "
+                            "hash and kind")
+        name, store_path = self._sync_store(name, create=True)
+        guard = self._guarded_store(name)
+        try:
+            store = CorpusStore(store_path)
+            if config is not None:
+                store.bind_config(config)
+            x = decode_array(data)
+            meta = {k: v for k, v in entry.items()
+                    if k not in ("hash", "kind")}
+            got, added = store.add_entry(x, entry["kind"], **meta)
+            if got != entry["hash"]:
+                raise FarmError(
+                    f"pushed entry {entry['hash'][:12]}… hashed to "
+                    f"{got[:12]}… on arrival — corrupt wire payload")
+            return {"hash": got, "added": bool(added),
+                    "entries": len(store)}
+        finally:
+            guard.release()
+
+    def store_merge_coverage(self, name, coverage, config=None):
+        """OR-merge pushed coverage states and commit (write verb)."""
+        from repro.dist.sync import decode_coverage
+        name, store_path = self._sync_store(name, create=True)
+        guard = self._guarded_store(name)
+        try:
+            store = CorpusStore(store_path)
+            if config is not None:
+                store.bind_config(config)
+            states = {model: decode_coverage(payload)
+                      for model, payload in (coverage or {}).items()}
+            merged = store.merge_coverage(states)
+            store.commit(coverage_states=merged,
+                         fuzz_state=store.fuzz_state())
+            return {"generation": int(
+                store._checkpoint.get("coverage_gen", 0)),
+                "models": sorted(merged)}
+        finally:
+            guard.release()
+
+    def run_shard(self, request):
+        """Execute one campaign shard for a remote driver (RPC verb).
+
+        The request carries the campaign's full deterministic identity
+        — rule, constraint kind, task, dtype, tracker states, and the
+        shard itself with its SeedSequence identity — so the outcome is
+        bit-identical to the driver running the shard locally.  The
+        model fingerprint is validated first: a peer whose zoo resolves
+        a different trio (other scale, other seed) must refuse, not
+        compute garbage.
+        """
+        from repro.core import resolve_models, rule_from_identity
+        from repro.dist.coordinator import decode_shard
+        from repro.dist.shards import encode_outcome
+        from repro.dist.sync import decode_coverage
+        import base64
+        dataset_name = request.get("dataset")
+        if dataset_name not in PAPER_HYPERPARAMS:
+            raise FarmError(
+                f"unknown dataset {dataset_name!r}; want one of "
+                f"{sorted(PAPER_HYPERPARAMS)}")
+        models, dataset = self._models_for(dataset_name)
+        dtype = request.get("dtype")
+        if dtype is not None and any(
+                str(np.dtype(m.dtype)) != str(np.dtype(dtype))
+                for m in models):
+            models = resolve_models(models, dtype=dtype)
+        hp = PAPER_HYPERPARAMS[dataset_name]
+        task = request.get("task", dataset.task)
+        fingerprint = request.get("fingerprint")
+        mine = corpus_fingerprint(models, hp, task)
+        if fingerprint is not None and fingerprint != mine:
+            raise FarmError(
+                f"shard fingerprint mismatch: driver has {fingerprint!r}, "
+                f"this peer resolves {mine!r} — mixed scales or model "
+                "architectures cannot federate")
+        shard = decode_shard(request.get("shard") or {})
+        tracker_states = [decode_coverage(payload)
+                          for payload in request.get("trackers") or []]
+        if len(tracker_states) != len(models):
+            raise FarmError(
+                f"run-shard needs one tracker state per model "
+                f"({len(models)}), got {len(tracker_states)}")
+        campaign = Campaign(
+            models, hp,
+            constraint_for_dataset(dataset,
+                                   kind=request.get("constraint",
+                                                    "default")),
+            task=task, workers=1,
+            shard_size=max(1, len(shard.seeds)),
+            rule=rule_from_identity(request.get("ascent", "vanilla")),
+            absorb_exhausted=bool(request.get("absorb_exhausted", True)))
+        outcome = campaign.execute_shard(tracker_states, shard)
+        return {"shard_index": int(outcome["shard_index"]),
+                "outcome": base64.b64encode(
+                    encode_outcome(outcome)).decode("ascii")}

@@ -19,6 +19,27 @@ status`` without ever holding a live object.  Two kinds:
     re-running a half-applied job converges (content-addressed entries
     dedup, coverage OR-merges the same masks).
 
+``federate``
+    A ``fuzz`` job whose waves execute through a shared shard ledger
+    (``campaign`` names the campaign directory, reachable by every
+    participating host — see :mod:`repro.dist.shards`).  Submit the
+    same federate spec to several daemons and they split each wave's
+    shards between them, stealing from hosts that die (``lease``
+    seconds after the claim, default 60 — a throughput knob, like
+    ``workers``); each host's store converges bit-identically to a
+    solo run.
+
+``compact-merge``
+    Background compaction, step 1: fold the ``sources`` tenant stores
+    into this job's (archive) store via the snapshot-safe
+    :meth:`CorpusStore.merge` — sources may be mid-fuzz.
+
+``compact-distill``
+    Background compaction, step 2: shrink the store to a
+    coverage-preserving regression suite (:meth:`CorpusStore.distill`)
+    and prune the fuzz scheduler of dropped entries.  Scheduled
+    automatically by a daemon started with ``--compact-every``.
+
 The identity fields (``wave_size``, ``shard_size``, ``seed``,
 ``ascent``, ``constraint``) mean exactly what they mean on the ``repro
 fuzz`` command line; ``workers`` is campaign fan-out inside the job and
@@ -34,7 +55,8 @@ from repro.errors import FarmError
 
 __all__ = ["Job", "JOB_KINDS", "JOB_STATUSES", "normalize_spec"]
 
-JOB_KINDS = ("fuzz", "generate")
+JOB_KINDS = ("fuzz", "generate", "federate", "compact-merge",
+             "compact-distill")
 
 JOB_STATUSES = ("queued", "running", "done", "failed")
 
@@ -58,6 +80,9 @@ _SPEC_FIELDS = {
     "overshoot": None,
     "constraint": "default",
     "workers": 1,
+    "campaign": None,     # federate: shared campaign directory
+    "lease": None,        # federate: seconds before a claim is stealable
+    "sources": None,      # compact-merge: store names to fold in
 }
 
 
@@ -84,6 +109,48 @@ def normalize_spec(spec):
     if clean["kind"] not in JOB_KINDS:
         raise FarmError(
             f"unknown job kind {clean['kind']!r}; want one of {JOB_KINDS}")
+    if clean["kind"] == "federate":
+        if clean["campaign"] is None:
+            raise FarmError(
+                "federate jobs need a campaign directory (the shared "
+                "shard-ledger root every participating host can reach)")
+        clean["campaign"] = str(clean["campaign"])
+        if clean["lease"] is not None:
+            try:
+                clean["lease"] = float(clean["lease"])
+            except (TypeError, ValueError):
+                raise FarmError(f"job lease must be a number, "
+                                f"got {clean['lease']!r}") from None
+            if clean["lease"] <= 0:
+                raise FarmError(
+                    f"job lease must be > 0 seconds, got {clean['lease']}")
+    elif clean["campaign"] is not None:
+        raise FarmError(
+            f"campaign only applies to federate jobs, not "
+            f"{clean['kind']!r}")
+    elif clean["lease"] is not None:
+        raise FarmError(
+            f"lease only applies to federate jobs, not {clean['kind']!r}")
+    if clean["kind"] == "compact-merge":
+        sources = clean["sources"]
+        if not isinstance(sources, (list, tuple)) or not sources:
+            raise FarmError(
+                "compact-merge jobs need a non-empty list of source "
+                "store names")
+        for name in sources:
+            if not _STORE_NAME.match(str(name)):
+                raise FarmError(
+                    f"bad source store name {name!r}; use letters, "
+                    "digits, dot, dash, underscore")
+            if str(name) == str(clean["store"]):
+                raise FarmError(
+                    f"compact-merge source {name!r} is the destination "
+                    "store itself")
+        clean["sources"] = [str(name) for name in sources]
+    elif clean["sources"] is not None:
+        raise FarmError(
+            f"sources only applies to compact-merge jobs, not "
+            f"{clean['kind']!r}")
     for key in ("rounds", "seeds", "wave_size", "shard_size", "workers"):
         try:
             clean[key] = int(clean[key])

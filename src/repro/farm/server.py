@@ -10,7 +10,11 @@ port number::
 
 Commands: ``ping``, ``submit`` (spec → job record, or a typed
 rejection), ``status`` (all jobs or one ``job_id``), ``counts``, and
-``drain`` (graceful shutdown).  Errors travel as
+``drain`` (graceful shutdown) — plus the federation verbs from
+docs/DISTRIBUTED.md: ``peers`` (gossip), ``store-manifest`` /
+``store-entry`` (corpus pull), ``store-push`` /
+``store-merge-coverage`` (corpus push), and ``run-shard`` (remote
+campaign shard execution).  Errors travel as
 ``{"ok": false, "error": ..., "kind": ...}`` with ``kind`` naming the
 error class so the client re-raises the right exception — saturation
 keeps its ``retry_after`` hint across the wire.
@@ -35,6 +39,12 @@ ENDPOINT_NAME = "daemon.json"
 
 _HOST = "127.0.0.1"
 
+#: Request line cap.  Base64 payloads (pushed inputs, coverage
+#: snapshots, encoded shards) are far larger than control requests;
+#: 16 MiB comfortably fits any smoke/paper-scale payload while still
+#: bounding a hostile or corrupt line.
+_MAX_LINE = 16 << 20
+
 
 def _error_response(error):
     response = {"ok": False, "error": str(error)}
@@ -52,7 +62,7 @@ def _error_response(error):
 
 class _Handler(socketserver.StreamRequestHandler):
     def handle(self):
-        line = self.rfile.readline(1 << 20)
+        line = self.rfile.readline(_MAX_LINE)
         if not line:
             return
         try:
@@ -108,6 +118,31 @@ class FarmServer(socketserver.ThreadingTCPServer):
         if cmd == "drain":
             self._drain_requested.set()
             return {"ok": True, "draining": True}
+        # -- federation verbs (repro.dist; docs/DISTRIBUTED.md) -----------
+        if cmd == "peers":
+            return {"ok": True, "gossip": self.farm.gossip(),
+                    "peers": self.farm.peer_state()}
+        if cmd == "store-manifest":
+            reply = self.farm.store_manifest(request.get("store"))
+            return {"ok": True, **reply}
+        if cmd == "store-entry":
+            reply = self.farm.store_entry(request.get("store"),
+                                          request.get("hash"))
+            return {"ok": True, **reply}
+        if cmd == "store-push":
+            reply = self.farm.store_push(request.get("store"),
+                                         request.get("entry"),
+                                         request.get("data"),
+                                         config=request.get("config"))
+            return {"ok": True, **reply}
+        if cmd == "store-merge-coverage":
+            reply = self.farm.store_merge_coverage(
+                request.get("store"), request.get("coverage"),
+                config=request.get("config"))
+            return {"ok": True, **reply}
+        if cmd == "run-shard":
+            reply = self.farm.run_shard(request)
+            return {"ok": True, **reply}
         raise FarmError(f"unknown command {cmd!r}")
 
     def serve_until_drained(self, poll=0.1):

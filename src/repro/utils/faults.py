@@ -6,8 +6,11 @@ bit-identically" assertions chase a moving target.  This module gives
 the crash a deterministic address instead.  Production code calls
 :func:`fault_point` at the handful of places a crash is interesting
 (mid-wave test absorption, between a commit's snapshot writes and its
-checkpoint flip, inside the farm daemon's job loop); the call is a
-no-op unless a *fault plan* arms that point.
+checkpoint flip, inside the farm daemon's job loop, and the
+distribution layer's sync/steal windows — ``dist.pull.entry`` and
+``dist.sync.mid`` inside a corpus pull, ``dist.shard.claim`` and
+``dist.shard.done`` around a federated host's shard execution); the
+call is a no-op unless a *fault plan* arms that point.
 
 A plan comes from the ``REPRO_FAULTS`` environment variable — which is
 how it crosses process boundaries into daemons and pool workers — as a

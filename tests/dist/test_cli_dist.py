@@ -1,0 +1,169 @@
+"""CLI federation surface: ``repro join`` / ``repro peers`` /
+``generate --peers`` argument handling.
+
+The heavy lifting (RPC correctness, ledger behavior) is covered by
+tests/dist/test_federation.py; these tests pin the operator-facing
+contract: peers.json edits, exit codes, and the unreachable-peer and
+bad-argument error paths.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.cli import main
+from repro.dist import PEERS_NAME, PeerList, parse_peer
+from repro.errors import ConfigError
+
+
+def _peers_on_disk(root):
+    with open(os.path.join(root, PEERS_NAME), encoding="utf-8") as handle:
+        return [(p["host"], p["port"])
+                for p in json.load(handle)["peers"]]
+
+
+# -- parse_peer ---------------------------------------------------------------
+def test_parse_peer_accepts_host_port():
+    assert parse_peer("127.0.0.1:7001") == ("127.0.0.1", 7001)
+    assert parse_peer(" box.local:80 ") == ("box.local", 80)
+
+
+@pytest.mark.parametrize("bad", ["nocolon", ":7001", "host:", "host:x",
+                                 "host:0", "host:70000"])
+def test_parse_peer_rejects_garbage(bad):
+    with pytest.raises(ConfigError, match="peer"):
+        parse_peer(bad)
+
+
+# -- repro join ---------------------------------------------------------------
+def test_join_add_remove_roundtrip(tmp_path, capsys):
+    root = str(tmp_path / "root")
+    assert main(["join", "--root", root, "127.0.0.1:7001"]) == 0
+    assert "joined" in capsys.readouterr().out
+    assert _peers_on_disk(root) == [("127.0.0.1", 7001)]
+
+    # Duplicate join is a polite no-op, not an error.
+    assert main(["join", "--root", root, "127.0.0.1:7001"]) == 0
+    assert "already" in capsys.readouterr().out
+    assert _peers_on_disk(root) == [("127.0.0.1", 7001)]
+
+    assert main(["join", "--root", root, "--remove",
+                 "127.0.0.1:7001"]) == 0
+    assert _peers_on_disk(root) == []
+
+    # Removing a peer that is not there fails visibly (exit 1): the
+    # operator typo'd the address and should know.
+    assert main(["join", "--root", root, "--remove",
+                 "127.0.0.1:7001"]) == 1
+
+
+def test_join_rejects_bad_peer(tmp_path, capsys):
+    root = str(tmp_path / "root")
+    assert main(["join", "--root", root, "not-a-peer"]) == 1
+    assert "peer" in capsys.readouterr().err
+    assert not os.path.exists(os.path.join(root, PEERS_NAME))
+
+
+def test_peer_list_survives_torn_file(tmp_path):
+    root = tmp_path / "root"
+    root.mkdir()
+    (root / PEERS_NAME).write_text("{torn", encoding="utf-8")
+    assert PeerList(str(root)).peers() == []
+    # And a join heals it.
+    assert main(["join", "--root", str(root), "10.0.0.2:7001"]) == 0
+    assert _peers_on_disk(str(root)) == [("10.0.0.2", 7001)]
+
+
+# -- repro peers --------------------------------------------------------------
+def test_peers_with_empty_list(tmp_path, capsys):
+    assert main(["peers", "--root", str(tmp_path / "root")]) == 0
+    assert "no peers configured" in capsys.readouterr().out
+
+
+def test_peers_reports_unreachable(tmp_path, capsys):
+    root = str(tmp_path / "root")
+    # Port 1 on loopback: refused instantly, no daemon needed.
+    assert main(["join", "--root", root, "127.0.0.1:1"]) == 0
+    capsys.readouterr()
+    assert main(["peers", "--root", root]) == 0
+    assert "unreachable" in capsys.readouterr().out
+
+
+def test_peers_survives_midrequest_reset(tmp_path, capsys):
+    """A peer that accepts the connection and then dies mid-request
+    (RST, not a clean close) must read as unreachable, not crash the
+    command with a raw ConnectionResetError."""
+    server = socket.socket()
+    server.bind(("127.0.0.1", 0))
+    server.listen(1)
+    port = server.getsockname()[1]
+
+    def rst_one_connection():
+        conn, _ = server.accept()
+        # Consume the request so the client is committed — blocked
+        # reading the answer — then close with SO_LINGER zero, which
+        # sends RST: the in-flight read fails with ECONNRESET rather
+        # than a clean EOF.
+        conn.recv(65536)
+        conn.setsockopt(socket.SOL_SOCKET, socket.SO_LINGER,
+                        struct.pack("ii", 1, 0))
+        conn.close()
+
+    thread = threading.Thread(target=rst_one_connection, daemon=True)
+    thread.start()
+    try:
+        root = str(tmp_path / "root")
+        assert main(["join", "--root", root, f"127.0.0.1:{port}"]) == 0
+        capsys.readouterr()
+        assert main(["peers", "--root", root]) == 0
+        assert "unreachable" in capsys.readouterr().out
+        thread.join(timeout=5)
+    finally:
+        server.close()
+
+
+def test_peers_shows_live_gossip(tmp_path, capsys, live_peer):
+    daemon, _server, port = live_peer
+    root = str(tmp_path / "root")
+    assert main(["join", "--root", root, f"127.0.0.1:{port}"]) == 0
+    capsys.readouterr()
+    assert main(["peers", "--root", root]) == 0
+    out = capsys.readouterr().out
+    assert f"127.0.0.1:{port}" in out
+    assert "queue=0" in out
+    assert "draining=False" in out
+
+
+# -- generate --peers ---------------------------------------------------------
+def test_generate_peers_needs_campaign_engine(capsys):
+    # Shards are the unit of distribution; any other engine with
+    # --peers is a usage error, exit 2, before any peer is contacted.
+    assert main(["--scale", "smoke", "generate", "mnist",
+                 "--engine", "batch", "--peers", "127.0.0.1:7001",
+                 "--seeds", "2"]) == 2
+    assert "--engine campaign" in capsys.readouterr().err
+
+
+def test_generate_peers_bad_address_is_user_error(capsys):
+    assert main(["--scale", "smoke", "generate", "mnist",
+                 "--engine", "campaign", "--peers", "nope",
+                 "--seeds", "2"]) == 1
+    assert "peer" in capsys.readouterr().err
+
+
+def test_generate_peers_falls_back_when_peer_down(tmp_path, capsys):
+    """A dead peer must not fail the run — shards fall back to local
+    execution and the retirement is reported on stderr."""
+    assert main(["--scale", "smoke", "generate", "mnist",
+                 "--engine", "campaign", "--peers", "127.0.0.1:1",
+                 "--seeds", "4", "--shard-size", "2",
+                 "--corpus", str(tmp_path / "corpus")]) == 0
+    captured = capsys.readouterr()
+    assert "0/2 shards ran remotely" in captured.out
+    assert "retired" in captured.err

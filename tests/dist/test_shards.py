@@ -1,0 +1,256 @@
+"""Shard ledger: keys, digests, outcome codec, CAS claims, stealing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.campaign import shard_corpus
+from repro.core.engine import GeneratedTest, GenerationResult
+from repro.corpus.scheduler import SeedScheduler
+from repro.corpus.store import input_hash
+from repro.dist import (ShardLedger, decode_outcome, encode_outcome,
+                        round_key, shard_digest, shard_id)
+from repro.errors import FarmError
+
+
+# -- identity helpers ---------------------------------------------------------
+def test_round_key_int_and_seedseq():
+    assert round_key(7) == "seed7"
+    root = np.random.SeedSequence(42)
+    child = root.spawn(3)[2]
+    key = round_key(child)
+    assert key.startswith("r2-")
+    # Same identity on any host; different rounds never collide.
+    assert key == round_key(np.random.SeedSequence(
+        entropy=root.entropy, spawn_key=(2,)))
+    assert key != round_key(root.spawn(1)[0])
+    assert round_key(root) != round_key(np.random.SeedSequence(43))
+
+
+def test_shard_id_sorts():
+    ids = [shard_id(i) for i in (0, 1, 10, 100)]
+    assert ids == sorted(ids)
+
+
+def test_shard_digest_matches_scheduler_plan():
+    """The cross-layer determinism law: the digest a host computes from
+    its shard's seed arrays equals the digest the scheduler computes
+    from the corresponding entry hashes — because entry hashes ARE
+    ``input_hash`` of the seeds."""
+    rng = np.random.default_rng(5)
+    seeds = rng.normal(size=(7, 4, 4))
+    shards = shard_corpus(seeds, shard_size=3, seed=0)
+    wave = [input_hash(x) for x in seeds]
+    plan = SeedScheduler.shard_plan(wave, 3)
+    assert len(plan) == len(shards)
+    for unit, shard in zip(plan, shards):
+        assert unit["shard_index"] == shard.shard_index
+        assert unit["digest"] == shard_digest(shard)
+
+
+# -- outcome codec ------------------------------------------------------------
+def _fake_outcome(shard_index=0, n_tests=2):
+    rng = np.random.default_rng(shard_index + 1)
+    tests = [GeneratedTest(x=rng.normal(size=(4, 4)),
+                           seed_index=3 * shard_index + i,
+                           iterations=i + 1,
+                           predictions=np.array([i, i, i + 1]),
+                           seed_class=int(i),
+                           elapsed=0.25 * i)
+             for i in range(n_tests)]
+    result = GenerationResult(tests=tests, seeds_processed=3,
+                              seeds_disagreed=1, seeds_exhausted=0,
+                              elapsed=1.5)
+    covered = np.zeros(8, dtype=bool)
+    covered[shard_index % 8] = True
+    coverage = [{"network": "SYN_A", "total_neurons": 8,
+                 "threshold": 0.25, "scaled": True,
+                 "tracked": np.ones(8, dtype=bool), "covered": covered}]
+    return {"shard_index": shard_index, "result": result,
+            "coverage": coverage}
+
+
+def test_outcome_codec_roundtrip():
+    outcome = _fake_outcome(shard_index=2, n_tests=3)
+    got = decode_outcome(encode_outcome(outcome))
+    assert got["shard_index"] == 2
+    a, b = outcome["result"], got["result"]
+    assert (a.seeds_processed, a.seeds_disagreed, a.seeds_exhausted) == \
+        (b.seeds_processed, b.seeds_disagreed, b.seeds_exhausted)
+    assert len(b.tests) == 3
+    for ta, tb in zip(a.tests, b.tests):
+        np.testing.assert_array_equal(ta.x, tb.x)
+        assert tb.x.dtype == ta.x.dtype
+        assert (ta.seed_index, ta.iterations, ta.seed_class) == \
+            (tb.seed_index, tb.iterations, tb.seed_class)
+        np.testing.assert_array_equal(ta.predictions, tb.predictions)
+    for ca, cb in zip(outcome["coverage"], got["coverage"]):
+        np.testing.assert_array_equal(ca["covered"], cb["covered"])
+        assert cb["network"] == ca["network"]
+
+
+def test_outcome_codec_empty_tests():
+    got = decode_outcome(encode_outcome(_fake_outcome(n_tests=0)))
+    assert got["result"].tests == []
+
+
+# -- the ledger ---------------------------------------------------------------
+def _units(n):
+    return [{"shard_id": shard_id(i), "digest": f"d{i}"} for i in range(n)]
+
+
+def test_ledger_lifecycle(tmp_path):
+    ledger = ShardLedger(tmp_path / "c", "seed0", host="h1", pid=11)
+    ledger.ensure(_units(2))
+    assert ledger.counts() == {"pending": 2, "claimed": 0, "done": 0}
+    sid = ledger.claim()
+    assert sid == shard_id(0)
+    ledger.write_result(sid, _fake_outcome(0))
+    ledger.mark_done(sid)
+    assert not ledger.all_done()
+    sid2 = ledger.claim()
+    assert sid2 == shard_id(1)
+    ledger.write_result(sid2, _fake_outcome(1))
+    ledger.mark_done(sid2)
+    assert ledger.all_done()
+    assert ledger.claim() is None
+    assert sorted(ledger.load_results()) == [shard_id(0), shard_id(1)]
+
+
+def test_ledger_ensure_is_idempotent_and_digest_checked(tmp_path):
+    a = ShardLedger(tmp_path / "c", "seed0", host="h1", pid=11)
+    b = ShardLedger(tmp_path / "c", "seed0", host="h2", pid=22)
+    a.ensure(_units(3))
+    b.ensure(_units(3))       # same plan: fine
+    assert b.counts()["pending"] == 3
+    with pytest.raises(FarmError, match="diverged"):
+        b.ensure([{"shard_id": shard_id(0), "digest": "other"}])
+
+
+def test_two_hosts_split_claims(tmp_path):
+    # Live pid on both: claims must stay unstolen while healthy.
+    a = ShardLedger(tmp_path / "c", "seed0", host="h1")
+    b = ShardLedger(tmp_path / "c", "seed0", host="h2")
+    a.ensure(_units(2))
+    sid_a, sid_b = a.claim(), b.claim()
+    assert {sid_a, sid_b} == {shard_id(0), shard_id(1)}
+    assert a.claim() is None        # healthy claims are not stolen
+    assert b.claim() is None
+
+
+def test_fresh_claim_not_stolen_but_lease_expiry_is(tmp_path):
+    now = [1000.0]
+    a = ShardLedger(tmp_path / "c", "seed0", host="h1", pid=11,
+                    lease=5.0, clock=lambda: now[0])
+    b = ShardLedger(tmp_path / "c", "seed0", host="h2", pid=22,
+                    lease=5.0, clock=lambda: now[0])
+    a.ensure(_units(1))
+    assert a.claim() == shard_id(0)
+    assert b.claim() is None            # within lease: not stealable
+    now[0] += 6.0                       # host h1 went silent
+    assert b.claim() == shard_id(0)     # stolen
+    b.write_result(shard_id(0), _fake_outcome(0))
+    b.mark_done(shard_id(0))
+    assert b.all_done()
+
+
+def test_dead_local_pid_stolen_immediately(tmp_path):
+    # pid 2**22+5 is far above any live pid in the test container; the
+    # claim looks like the aftermath of kill -9 on this same host.
+    dead = ShardLedger(tmp_path / "c", "seed0", host="h1",
+                       pid=(1 << 22) + 5, lease=10_000.0)
+    heir = ShardLedger(tmp_path / "c", "seed0", host="h1", pid=None,
+                       lease=10_000.0)
+    dead.ensure(_units(1))
+    assert dead.claim() == shard_id(0)
+    assert heir.claim() == shard_id(0)  # no lease wait on a dead pid
+
+
+def test_mark_done_requires_result_file(tmp_path):
+    ledger = ShardLedger(tmp_path / "c", "seed0", host="h1", pid=11)
+    ledger.ensure(_units(1))
+    ledger.claim()
+    with pytest.raises(FarmError, match="no result file"):
+        ledger.mark_done(shard_id(0))
+
+
+def test_done_is_sticky(tmp_path):
+    """A late host re-running a stolen shard re-marks done harmlessly."""
+    ledger = ShardLedger(tmp_path / "c", "seed0", host="h1", pid=11)
+    ledger.ensure(_units(1))
+    ledger.claim()
+    ledger.write_result(shard_id(0), _fake_outcome(0))
+    ledger.mark_done(shard_id(0))
+    ledger.write_result(shard_id(0), _fake_outcome(0))  # double execution
+    ledger.mark_done(shard_id(0))
+    assert ledger.counts() == {"pending": 0, "claimed": 0, "done": 1}
+
+
+def test_stale_lock_file_is_broken(tmp_path):
+    ledger = ShardLedger(tmp_path / "c", "seed0", host="h1", pid=11,
+                         lease=0.05)
+    ledger.ensure(_units(1))
+    # A crashed peer left its CAS lock behind (torn write, even).
+    with open(ledger._lock_path, "w", encoding="utf-8") as handle:
+        handle.write("{torn")
+    assert ledger.claim() == shard_id(0)
+
+
+# -- the permutation/partition property --------------------------------------
+@settings(max_examples=12, deadline=None)
+@given(st.data())
+def test_any_claim_schedule_merges_identically(tmp_path_factory, data):
+    """Satellite (c): any permutation of host claims over any partition
+    of the shards yields byte-identical ledger results vs a reference.
+
+    Execution is a pure function of the shard (pinned by the fake
+    outcomes keyed on shard index), so the property isolates exactly
+    what the ledger adds: claim order, host assignment, stealing, and
+    double execution must never change the merged result set.
+    """
+    n_shards = data.draw(st.integers(min_value=1, max_value=5),
+                         label="n_shards")
+    n_hosts = data.draw(st.integers(min_value=1, max_value=3),
+                        label="n_hosts")
+    schedule = data.draw(
+        st.permutations([(s, s % n_hosts) for s in range(n_shards)]),
+        label="schedule")
+    root = tmp_path_factory.mktemp("ledger")
+
+    reference = {shard_id(s): encode_outcome(_fake_outcome(s))
+                 for s in range(n_shards)}
+
+    ledgers = [ShardLedger(root / "c", "seed0", host=f"h{h}",
+                           pid=100 + h, lease=10_000.0)
+               for h in range(n_hosts)]
+    for ledger in ledgers:
+        ledger.ensure([{"shard_id": shard_id(s), "digest": f"d{s}"}
+                       for s in range(n_shards)])
+    # Replay the drawn schedule: each (shard, host) step has that host
+    # claim whatever the ledger offers it and execute it.  The ledger,
+    # not the schedule, decides the assignment — the property is that
+    # the decision cannot matter.
+    for _shard, host in schedule:
+        ledger = ledgers[host]
+        sid = ledger.claim()
+        if sid is None:
+            continue
+        index = int(sid[1:])
+        ledger.write_result(sid, _fake_outcome(index))
+        ledger.mark_done(sid)
+    for ledger in ledgers:
+        assert ledger.all_done()
+        merged = ledger.load_results()
+        assert sorted(merged) == sorted(reference)
+        for sid, outcome in merged.items():
+            want = decode_outcome(reference[sid])
+            assert outcome["shard_index"] == want["shard_index"]
+            for ta, tb in zip(want["result"].tests,
+                              outcome["result"].tests):
+                np.testing.assert_array_equal(ta.x, tb.x)
+            for ca, cb in zip(want["coverage"], outcome["coverage"]):
+                np.testing.assert_array_equal(ca["covered"],
+                                              cb["covered"])

@@ -1,0 +1,173 @@
+"""Corpus sync laws: idempotent, commutative, crash-safe, wire-safe."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.corpus import CorpusStore
+from repro.corpus.store import coverage_from_bytes, coverage_to_bytes
+from repro.dist import (LocalSource, RemoteSource, decode_array,
+                        decode_coverage, encode_array, encode_coverage,
+                        pull, push)
+from repro.errors import ConfigError, FarmError
+from repro.farm import PeerClient
+from repro.utils.faults import InjectedFault, inject, reset_faults
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    reset_faults()
+    yield
+    reset_faults()
+
+
+def test_array_codec_roundtrip():
+    rng = np.random.default_rng(3)
+    for arr in (rng.normal(size=(5, 4)),
+                rng.normal(size=(2, 3, 3)).astype(np.float32),
+                np.arange(7, dtype=np.int64)):
+        got = decode_array(encode_array(arr))
+        assert got.dtype == arr.dtype
+        np.testing.assert_array_equal(got, arr)
+
+
+def test_coverage_codec_roundtrip(synth_coverage):
+    state = synth_coverage((1, 3, 5))
+    got = decode_coverage(encode_coverage(state))
+    assert got["network"] == state["network"]
+    np.testing.assert_array_equal(got["covered"], state["covered"])
+    # And the public byte helpers are the exact committed npz format.
+    got2 = coverage_from_bytes(coverage_to_bytes(state))
+    np.testing.assert_array_equal(got2["covered"], state["covered"])
+
+
+def test_pull_is_idempotent(tmp_path, make_store, assert_stores_identical):
+    make_store(tmp_path / "src", 6, seed=1, covered_idx=(0, 2))
+    dest = CorpusStore(tmp_path / "dest")
+    assert pull(dest, tmp_path / "src") == 6
+    assert pull(dest, tmp_path / "src") == 0
+    assert_stores_identical(tmp_path / "src", tmp_path / "dest")
+
+
+def test_pull_is_commutative(tmp_path, make_store):
+    """a←b then b←a yields the same union corpus + OR'd coverage."""
+    make_store(tmp_path / "a", 4, seed=1, covered_idx=(0, 1))
+    make_store(tmp_path / "b", 4, seed=2, covered_idx=(6, 7))
+    a, b = CorpusStore(tmp_path / "a"), CorpusStore(tmp_path / "b")
+    pull(a, tmp_path / "b")
+    pull(b, tmp_path / "a")
+    assert {e["hash"] for e in a.entries()} == \
+        {e["hash"] for e in b.entries()}
+    np.testing.assert_array_equal(
+        a.coverage_states()["SYN_A"]["covered"],
+        b.coverage_states()["SYN_A"]["covered"])
+    assert a.coverage_states()["SYN_A"]["covered"][[0, 1, 6, 7]].all()
+
+
+def test_pull_refuses_mixed_configs(tmp_path, make_store, synth_config):
+    make_store(tmp_path / "src", 2)
+    dest = CorpusStore(tmp_path / "dest")
+    other = dict(synth_config, models=["OTHER"])
+    dest.bind_config(other)
+    with pytest.raises(ConfigError):
+        pull(dest, tmp_path / "src")
+    assert len(dest) == 0
+
+
+def test_pull_crash_mid_transfer_converges(tmp_path, make_store,
+                                           assert_stores_identical):
+    """A sync killed between entries resumes to the same final state."""
+    make_store(tmp_path / "src", 5, covered_idx=(0, 4))
+    dest = CorpusStore(tmp_path / "dest")
+    with inject("dist.pull.entry", countdown=3, action="raise"):
+        with pytest.raises(InjectedFault):
+            pull(dest, tmp_path / "src")
+    # Two entries landed, nothing committed — and the re-pull converges.
+    assert pull(CorpusStore(tmp_path / "dest"), tmp_path / "src") == 3
+    assert_stores_identical(tmp_path / "src", tmp_path / "dest")
+
+
+def test_pull_crash_before_commit_converges(tmp_path, make_store,
+                                            assert_stores_identical):
+    """All entries in, coverage commit missed: re-pull adds 0, commits."""
+    make_store(tmp_path / "src", 3, covered_idx=(2,))
+    dest = CorpusStore(tmp_path / "dest")
+    with inject("dist.sync.mid", countdown=1, action="raise"):
+        with pytest.raises(InjectedFault):
+            pull(dest, tmp_path / "src")
+    assert pull(CorpusStore(tmp_path / "dest"), tmp_path / "src") == 0
+    assert_stores_identical(tmp_path / "src", tmp_path / "dest")
+
+
+def test_local_source_describe(tmp_path, make_store, synth_config):
+    make_store(tmp_path / "src", 3)
+    source = LocalSource(tmp_path / "src")
+    manifest = source.manifest()
+    assert len(manifest["entries"]) == 3
+    assert manifest["config"] == synth_config
+
+
+# -- over the wire -----------------------------------------------------------
+def test_remote_pull_and_push(tmp_path, make_store, live_peer,
+                              assert_stores_identical):
+    daemon, _server, port = live_peer
+    make_store(daemon.store_path("shared"), 5, covered_idx=(1, 2))
+
+    dest = CorpusStore(tmp_path / "local")
+    source = RemoteSource("127.0.0.1", port, "shared")
+    assert pull(dest, source) == 5
+    assert pull(CorpusStore(tmp_path / "local"), source) == 0
+    assert_stores_identical(daemon.store_path("shared"),
+                            tmp_path / "local")
+
+    # Push new local work back up; the remote converges to the union.
+    rng = np.random.default_rng(9)
+    dest = CorpusStore(tmp_path / "local")
+    for i in range(3):
+        dest.add_entry(rng.normal(size=(4, 4)), "seed", origin=100 + i)
+    dest.commit(coverage_states=dest.coverage_states(),
+                fuzz_state=dest.fuzz_state())
+    assert push(tmp_path / "local", "127.0.0.1", port, "shared") == 3
+    assert push(tmp_path / "local", "127.0.0.1", port, "shared") == 0
+    assert_stores_identical(daemon.store_path("shared"),
+                            tmp_path / "local")
+
+
+def test_remote_verbs_reject_unknown_store(live_peer):
+    _daemon, _server, port = live_peer
+    client = PeerClient("127.0.0.1", port)
+    with pytest.raises(FarmError):
+        client.store_manifest("nope")
+    with pytest.raises(FarmError):
+        client.store_entry("nope", "deadbeef")
+
+
+def test_busy_store_fails_fast(tmp_path, make_store, live_peer,
+                               synth_config):
+    """A write verb against a store a job is using is a retryable
+    rejection, not a blocked server thread."""
+    daemon, _server, port = live_peer
+    make_store(daemon.store_path("busy"), 1)
+    guard = daemon._store_guard("busy")
+    guard.acquire()
+    try:
+        client = PeerClient("127.0.0.1", port)
+        with pytest.raises(FarmError, match="busy"):
+            client.store_push("busy", {"hash": "x", "kind": "seed"},
+                              encode_array(np.zeros((4, 4))),
+                              config=synth_config)
+    finally:
+        guard.release()
+
+
+def test_push_detects_corrupt_wire(tmp_path, make_store, live_peer,
+                                   synth_config):
+    daemon, _server, port = live_peer
+    make_store(daemon.store_path("shared"), 1)
+    client = PeerClient("127.0.0.1", port)
+    with pytest.raises(FarmError, match="corrupt"):
+        client.store_push("shared",
+                          {"hash": "0" * 64, "kind": "seed"},
+                          encode_array(np.ones((4, 4))),
+                          config=synth_config)

@@ -552,22 +552,26 @@ def _cmd_peers(args):
     from repro.dist import PeerList
     from repro.farm import PeerClient
     peer_list = PeerList(args.root)
-    peers = peer_list.peers()
-    if not peers:
+    records = peer_list.records()
+    if not records:
         print("no peers configured (add one with `repro join`)")
         return 0
-    for host, port in peers:
+    for record in records:
+        host, port = record["host"], record["port"]
+        # Peers learned via gossip (auto-discovery) vs `repro join`.
+        tag = " [discovered]" if record["via"] == "gossip" else ""
         try:
             gossip = PeerClient(host, port, timeout=2.0).peers()["gossip"]
         except ReproError as error:
-            print(f"{host}:{port:<6} unreachable ({error})")
+            print(f"{host}:{port:<6} unreachable ({error}){tag}")
             continue
         stores = gossip.get("stores", {})
         store_bits = " ".join(
             f"{name}[{info['entries']}e g{info['coverage_gen']}]"
             for name, info in sorted(stores.items())) or "-"
         print(f"{host}:{port:<6} queue={gossip.get('queue_depth', '?')} "
-              f"draining={gossip.get('draining')} stores: {store_bits}")
+              f"draining={gossip.get('draining')} stores: {store_bits}"
+              f"{tag}")
     return 0
 
 

@@ -54,7 +54,8 @@ from repro.utils.atomicio import atomic_write_bytes, atomic_write_json
 from repro.utils.faults import fault_point
 
 __all__ = ["CorpusStore", "CorpusEntry", "corpus_fingerprint", "input_hash",
-           "coverage_to_bytes", "coverage_from_bytes"]
+           "coverage_to_bytes", "coverage_from_bytes",
+           "coverage_states_equal"]
 
 STORE_VERSION = 1
 
@@ -144,6 +145,30 @@ def coverage_to_bytes(state):
 def coverage_from_bytes(payload):
     """Inverse of :func:`coverage_to_bytes`."""
     return _coverage_from_npz(io.BytesIO(payload))
+
+
+def coverage_states_equal(a, b):
+    """True when two ``{model: state_dict}`` maps cover identically.
+
+    The no-op detector behind sync's skip-the-commit path: an OR-merge
+    whose result equals the already-committed states would rewrite
+    every snapshot and bump the checkpoint generation for nothing, so
+    callers compare first.  Masks are compared bit-for-bit; the scalar
+    config fields ride along with the masks and cannot differ when the
+    masks match a committed snapshot of the same fingerprint-bound
+    store.
+    """
+    if set(a) != set(b):
+        return False
+    for name, state in a.items():
+        other = b[name]
+        if not np.array_equal(np.asarray(state["covered"], dtype=bool),
+                              np.asarray(other["covered"], dtype=bool)):
+            return False
+        if not np.array_equal(np.asarray(state["tracked"], dtype=bool),
+                              np.asarray(other["tracked"], dtype=bool)):
+            return False
+    return True
 
 
 class CorpusEntry(dict):
@@ -398,8 +423,13 @@ class CorpusStore:
         })
 
     # -- consistent reads ---------------------------------------------------
-    def snapshot(self):
+    def snapshot(self, exclude_hashes=None):
         """Crash-consistent point-in-time view of this store's disk state.
+
+        ``exclude_hashes`` filters the returned entry records (delta
+        manifests for sync: a puller sends the hashes it already holds
+        and receives only what it lacks).  Coverage and config are
+        always included — they merge, they don't dedup.
 
         Everything is read from disk — never from this handle's caches —
         so the snapshot observes entries and commits made by *other*
@@ -431,6 +461,10 @@ class CorpusStore:
                 last_error = error
                 continue
             entries = list(self._read_meta_records().values())
+            if exclude_hashes:
+                exclude = {str(h) for h in exclude_hashes}
+                entries = [entry for entry in entries
+                           if entry["hash"] not in exclude]
             return {"config": manifest.get("config"),
                     "generation": int(checkpoint.get("coverage_gen", 0)),
                     "entries": entries,

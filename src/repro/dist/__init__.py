@@ -18,20 +18,22 @@ package for its ``federate`` job kind, and the RPC paths import the
 farm client), so the two packages compose without an import cycle.
 """
 
-from repro.dist.coordinator import (PEERS_NAME, FederatedSession,
-                                    PeerList, PeerShardRunner, parse_peer)
+from repro.dist.coordinator import (MAX_GOSSIP_PEERS, PEERS_NAME,
+                                    FederatedSession, PeerList,
+                                    PeerShardRunner, parse_peer)
 from repro.dist.shards import (LedgerShardRunner, ShardLedger,
                                decode_outcome, encode_outcome, round_key,
-                               shard_digest, shard_id)
-from repro.dist.sync import (LocalSource, RemoteSource, decode_array,
-                             decode_coverage, encode_array,
+                               shard_digest, shard_hashes, shard_id)
+from repro.dist.sync import (DEFAULT_BATCH, LocalSource, RemoteSource,
+                             decode_array, decode_coverage, encode_array,
                              encode_coverage, pull, push)
 
 __all__ = [
-    "PEERS_NAME", "FederatedSession", "PeerList", "PeerShardRunner",
-    "parse_peer",
+    "MAX_GOSSIP_PEERS", "PEERS_NAME", "FederatedSession", "PeerList",
+    "PeerShardRunner", "parse_peer",
     "LedgerShardRunner", "ShardLedger", "decode_outcome",
-    "encode_outcome", "round_key", "shard_digest", "shard_id",
-    "LocalSource", "RemoteSource", "decode_array", "decode_coverage",
-    "encode_array", "encode_coverage", "pull", "push",
+    "encode_outcome", "round_key", "shard_digest", "shard_hashes",
+    "shard_id",
+    "DEFAULT_BATCH", "LocalSource", "RemoteSource", "decode_array",
+    "decode_coverage", "encode_array", "encode_coverage", "pull", "push",
 ]

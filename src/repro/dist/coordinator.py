@@ -41,9 +41,13 @@ from repro.utils.atomicio import atomic_write_json
 
 __all__ = ["PeerList", "parse_peer", "FederatedSession",
            "PeerShardRunner", "encode_shard", "decode_shard",
-           "PEERS_NAME"]
+           "PEERS_NAME", "MAX_GOSSIP_PEERS"]
 
 PEERS_NAME = "peers.json"
+
+#: Cap on peers learned from gossip (peers-of-peers).  Explicitly
+#: joined peers are never counted against, or evicted by, this cap.
+MAX_GOSSIP_PEERS = 16
 
 
 def parse_peer(text):
@@ -68,43 +72,68 @@ class PeerList:
     ``repro join`` / ``repro peers`` invocations share the file, and an
     atomic-replace write per mutation keeps it torn-free.  Order is
     insertion order; duplicates dedup by (host, port).
+
+    Each record carries how the peer was learned — ``"join"`` (the
+    operator said so) or ``"gossip"`` (a peer's ``peers`` RPC mentioned
+    it; auto-discovery, capped at :data:`MAX_GOSSIP_PEERS`).  Files
+    written before the distinction existed read back as ``"join"``.
     """
 
     def __init__(self, root):
         self.root = os.path.abspath(root)
         self.path = os.path.join(self.root, PEERS_NAME)
 
-    def peers(self):
+    def records(self):
+        """``[{"host", "port", "via"}]`` in insertion order."""
         try:
             with open(self.path, "r", encoding="utf-8") as handle:
                 import json
                 data = json.load(handle)
         except (FileNotFoundError, ValueError):
             return []
-        return [(str(p["host"]), int(p["port"]))
+        return [{"host": str(p["host"]), "port": int(p["port"]),
+                 "via": str(p.get("via", "join"))}
                 for p in data.get("peers", [])]
 
-    def _save(self, peers):
-        os.makedirs(self.root, exist_ok=True)
-        atomic_write_json(self.path, {
-            "peers": [{"host": host, "port": port}
-                      for host, port in peers]})
+    def peers(self):
+        return [(p["host"], p["port"]) for p in self.records()]
 
-    def add(self, host, port):
-        """Add one peer; returns True if it was new."""
-        peers = self.peers()
-        if (host, int(port)) in peers:
+    def _save(self, records):
+        os.makedirs(self.root, exist_ok=True)
+        atomic_write_json(self.path, {"peers": list(records)})
+
+    def add(self, host, port, via="join"):
+        """Add one peer; returns True if the list changed.
+
+        An explicit join upgrades an existing gossip record in place
+        (the operator's word outranks hearsay); gossip never downgrades
+        a join, and gossip adds beyond :data:`MAX_GOSSIP_PEERS` are
+        dropped so one chatty peer cannot grow the file without bound.
+        """
+        host, port = str(host), int(port)
+        records = self.records()
+        for record in records:
+            if (record["host"], record["port"]) == (host, port):
+                if via == "join" and record["via"] == "gossip":
+                    record["via"] = "join"
+                    self._save(records)
+                return False
+        if via == "gossip" and sum(r["via"] == "gossip"
+                                   for r in records) >= MAX_GOSSIP_PEERS:
             return False
-        peers.append((host, int(port)))
-        self._save(peers)
+        records.append({"host": host, "port": port, "via": via})
+        self._save(records)
         return True
 
     def remove(self, host, port):
         """Drop one peer; returns True if it was present."""
-        peers = self.peers()
-        if (host, int(port)) not in peers:
+        host, port = str(host), int(port)
+        records = self.records()
+        kept = [r for r in records
+                if (r["host"], r["port"]) != (host, port)]
+        if len(kept) == len(records):
             return False
-        self._save([p for p in peers if p != (host, int(port))])
+        self._save(kept)
         return True
 
 
@@ -121,11 +150,13 @@ class FederatedSession:
     """
 
     def __init__(self, session, campaign_dir, host=None,
-                 lease=DEFAULT_LEASE, poll=0.05, clock=time.time):
+                 lease=DEFAULT_LEASE, poll=0.005, clock=time.time):
         self.session = session
+        # The session's own store is the locality hint: claims prefer
+        # shards whose seeds this replica already holds.
         self.runner = LedgerShardRunner(campaign_dir, host=host,
                                         lease=lease, poll=poll,
-                                        clock=clock)
+                                        clock=clock, have=session.store)
 
     @property
     def store(self):
@@ -231,8 +262,8 @@ class PeerShardRunner:
             "trackers": tracker_payloads,
             "shard": encode_shard(shard),
         })
-        import base64
-        return decode_outcome(base64.b64decode(reply["outcome"]))
+        from repro.farm.wire import as_bytes
+        return decode_outcome(as_bytes(reply["outcome"]))
 
     def __call__(self, campaign, tracker_states, shards):
         from repro.farm.client import PeerClient

@@ -1,13 +1,22 @@
 """Corpus synchronisation between hosts: pull/push with semilattice merge.
 
-One protocol, two transports.  A *source* exposes exactly two reads —
-a crash-consistent manifest (config + entry records + coverage states)
-and per-entry input fetch — over either a shared filesystem
-(:class:`LocalSource`, built on :meth:`CorpusStore.snapshot`) or the
-farm daemon's JSON-over-TCP plumbing (:class:`RemoteSource`, the
-``store-*`` RPC verbs from ``repro.farm.server``).  :func:`pull` drains
-a source into a local store; :func:`push` is the write-side inverse,
-feeding a remote daemon's store through the same verbs.
+One protocol, two transports.  A *source* exposes a crash-consistent
+manifest (config + entry records + coverage states, optionally
+delta-filtered by the hashes the caller already holds) and batched
+input fetch — over either a shared filesystem (:class:`LocalSource`,
+built on :meth:`CorpusStore.snapshot`) or the farm daemon's TCP
+plumbing (:class:`RemoteSource`, the ``store-*`` RPC verbs from
+``repro.farm.server``).  :func:`pull` drains a source into a local
+store; :func:`push` is the write-side inverse, feeding a remote
+daemon's store through the same verbs.
+
+Transfers are batched: :data:`DEFAULT_BATCH` entries per round-trip
+(the ``store-entries`` verb), so a sync costs O(entries/batch) wire
+exchanges instead of O(entries), and the manifest's ``have`` filter
+means only the delta ever crosses the wire.  Batching is a pure
+transport optimisation — the resulting store is bit-identical to a
+per-entry (``batch=1``) sync, which the Hypothesis property in
+tests/dist/test_sync.py pins under injected mid-batch crashes.
 
 The whole protocol is a semilattice join, which is what makes it safe
 to run at any time, from any side, any number of times:
@@ -15,7 +24,9 @@ to run at any time, from any side, any number of times:
 * **idempotent** — entries are content-addressed (SHA-256), so a
   re-transferred entry dedups to a no-op; coverage merges with
   :func:`repro.coverage.merge_state_dicts` (OR), so replaying a
-  snapshot changes nothing.
+  snapshot changes nothing.  A merge that changes nothing skips the
+  commit entirely — idle mirror syncs leave the checkpoint generation
+  (and the ``.npz`` snapshots) untouched.
 * **commutative** — A⊔B = B⊔A for both entries (set union, insertion
   order only affects iteration order, never content addressing) and
   coverage masks.
@@ -23,50 +34,57 @@ to run at any time, from any side, any number of times:
   append-only meta discipline *before* the coverage commit flips the
   checkpoint; a sync killed anywhere leaves a valid store that the next
   sync converges from.  The interesting crash addresses are armed as
-  ``REPRO_FAULTS`` points: ``dist.pull.entry`` (per entry transferred)
-  and ``dist.sync.mid`` (after entries, before the coverage commit).
+  ``REPRO_FAULTS`` points: ``dist.pull.batch`` (per wire round-trip),
+  ``dist.pull.entry`` (per entry absorbed) and ``dist.sync.mid``
+  (after entries, before the coverage commit).
 """
 
 from __future__ import annotations
 
-import base64
 import io
 
 import numpy as np
 
 from repro.corpus.store import (CorpusStore, coverage_from_bytes,
-                                coverage_to_bytes)
+                                coverage_states_equal, coverage_to_bytes)
 from repro.errors import FarmError
+from repro.farm.wire import Blob, as_bytes
 from repro.utils.faults import fault_point
 
 __all__ = ["LocalSource", "RemoteSource", "pull", "push",
            "encode_array", "decode_array", "encode_coverage",
-           "decode_coverage"]
+           "decode_coverage", "DEFAULT_BATCH"]
+
+#: Entries per sync round-trip.  Large enough that round-trip latency
+#: amortises away, small enough that one batch's arrays stay a modest
+#: message even at paper scale.
+DEFAULT_BATCH = 64
 
 
 # -- wire encoding ----------------------------------------------------------
-# Arrays travel as base64 of their ``.npy`` serialization and coverage
-# states as base64 of the exact ``.npz`` bytes committed snapshots use
-# on disk — no second format to keep compatible, and both are
-# self-describing (shape + dtype ride along).
+# Arrays travel as their ``.npy`` serialization and coverage states as
+# the exact ``.npz`` bytes committed snapshots use on disk — no second
+# format to keep compatible, and both are self-describing (shape +
+# dtype ride along).  Encoders return wire :class:`Blob`\ s, which the
+# farm protocol ships as binary frames (or base64 inside JSON for
+# compatibility — the decoders accept either, see ``repro.farm.wire``).
 
 def encode_array(x):
     buffer = io.BytesIO()
     np.save(buffer, np.asarray(x))
-    return base64.b64encode(buffer.getvalue()).decode("ascii")
+    return Blob(buffer.getvalue())
 
 
 def decode_array(payload):
-    raw = base64.b64decode(payload.encode("ascii"))
-    return np.load(io.BytesIO(raw), allow_pickle=False)
+    return np.load(io.BytesIO(as_bytes(payload)), allow_pickle=False)
 
 
 def encode_coverage(state):
-    return base64.b64encode(coverage_to_bytes(state)).decode("ascii")
+    return Blob(coverage_to_bytes(state))
 
 
 def decode_coverage(payload):
-    return coverage_from_bytes(base64.b64decode(payload.encode("ascii")))
+    return coverage_from_bytes(as_bytes(payload))
 
 
 # -- sources ----------------------------------------------------------------
@@ -85,13 +103,16 @@ class LocalSource:
     def describe(self):
         return self.store.path
 
-    def manifest(self):
-        snap = self.store.snapshot()
+    def manifest(self, have=None):
+        snap = self.store.snapshot(exclude_hashes=have)
         return {"config": snap["config"], "entries": snap["entries"],
                 "coverage": snap["coverage"]}
 
     def fetch(self, entry_hash):
         return self.store.load_input(entry_hash)
+
+    def fetch_many(self, hashes):
+        return [self.store.load_input(h) for h in hashes]
 
 
 class RemoteSource:
@@ -105,8 +126,8 @@ class RemoteSource:
     def describe(self):
         return f"{self.client.host}:{self.client.port}/{self.store}"
 
-    def manifest(self):
-        reply = self.client.store_manifest(self.store)
+    def manifest(self, have=None):
+        reply = self.client.store_manifest(self.store, have=have)
         return {"config": reply.get("config"),
                 "entries": reply.get("entries", []),
                 "coverage": {name: decode_coverage(payload)
@@ -117,6 +138,11 @@ class RemoteSource:
         return decode_array(
             self.client.store_entry(self.store, entry_hash)["data"])
 
+    def fetch_many(self, hashes):
+        reply = self.client.store_entries(self.store, hashes)
+        return [decode_array(record["data"])
+                for record in reply["entries"]]
+
 
 def _as_source(source):
     if isinstance(source, (LocalSource, RemoteSource)):
@@ -126,72 +152,108 @@ def _as_source(source):
     return LocalSource(source)
 
 
+def _manifest_with_have(source, have):
+    """Ask the source for a delta manifest; plain manifest for sources
+    (duck-typed test doubles, older code) that predate the filter."""
+    try:
+        return source.manifest(have=have)
+    except TypeError:
+        return source.manifest()
+
+
 # -- the protocol -----------------------------------------------------------
-def pull(dest, source):
+def pull(dest, source, batch=DEFAULT_BATCH):
     """Pull everything ``source`` has that ``dest`` lacks; returns added.
 
     Order is the crash-safety contract: durable entry writes first
-    (content-addressed, idempotent), then one atomic coverage commit.
-    A crash mid-pull leaves entries without their coverage — harmless,
+    (content-addressed, idempotent, ``batch`` per round-trip), then one
+    atomic coverage commit — skipped when the OR-merge changes nothing,
+    so a no-op mirror sync leaves the checkpoint generation alone.  A
+    crash mid-pull leaves entries without their coverage — harmless,
     the store's invariants hold — and re-pulling converges because the
-    already-present prefix dedups away.
+    already-present prefix dedups away (it is excluded server-side by
+    the manifest's ``have`` filter, and re-checked here).
     """
     if not isinstance(dest, CorpusStore):
         dest = CorpusStore(dest)
     source = _as_source(source)
-    manifest = source.manifest()
+    batch = max(1, int(batch))
+    have = {entry["hash"] for entry in dest.entries()}
+    manifest = _manifest_with_have(source, have)
     if manifest.get("config") is not None:
         # Adopt when fresh, validate otherwise — syncing stores built
         # against different model trios is a ConfigError, not a merge.
         dest.bind_config(manifest["config"])
+    existing = dest.coverage_states()
     merged = dest.merge_coverage(manifest.get("coverage") or {})
+    pending = [entry for entry in manifest.get("entries", [])
+               if entry["hash"] not in dest]
+    fetch_many = getattr(source, "fetch_many", None)
     added = 0
-    for entry in manifest.get("entries", []):
-        if entry["hash"] in dest:
-            continue
-        # Countdown N dies with N-1 entries transferred and no coverage
-        # commit — the partial-sync state the idempotence tests replay.
-        fault_point("dist.pull.entry")
-        x = source.fetch(entry["hash"])
-        meta = {k: v for k, v in entry.items() if k not in ("hash", "kind")}
-        got, was_new = dest.add_entry(x, entry["kind"], **meta)
-        if got != entry["hash"]:
-            raise FarmError(
-                f"entry {entry['hash'][:12]}… from {source.describe()} "
-                f"hashed to {got[:12]}… after transfer — corrupt source "
-                f"or wire")
-        added += int(was_new)
-    # Entries are durable; the coverage join is the commit point.
+    for start in range(0, len(pending), batch):
+        chunk = pending[start:start + batch]
+        # One wire round-trip per batch.  Countdown N dies with N-1
+        # batches durably absorbed and no coverage commit — the
+        # partial-sync state the convergence property replays.
+        fault_point("dist.pull.batch")
+        if fetch_many is not None:
+            arrays = fetch_many([entry["hash"] for entry in chunk])
+        else:
+            arrays = [source.fetch(entry["hash"]) for entry in chunk]
+        for entry, x in zip(chunk, arrays):
+            # Countdown N dies with N-1 entries absorbed — same replay
+            # story at entry granularity.
+            fault_point("dist.pull.entry")
+            meta = {k: v for k, v in entry.items()
+                    if k not in ("hash", "kind")}
+            got, was_new = dest.add_entry(x, entry["kind"], **meta)
+            if got != entry["hash"]:
+                raise FarmError(
+                    f"entry {entry['hash'][:12]}… from "
+                    f"{source.describe()} hashed to {got[:12]}… after "
+                    f"transfer — corrupt source or wire")
+            added += int(was_new)
+    # Entries are durable; the coverage join is the commit point —
+    # unless the join is a no-op, in which case there is nothing to
+    # commit and the generation must not move.
     fault_point("dist.sync.mid")
-    dest.commit(coverage_states=merged, fuzz_state=dest.fuzz_state())
+    if not coverage_states_equal(existing, merged):
+        dest.commit(coverage_states=merged, fuzz_state=dest.fuzz_state())
     return added
 
 
-def push(source, host, port, store, timeout=10.0):
+def push(source, host, port, store, timeout=10.0, batch=DEFAULT_BATCH):
     """Push a local store into a remote daemon's store; returns pushed.
 
     The write-side mirror of :func:`pull`, for hosts that cannot be
-    dialed back (NAT, firewalled workers): per-entry ``store-push``
-    requests for everything the remote manifest lacks, then one
-    ``store-merge-coverage`` to join coverage.  Same laws, same fault
-    points, same convergence-by-replay story.
+    dialed back (NAT, firewalled workers): batched ``store-entries``
+    pushes for everything the remote manifest lacks, then one
+    ``store-merge-coverage`` to join coverage (itself a no-op on the
+    remote when nothing new is covered).  Same laws, same fault points,
+    same convergence-by-replay story.
     """
     from repro.farm.client import PeerClient
     if not isinstance(source, CorpusStore):
         source = CorpusStore(source, create=False)
     client = PeerClient(host, port, timeout=timeout)
+    batch = max(1, int(batch))
     snap = source.snapshot()
     remote = client.store_manifest(store)
     have = {entry["hash"] for entry in remote.get("entries", [])}
+    missing = [entry for entry in snap["entries"]
+               if entry["hash"] not in have]
     pushed = 0
-    for entry in snap["entries"]:
-        if entry["hash"] in have:
-            continue
-        fault_point("dist.pull.entry")
-        client.store_push(store, dict(entry),
-                          encode_array(source.load_input(entry["hash"])),
-                          config=snap["config"])
-        pushed += 1
+    for start in range(0, len(missing), batch):
+        chunk = missing[start:start + batch]
+        records = []
+        for entry in chunk:
+            fault_point("dist.pull.entry")
+            records.append({
+                "entry": dict(entry),
+                "data": encode_array(source.load_input(entry["hash"]))})
+        fault_point("dist.pull.batch")
+        client.store_push_many(store, records, config=snap["config"])
+        pushed += len(records)
     fault_point("dist.sync.mid")
     client.store_merge_coverage(
         store,

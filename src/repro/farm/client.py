@@ -1,6 +1,6 @@
 """Clients for a running farm daemon.
 
-Two addressing modes over the same one-line JSON protocol (see
+Two addressing modes over the same JSON-lines protocol (see
 :mod:`repro.farm.server`):
 
 * :class:`FarmClient` — addressed by *farm root*: reads the published
@@ -9,6 +9,17 @@ Two addressing modes over the same one-line JSON protocol (see
 * :class:`PeerClient` — addressed by *host:port*: what federation
   peers use for gossip, corpus sync, and remote shard execution, where
   the other daemon's root directory is on a different machine.
+
+Both keep one pooled connection per client: requests reuse the channel
+(and its negotiated binary-framing mode — :mod:`repro.farm.wire`)
+instead of paying a TCP dial per call.  A failure on a *reused* socket
+— the peer restarted, or an idle connection timed out — reconnects
+once and retries transparently; a failure on a fresh connection still
+surfaces as :class:`~repro.errors.FarmError`, exactly as a one-shot
+client would see it.  ``requests`` / ``bytes_sent`` /
+``bytes_received`` / ``reconnects`` counters make the round-trip and
+bytes-on-wire cost observable (``tools/dist_smoke.py`` asserts on
+them).
 
 Typed rejections come back as the same exceptions the daemon raised
 locally — saturation as
@@ -22,33 +33,30 @@ error reporting needs no special cases for remote vs local.
 
 from __future__ import annotations
 
-import json
 import socket
+import threading
 import time
 
 from repro.errors import FarmError
 from repro.farm import server as farm_server
+from repro.farm import wire
 from repro.farm.queue import QueueSaturatedError, UnknownJobError
 
 __all__ = ["FarmClient", "PeerClient"]
 
 
-def _roundtrip(sock, payload, where):
-    """One request/response exchange on an open socket."""
-    sock.sendall((json.dumps(payload) + "\n").encode("utf-8"))
-    with sock.makefile("rb") as handle:
-        line = handle.readline(farm_server._MAX_LINE)
-    if not line:
-        raise FarmError(
-            f"farm daemon at {where} closed the connection "
-            "without answering")
-    response = json.loads(line.decode("utf-8"))
+class _ChannelClosed(ConnectionError):
+    """The peer closed the channel at a message boundary (clean EOF)."""
+
+
+def _raise_typed(response):
+    """Return an ok response, or re-raise the daemon's typed rejection
+    with its original message (the wire carries the text, not the
+    constructor args)."""
     if response.get("ok"):
         return response
     kind = response.get("kind")
     message = response.get("error", "farm request failed")
-    # Re-raise the daemon's typed rejection with its original
-    # message (the wire carries the text, not the constructor args).
     if kind == "saturated":
         error = QueueSaturatedError.__new__(QueueSaturatedError)
         error.retry_after = float(response.get("retry_after", 1.0))
@@ -62,22 +70,112 @@ def _roundtrip(sock, payload, where):
     raise FarmError(message)
 
 
-class FarmClient:
-    """Thin per-request client (one connection per call, like the wire
-    protocol itself)."""
+class _ChannelClient:
+    """Shared pooled-connection machinery (dialing is the subclass's)."""
+
+    def __init__(self):
+        self._sock = None
+        self._rfile = None
+        self._binary = False
+        self._channel_lock = threading.Lock()
+        #: Wire accounting, cumulative over the client's lifetime.
+        self.requests = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.reconnects = 0
+
+    # Subclasses: _dial() -> connected socket (FarmError on failure),
+    # _where() -> address string for error messages.
+
+    def close(self):
+        """Drop the pooled connection (the next request redials)."""
+        sock, self._sock = self._sock, None
+        rfile, self._rfile = self._rfile, None
+        self._binary = False
+        for handle in (rfile, sock):
+            if handle is not None:
+                try:
+                    handle.close()
+                except OSError:
+                    pass
+
+    def _connect(self):
+        self._sock = self._dial()
+        self._rfile = self._sock.makefile("rb")
+        self._binary = False
+
+    def _exchange(self, payload):
+        message = dict(payload)
+        message["bin"] = 1              # advertise binary framing
+        data = wire.dump_message(message, binary=self._binary)
+        self._sock.sendall(data)
+        response, received = wire.read_message(self._rfile)
+        if response is None:
+            raise _ChannelClosed("connection closed before the reply")
+        self.requests += 1
+        self.bytes_sent += len(data)
+        self.bytes_received += received
+        if response.get("bin"):
+            # The server answers in frames; our next request on this
+            # channel may use them too.
+            self._binary = True
+        return response
+
+    def _request(self, payload):
+        with self._channel_lock:
+            fresh = self._sock is None
+            if fresh:
+                self._connect()
+            try:
+                response = self._exchange(payload)
+            except OSError as error:
+                self.close()
+                if fresh:
+                    raise self._exchange_error(error) from None
+                # A pooled socket can go stale between requests (peer
+                # restarted, idle timeout): reconnect once and retry.
+                # A failure on the fresh retry is a real mid-request
+                # failure and surfaces like any other.
+                self.reconnects += 1
+                self._connect()
+                try:
+                    response = self._exchange(payload)
+                except OSError as retry_error:
+                    self.close()
+                    raise self._exchange_error(retry_error) from None
+        return _raise_typed(response)
+
+    def _exchange_error(self, error):
+        if isinstance(error, _ChannelClosed):
+            return FarmError(
+                f"farm daemon at {self._where()} closed the connection "
+                "without answering")
+        return FarmError(
+            f"{self._describe()} dropped the connection "
+            f"mid-request ({error})")
+
+
+class FarmClient(_ChannelClient):
+    """Farm-root-addressed client (endpoint discovered via daemon.json).
+
+    The pooled connection re-reads the endpoint file on reconnect, so a
+    daemon restart — new pid, new port — is transparent to a long-lived
+    client as long as the new daemon publishes before the next request.
+    """
 
     def __init__(self, root, timeout=10.0):
+        super().__init__()
         self.root = root
         self.timeout = timeout
 
-    def _request(self, payload):
-        with farm_server.connect(self.root, timeout=self.timeout) as sock:
-            try:
-                return _roundtrip(sock, payload, self.root)
-            except OSError as error:
-                raise FarmError(
-                    f"farm daemon at {self.root} dropped the "
-                    f"connection mid-request ({error})") from None
+    def _dial(self):
+        return farm_server.connect(self.root, timeout=self.timeout)
+
+    def _where(self):
+        return self.root
+
+    def _describe(self):
+        return f"farm daemon at {self.root}"
 
     def ping(self):
         return self._request({"cmd": "ping"})
@@ -122,40 +220,40 @@ class FarmClient:
             time.sleep(poll)
 
 
-class PeerClient:
+class PeerClient(_ChannelClient):
     """Host:port-addressed client for the federation verbs.
 
     The transport behind :class:`~repro.dist.sync.RemoteSource`,
     ``repro.dist.sync.push``, daemon gossip, and
-    :class:`~repro.dist.coordinator.PeerShardRunner`.  Same
-    one-connection-per-request protocol and typed errors as
-    :class:`FarmClient`; only the addressing differs.
+    :class:`~repro.dist.coordinator.PeerShardRunner`.  Same pooled
+    channel and typed errors as :class:`FarmClient`; only the
+    addressing differs.
     """
 
     def __init__(self, host, port, timeout=10.0):
+        super().__init__()
         self.host = str(host)
         self.port = int(port)
         self.timeout = float(timeout)
 
-    def _request(self, payload):
-        where = f"{self.host}:{self.port}"
-        try:
-            sock = socket.create_connection((self.host, self.port),
-                                            timeout=self.timeout)
-        except OSError as error:
-            raise FarmError(
-                f"peer {where} is not answering ({error})") from None
+    def _dial(self):
         # A reset/timeout mid-request must surface as the same typed
         # error as a refused connection: every consumer (peer gossip,
         # sync, shard fan-out) treats FarmError as "this peer failed",
         # and a raw OSError would crash them instead.
-        with sock:
-            try:
-                return _roundtrip(sock, payload, where)
-            except OSError as error:
-                raise FarmError(
-                    f"peer {where} dropped the connection "
-                    f"mid-request ({error})") from None
+        try:
+            return socket.create_connection((self.host, self.port),
+                                            timeout=self.timeout)
+        except OSError as error:
+            raise FarmError(
+                f"peer {self._where()} is not answering "
+                f"({error})") from None
+
+    def _where(self):
+        return f"{self.host}:{self.port}"
+
+    def _describe(self):
+        return f"peer {self._where()}"
 
     def ping(self):
         return self._request({"cmd": "ping"})
@@ -163,16 +261,33 @@ class PeerClient:
     def peers(self):
         return self._request({"cmd": "peers"})
 
-    def store_manifest(self, store):
-        return self._request({"cmd": "store-manifest", "store": store})
+    def store_manifest(self, store, have=None):
+        payload = {"cmd": "store-manifest", "store": store}
+        if have is not None:
+            # Sorted for a deterministic wire image (and so the request
+            # bytes are reproducible in tests and traces).
+            payload["have"] = sorted(str(h) for h in have)
+        return self._request(payload)
 
     def store_entry(self, store, entry_hash):
         return self._request({"cmd": "store-entry", "store": store,
                               "hash": entry_hash})
 
+    def store_entries(self, store, hashes):
+        """Fetch a batch of content-addressed inputs in one round-trip."""
+        return self._request({"cmd": "store-entries", "store": store,
+                              "hashes": [str(h) for h in hashes]})
+
     def store_push(self, store, entry, data, config=None):
         return self._request({"cmd": "store-push", "store": store,
                               "entry": entry, "data": data,
+                              "config": config})
+
+    def store_push_many(self, store, records, config=None):
+        """Push a batch of ``{"entry", "data"}`` records in one
+        round-trip (the write half of the ``store-entries`` verb)."""
+        return self._request({"cmd": "store-entries", "store": store,
+                              "entries": list(records),
                               "config": config})
 
     def store_merge_coverage(self, store, coverage, config=None):

@@ -30,7 +30,8 @@ failure, no attempt burned) with its progress in the store checkpoint.
 Beyond the job queue, a daemon is also a *federation peer* (see
 ``repro.dist`` and docs/DISTRIBUTED.md): it answers gossip (``peers``)
 and store-sync verbs (``store-manifest`` / ``store-entry`` /
-``store-push`` / ``store-merge-coverage``), executes single campaign
+``store-entries`` / ``store-push`` / ``store-merge-coverage``),
+executes single campaign
 shards for remote drivers (``run-shard``), runs ledger-federated fuzz
 jobs (kind ``federate``), and — when started with ``compact_every`` —
 keeps its tenant stores bounded by scheduling ``compact-distill`` jobs
@@ -62,6 +63,10 @@ __all__ = ["FarmDaemon"]
 #: How long an idle worker sleeps before re-checking the queue; also
 #: bounds how late a backoff-gated retry can start.
 _POLL_INTERVAL = 0.1
+
+#: Housekeeper cadence when no compaction schedule is set: how often
+#: peer gossip (and the auto-discovery it feeds) refreshes.
+_GOSSIP_INTERVAL = 5.0
 
 
 def _default_model_source(dataset_name, scale, seed):
@@ -132,6 +137,9 @@ class FarmDaemon:
         #: Latest gossip heard from each configured peer (the ``peers``
         #: verb returns it alongside our own).
         self._peer_state = {}
+        #: One pooled PeerClient per peer — the gossip housekeeper
+        #: reuses channels across ticks instead of redialing.
+        self._peer_clients = {}
         self._daemon_lock = StoreLock(self.root,
                                       owner=f"farm-daemon:{os.getpid()}")
         self._daemon_lock.acquire()
@@ -203,11 +211,14 @@ class FarmDaemon:
                                       daemon=True)
             thread.start()
             self._threads.append(thread)
-        if self.compact_every is not None:
-            self._housekeeper = threading.Thread(
-                target=self._housekeeping_loop, name="farm-housekeeper",
-                daemon=True)
-            self._housekeeper.start()
+        # The housekeeper always runs — peer gossip (and the auto-
+        # discovery it feeds) must not depend on opting into
+        # compaction; only the compaction sweep is gated on
+        # ``compact_every``.
+        self._housekeeper = threading.Thread(
+            target=self._housekeeping_loop, name="farm-housekeeper",
+            daemon=True)
+        self._housekeeper.start()
         return self
 
     def drain(self, timeout=None):
@@ -313,8 +324,7 @@ class FarmDaemon:
                                               job))
                 return self._run_fuzz(job, models, dataset, store_path)
 
-    @staticmethod
-    def _federate_runner(job):
+    def _federate_runner(self, job):
         """Ledger runner for a federate job's shared campaign dir."""
         # Imported lazily: repro.dist imports the farm client for its
         # RPC transports, so a top-level import here would be a cycle.
@@ -324,7 +334,11 @@ class FarmDaemon:
                                  host=f"{socket.gethostname()}"
                                       f"/{job.job_id}",
                                  lease=(DEFAULT_LEASE if lease is None
-                                        else float(lease)))
+                                        else float(lease)),
+                                 # Locality-aware claiming: prefer
+                                 # shards whose seeds this tenant store
+                                 # already holds.
+                                 have=self.store_path(job.spec["store"]))
 
     def _run_fuzz(self, job, models, dataset, store_path,
                   shard_runner=None):
@@ -459,13 +473,16 @@ class FarmDaemon:
         """Periodic background sweeps: compaction + peer gossip refresh."""
         while True:
             with self._wake:
-                self._wake.wait(self.compact_every)
+                self._wake.wait(self.compact_every
+                                if self.compact_every is not None
+                                else _GOSSIP_INTERVAL)
                 if self._draining:
                     return
-            try:
-                self._compact_sweep()
-            except Exception:       # noqa: BLE001 — a sweep must never
-                pass                # kill the housekeeper; next tick retries
+            if self.compact_every is not None:
+                try:
+                    self._compact_sweep()
+                except Exception:   # noqa: BLE001 — a sweep must never
+                    pass            # kill the housekeeper; next tick retries
             try:
                 self.poll_peers()
             except Exception:       # noqa: BLE001
@@ -554,22 +571,54 @@ class FarmDaemon:
                 "peers": [f"{host}:{port}" for host, port
                           in PeerList(self.root).peers()]}
 
+    def _peer_client(self, host, port):
+        key = (str(host), int(port))
+        with self._lock:
+            client = self._peer_clients.get(key)
+            if client is None:
+                from repro.farm.client import PeerClient
+                client = PeerClient(host, port, timeout=2.0)
+                self._peer_clients[key] = client
+            return client
+
     def poll_peers(self):
         """Refresh gossip from every configured peer; returns the map.
 
         Unreachable peers record their error string instead of gossip —
         the federation tolerates them by design, so this never raises.
+        Peers-of-peers heard in gossip are folded into the persisted
+        :class:`~repro.dist.coordinator.PeerList` (capped, dedup'd,
+        never ourselves), so a fleet needs one ``repro join`` per new
+        host, not one per pair.
         """
-        from repro.dist.coordinator import PeerList
-        from repro.farm.client import PeerClient
+        from repro.dist.coordinator import PeerList, parse_peer
+        from repro.farm.server import read_endpoint
+        peer_list = PeerList(self.root)
         state = {}
-        for host, port in PeerList(self.root).peers():
+        heard = []
+        for host, port in peer_list.peers():
             key = f"{host}:{port}"
+            client = self._peer_client(host, port)
             try:
-                reply = PeerClient(host, port, timeout=2.0).peers()
+                reply = client.peers()
                 state[key] = {"ok": True, "gossip": reply["gossip"]}
+                heard.extend(reply["gossip"].get("peers") or [])
             except Exception as error:      # noqa: BLE001 — down peers
                 state[key] = {"ok": False, "error": str(error)}
+        endpoint = read_endpoint(self.root)
+        ourselves = (set() if endpoint is None
+                     else {f"{endpoint['host']}:{endpoint['port']}"})
+        known = {f"{host}:{port}" for host, port in peer_list.peers()}
+        for text in heard:
+            try:
+                host, port = parse_peer(text)
+            except ReproError:
+                continue        # a peer gossiped garbage; skip it
+            key = f"{host}:{port}"
+            if key in ourselves or key in known:
+                continue
+            if peer_list.add(host, port, via="gossip"):
+                known.add(key)
         with self._lock:
             self._peer_state = state
         return state
@@ -596,11 +645,18 @@ class FarmDaemon:
             raise StoreLockedError(store_path, holder)
         return name, store_path
 
-    def store_manifest(self, name):
-        """Crash-consistent manifest of one tenant store (read verb)."""
+    def store_manifest(self, name, have=None):
+        """Crash-consistent manifest of one tenant store (read verb).
+
+        ``have`` is the delta filter: the hashes the caller already
+        holds, so the reply's entry list carries only what it lacks.
+        Config and coverage are always included — they merge rather
+        than dedup.
+        """
         from repro.dist.sync import encode_coverage
         name, store_path = self._sync_store(name)
-        snap = CorpusStore(store_path, create=False).snapshot()
+        snap = CorpusStore(store_path, create=False).snapshot(
+            exclude_hashes=have)
         return {"config": snap["config"],
                 "generation": snap["generation"],
                 "entries": [dict(entry) for entry in snap["entries"]],
@@ -609,16 +665,31 @@ class FarmDaemon:
                              in snap["coverage"].items()}}
 
     def store_entry(self, name, entry_hash):
-        """One content-addressed input, base64-``.npy`` (read verb)."""
+        """One content-addressed input as ``.npy`` bytes (read verb)."""
+        reply = self.store_entries(name, [entry_hash])
+        return reply["entries"][0]
+
+    def store_entries(self, name, hashes):
+        """A batch of content-addressed inputs in one reply (read verb).
+
+        The batched half of corpus pull: N entries per round-trip
+        instead of one.  Order matches the request; an unknown hash
+        fails the whole batch (sync always asks for hashes it just saw
+        in a manifest, so a miss means the caller's view is stale).
+        """
         from repro.dist.sync import encode_array
         name, store_path = self._sync_store(name)
         store = CorpusStore(store_path, create=False)
-        path = store.input_path(str(entry_hash))
-        if not os.path.exists(path):
-            raise FarmError(f"store {name!r} has no entry "
-                            f"{str(entry_hash)[:12]}…")
-        return {"hash": str(entry_hash),
-                "data": encode_array(store.load_input(str(entry_hash)))}
+        entries = []
+        for entry_hash in hashes:
+            entry_hash = str(entry_hash)
+            if not os.path.exists(store.input_path(entry_hash)):
+                raise FarmError(f"store {name!r} has no entry "
+                                f"{entry_hash[:12]}…")
+            entries.append({"hash": entry_hash,
+                            "data": encode_array(
+                                store.load_input(entry_hash))})
+        return {"entries": entries}
 
     def _guarded_store(self, name):
         """Acquire (non-blocking) the guard + store for a write verb."""
@@ -630,34 +701,71 @@ class FarmDaemon:
                 "lost by retrying)")
         return guard
 
-    def store_push(self, name, entry, data, config=None):
-        """Accept one pushed entry (write verb; idempotent by hash)."""
+    @staticmethod
+    def _absorb_pushed(store, entry, data):
+        """Add one pushed entry record; returns whether it was new."""
         from repro.dist.sync import decode_array
         if not isinstance(entry, dict) or "hash" not in entry \
                 or "kind" not in entry:
             raise FarmError("store-push needs an entry record with "
                             "hash and kind")
+        x = decode_array(data)
+        meta = {k: v for k, v in entry.items()
+                if k not in ("hash", "kind")}
+        got, added = store.add_entry(x, entry["kind"], **meta)
+        if got != entry["hash"]:
+            raise FarmError(
+                f"pushed entry {entry['hash'][:12]}… hashed to "
+                f"{got[:12]}… on arrival — corrupt wire payload")
+        return added
+
+    def store_push(self, name, entry, data, config=None):
+        """Accept one pushed entry (write verb; idempotent by hash)."""
         name, store_path = self._sync_store(name, create=True)
         guard = self._guarded_store(name)
         try:
             store = CorpusStore(store_path)
             if config is not None:
                 store.bind_config(config)
-            x = decode_array(data)
-            meta = {k: v for k, v in entry.items()
-                    if k not in ("hash", "kind")}
-            got, added = store.add_entry(x, entry["kind"], **meta)
-            if got != entry["hash"]:
-                raise FarmError(
-                    f"pushed entry {entry['hash'][:12]}… hashed to "
-                    f"{got[:12]}… on arrival — corrupt wire payload")
-            return {"hash": got, "added": bool(added),
+            added = self._absorb_pushed(store, entry, data)
+            return {"hash": str(entry["hash"]), "added": bool(added),
+                    "entries": len(store)}
+        finally:
+            guard.release()
+
+    def store_push_many(self, name, records, config=None):
+        """Accept a batch of pushed entries (the write half of
+        ``store-entries``): one guard acquisition, one round-trip,
+        entry-by-entry idempotent absorption in request order."""
+        if not isinstance(records, list):
+            raise FarmError("store-entries push needs a list of "
+                            "{entry, data} records")
+        name, store_path = self._sync_store(name, create=True)
+        guard = self._guarded_store(name)
+        try:
+            store = CorpusStore(store_path)
+            if config is not None:
+                store.bind_config(config)
+            added = 0
+            for record in records:
+                if not isinstance(record, dict):
+                    raise FarmError("store-entries push records must be "
+                                    "{entry, data} objects")
+                added += int(self._absorb_pushed(
+                    store, record.get("entry"), record.get("data")))
+            return {"added": added, "received": len(records),
                     "entries": len(store)}
         finally:
             guard.release()
 
     def store_merge_coverage(self, name, coverage, config=None):
-        """OR-merge pushed coverage states and commit (write verb)."""
+        """OR-merge pushed coverage states and commit (write verb).
+
+        A merge that changes nothing (pushed coverage ⊆ committed) is
+        acknowledged without committing, so idle mirror syncs stop
+        bumping the checkpoint generation and rewriting snapshots.
+        """
+        from repro.corpus.store import coverage_states_equal
         from repro.dist.sync import decode_coverage
         name, store_path = self._sync_store(name, create=True)
         guard = self._guarded_store(name)
@@ -667,12 +775,15 @@ class FarmDaemon:
                 store.bind_config(config)
             states = {model: decode_coverage(payload)
                       for model, payload in (coverage or {}).items()}
+            existing = store.coverage_states()
             merged = store.merge_coverage(states)
-            store.commit(coverage_states=merged,
-                         fuzz_state=store.fuzz_state())
+            committed = not coverage_states_equal(existing, merged)
+            if committed:
+                store.commit(coverage_states=merged,
+                             fuzz_state=store.fuzz_state())
             return {"generation": int(
                 store._checkpoint.get("coverage_gen", 0)),
-                "models": sorted(merged)}
+                "models": sorted(merged), "committed": committed}
         finally:
             guard.release()
 
@@ -691,7 +802,7 @@ class FarmDaemon:
         from repro.dist.coordinator import decode_shard
         from repro.dist.shards import encode_outcome
         from repro.dist.sync import decode_coverage
-        import base64
+        from repro.farm.wire import Blob
         dataset_name = request.get("dataset")
         if dataset_name not in PAPER_HYPERPARAMS:
             raise FarmError(
@@ -730,5 +841,4 @@ class FarmDaemon:
             absorb_exhausted=bool(request.get("absorb_exhausted", True)))
         outcome = campaign.execute_shard(tracker_states, shard)
         return {"shard_index": int(outcome["shard_index"]),
-                "outcome": base64.b64encode(
-                    encode_outcome(outcome)).decode("ascii")}
+                "outcome": Blob(encode_outcome(outcome))}

@@ -1,10 +1,15 @@
 """JSON-lines TCP front door for a :class:`~repro.farm.daemon.FarmDaemon`.
 
-One request per connection: the client sends a single JSON object on
-one line, the server answers with one JSON line and closes.  Loopback
-only, ephemeral port; the bound endpoint is published atomically to
-``<root>/daemon.json`` so clients discover it by farm root, not by
-port number::
+Persistent request channel: a client sends any number of JSON-object
+requests, one per line, on one connection; the server answers each with
+one message in order, and the channel stays open until the client
+closes it (one-shot clients that close after the first exchange keep
+working unchanged).  Array payloads may ride as length-prefixed binary
+frames after the JSON line when the client opts in — see
+:mod:`repro.farm.wire` for the framing and the per-connection
+negotiation.  Loopback only, ephemeral port; the bound endpoint is
+published atomically to ``<root>/daemon.json`` so clients discover it
+by farm root, not by port number::
 
     {"host": "127.0.0.1", "port": 40123, "pid": 12345}
 
@@ -12,12 +17,13 @@ Commands: ``ping``, ``submit`` (spec → job record, or a typed
 rejection), ``status`` (all jobs or one ``job_id``), ``counts``, and
 ``drain`` (graceful shutdown) — plus the federation verbs from
 docs/DISTRIBUTED.md: ``peers`` (gossip), ``store-manifest`` /
-``store-entry`` (corpus pull), ``store-push`` /
-``store-merge-coverage`` (corpus push), and ``run-shard`` (remote
-campaign shard execution).  Errors travel as
-``{"ok": false, "error": ..., "kind": ...}`` with ``kind`` naming the
-error class so the client re-raises the right exception — saturation
-keeps its ``retry_after`` hint across the wire.
+``store-entry`` / ``store-entries`` (corpus pull, with an optional
+``have`` delta filter and batched fetch), ``store-push`` /
+``store-entries`` in push mode / ``store-merge-coverage`` (corpus
+push), and ``run-shard`` (remote campaign shard execution).  Errors
+travel as ``{"ok": false, "error": ..., "kind": ...}`` with ``kind``
+naming the error class so the client re-raises the right exception —
+saturation keeps its ``retry_after`` hint across the wire.
 """
 
 from __future__ import annotations
@@ -29,6 +35,7 @@ import socketserver
 import threading
 
 from repro.errors import FarmError, ReproError
+from repro.farm import wire
 from repro.farm.locks import StoreLockedError
 from repro.farm.queue import QueueSaturatedError, UnknownJobError
 from repro.utils.atomicio import atomic_write_json
@@ -39,11 +46,9 @@ ENDPOINT_NAME = "daemon.json"
 
 _HOST = "127.0.0.1"
 
-#: Request line cap.  Base64 payloads (pushed inputs, coverage
-#: snapshots, encoded shards) are far larger than control requests;
-#: 16 MiB comfortably fits any smoke/paper-scale payload while still
-#: bounding a hostile or corrupt line.
-_MAX_LINE = 16 << 20
+#: JSON header line cap (binary frames are bounded separately by the
+#: wire layer; in JSON-fallback mode this caps the whole message).
+_MAX_LINE = wire.MAX_LINE
 
 
 def _error_response(error):
@@ -62,17 +67,35 @@ def _error_response(error):
 
 class _Handler(socketserver.StreamRequestHandler):
     def handle(self):
-        line = self.rfile.readline(_MAX_LINE)
-        if not line:
-            return
+        # Serve requests until the client closes the channel.  Typed
+        # rejections (saturated, locked, unknown-job) are answers, not
+        # channel failures — the connection stays usable after them.
         try:
-            request = json.loads(line.decode("utf-8"))
-            response = self.server.dispatch(request)
-        except ReproError as error:
-            response = _error_response(error)
-        except (json.JSONDecodeError, UnicodeDecodeError) as error:
-            response = _error_response(FarmError(f"bad request: {error}"))
-        self.wfile.write((json.dumps(response) + "\n").encode("utf-8"))
+            while True:
+                try:
+                    request, _ = wire.read_message(self.rfile, _MAX_LINE)
+                except (json.JSONDecodeError, UnicodeDecodeError,
+                        FarmError) as error:
+                    # The framing itself is broken; answer once and
+                    # hang up — resync on a corrupt stream is hopeless.
+                    self.wfile.write(wire.dump_message(_error_response(
+                        FarmError(f"bad request: {error}"))))
+                    return
+                if request is None:
+                    return      # clean EOF: client closed the channel
+                binary = bool(request.pop("bin", False))
+                try:
+                    response = self.server.dispatch(request)
+                except ReproError as error:
+                    response = _error_response(error)
+                if binary:
+                    # Echo the capability flag: the client switches its
+                    # own requests to binary frames once it sees it.
+                    response["bin"] = 1
+                self.wfile.write(wire.dump_message(response,
+                                                   binary=binary))
+        except OSError:
+            return              # client vanished mid-exchange
 
 
 class FarmServer(socketserver.ThreadingTCPServer):
@@ -123,11 +146,23 @@ class FarmServer(socketserver.ThreadingTCPServer):
             return {"ok": True, "gossip": self.farm.gossip(),
                     "peers": self.farm.peer_state()}
         if cmd == "store-manifest":
-            reply = self.farm.store_manifest(request.get("store"))
+            reply = self.farm.store_manifest(request.get("store"),
+                                             have=request.get("have"))
             return {"ok": True, **reply}
         if cmd == "store-entry":
             reply = self.farm.store_entry(request.get("store"),
                                           request.get("hash"))
+            return {"ok": True, **reply}
+        if cmd == "store-entries":
+            # One verb, two directions: "hashes" fetches a batch,
+            # "entries" pushes one (docs/DISTRIBUTED.md, wire protocol).
+            if request.get("entries") is not None:
+                reply = self.farm.store_push_many(
+                    request.get("store"), request.get("entries"),
+                    config=request.get("config"))
+            else:
+                reply = self.farm.store_entries(
+                    request.get("store"), request.get("hashes") or [])
             return {"ok": True, **reply}
         if cmd == "store-push":
             reply = self.farm.store_push(request.get("store"),

@@ -140,6 +140,66 @@ def test_peers_shows_live_gossip(tmp_path, capsys, live_peer):
     assert "draining=False" in out
 
 
+# -- gossip auto-discovery ----------------------------------------------------
+def test_poll_peers_folds_gossiped_peers(tmp_path, live_peer):
+    """Satellite: peers-of-peers heard in gossip join the persisted
+    PeerList as ``via: gossip`` — capped, dedup'd, never ourselves."""
+    from repro.dist import PeerList
+    daemon, _server, port = live_peer
+    # A second live daemon that knows about a third (not live) host.
+    from repro.farm import FarmDaemon, FarmServer
+    other = FarmDaemon(tmp_path / "other-root", workers=1)
+    other_server = FarmServer(other)
+    thread = threading.Thread(target=other_server.serve_forever,
+                              kwargs={"poll_interval": 0.05}, daemon=True)
+    thread.start()
+    try:
+        PeerList(other.root).add("10.9.9.9", 7333)      # hearsay target
+        PeerList(other.root).add("127.0.0.1", port)     # gossip echoes us
+        PeerList(daemon.root).add("127.0.0.1", other_server.port)
+        daemon.poll_peers()
+        records = {(r["host"], r["port"]): r["via"]
+                   for r in PeerList(daemon.root).records()}
+        # Learned the third host via gossip; the joined peer kept its
+        # provenance; our own endpoint was not folded back in.
+        assert records[("10.9.9.9", 7333)] == "gossip"
+        assert records[("127.0.0.1", other_server.port)] == "join"
+        assert ("127.0.0.1", port) not in records
+        # Idempotent: a second poll discovers nothing new.
+        before = PeerList(daemon.root).records()
+        daemon.poll_peers()
+        assert PeerList(daemon.root).records() == before
+    finally:
+        other_server.shutdown()
+        thread.join()
+        other_server.close()
+        other.drain(timeout=30.0)
+
+
+def test_gossip_peer_cap(tmp_path):
+    from repro.dist import MAX_GOSSIP_PEERS, PeerList
+    peer_list = PeerList(str(tmp_path / "root"))
+    for i in range(MAX_GOSSIP_PEERS + 4):
+        peer_list.add("10.0.0.1", 7000 + i, via="gossip")
+    records = peer_list.records()
+    assert sum(r["via"] == "gossip" for r in records) == MAX_GOSSIP_PEERS
+    # Joins are exempt from the cap, and upgrade gossip records.
+    assert peer_list.add("10.0.0.2", 9000) is True
+    assert peer_list.add("10.0.0.1", 7000) is False     # already listed
+    assert PeerList(str(tmp_path / "root")).records()[0]["via"] == "join"
+
+
+def test_peers_output_marks_discovered(tmp_path, capsys):
+    from repro.dist import PeerList
+    root = str(tmp_path / "root")
+    PeerList(root).add("127.0.0.1", 1)                  # joined, dead
+    PeerList(root).add("127.0.0.1", 2, via="gossip")    # discovered, dead
+    assert main(["peers", "--root", root]) == 0
+    lines = capsys.readouterr().out.splitlines()
+    assert "[discovered]" not in lines[0]
+    assert "[discovered]" in lines[1]
+
+
 # -- generate --peers ---------------------------------------------------------
 def test_generate_peers_needs_campaign_engine(capsys):
     # Shards are the unit of distribution; any other engine with

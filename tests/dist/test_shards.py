@@ -11,8 +11,9 @@ from repro.core.campaign import shard_corpus
 from repro.core.engine import GeneratedTest, GenerationResult
 from repro.corpus.scheduler import SeedScheduler
 from repro.corpus.store import input_hash
-from repro.dist import (ShardLedger, decode_outcome, encode_outcome,
-                        round_key, shard_digest, shard_id)
+from repro.dist import (LedgerShardRunner, ShardLedger, decode_outcome,
+                        encode_outcome, round_key, shard_digest,
+                        shard_hashes, shard_id)
 from repro.errors import FarmError
 
 
@@ -33,6 +34,14 @@ def test_round_key_int_and_seedseq():
 def test_shard_id_sorts():
     ids = [shard_id(i) for i in (0, 1, 10, 100)]
     assert ids == sorted(ids)
+
+
+def test_shard_hashes_are_entry_hashes():
+    rng = np.random.default_rng(8)
+    seeds = rng.normal(size=(5, 4, 4))
+    shards = shard_corpus(seeds, shard_size=2, seed=0)
+    for shard in shards:
+        assert shard_hashes(shard) == [input_hash(x) for x in shard.seeds]
 
 
 def test_shard_digest_matches_scheduler_plan():
@@ -199,6 +208,72 @@ def test_stale_lock_file_is_broken(tmp_path):
     assert ledger.claim() == shard_id(0)
 
 
+# -- locality-aware claiming --------------------------------------------------
+def _units_with_hashes(hashes_per_shard):
+    return [{"shard_id": shard_id(i), "digest": f"d{i}",
+             "hashes": list(hashes)}
+            for i, hashes in enumerate(hashes_per_shard)]
+
+
+def test_claim_prefers_shards_this_host_holds(tmp_path):
+    """Affinity law: claims rank shards by how many of their seed
+    hashes the claimer's store holds, descending."""
+    ledger = ShardLedger(tmp_path / "c", "seed0", host="h1")
+    ledger.ensure(_units_with_hashes([["a", "b"], ["c", "d"],
+                                      ["e", "f"]]))
+    have = {"e", "f", "c"}      # all of shard 2, half of shard 1
+    assert ledger.claim(have=have) == shard_id(2)
+    assert ledger.claim(have=have) == shard_id(1)
+    assert ledger.claim(have=have) == shard_id(0)
+    assert ledger.claim(have=have) is None
+
+
+def test_claim_affinity_ties_break_by_shard_id(tmp_path):
+    ledger = ShardLedger(tmp_path / "c", "seed0", host="h1")
+    ledger.ensure(_units_with_hashes([["a"], ["b"], ["c"]]))
+    # Equal scores everywhere (1 each): plain sorted order, i.e. the
+    # exact pre-affinity behavior.
+    assert ledger.claim(have={"a", "b", "c"}) == shard_id(0)
+    # And an empty/absent hint is byte-for-byte the old claim.
+    assert ledger.claim(have=frozenset()) == shard_id(1)
+    assert ledger.claim() == shard_id(2)
+
+
+def test_claim_tolerates_units_without_hashes(tmp_path):
+    """Ledgers written by pre-affinity hosts (no hashes field) still
+    claim fine — every shard scores zero."""
+    ledger = ShardLedger(tmp_path / "c", "seed0", host="h1")
+    ledger.ensure(_units(2))
+    assert ledger.claim(have={"anything"}) == shard_id(0)
+
+
+def test_ensure_backfills_hashes_for_later_claimers(tmp_path):
+    """A pre-affinity host registered the round; an affinity-aware host
+    re-ensuring the same plan (same digests) adopts its hashes."""
+    old = ShardLedger(tmp_path / "c", "seed0", host="h1")
+    new = ShardLedger(tmp_path / "c", "seed0", host="h2")
+    old.ensure(_units(2))
+    new.ensure(_units_with_hashes([["a"], ["b"]]))
+    assert new.claim(have={"b"}) == shard_id(1)
+
+
+def test_runner_affinity_resolves_store_paths(tmp_path, make_store):
+    """LedgerShardRunner's ``have`` accepts a store path, re-read
+    tolerantly: a store that does not exist yet just means no
+    affinity."""
+    runner = LedgerShardRunner(tmp_path / "c",
+                               have=tmp_path / "nonexistent")
+    assert runner._affinity() == frozenset()
+    store = make_store(tmp_path / "store", 3)
+    runner = LedgerShardRunner(tmp_path / "c", have=tmp_path / "store")
+    assert runner._affinity() == {e["hash"] for e in store.entries()}
+    # Sets and callables pass through too.
+    assert LedgerShardRunner(tmp_path / "c",
+                             have={"x"})._affinity() == {"x"}
+    assert LedgerShardRunner(
+        tmp_path / "c", have=lambda: {"y"})._affinity() == {"y"}
+
+
 # -- the permutation/partition property --------------------------------------
 @settings(max_examples=12, deadline=None)
 @given(st.data())
@@ -218,6 +293,14 @@ def test_any_claim_schedule_merges_identically(tmp_path_factory, data):
     schedule = data.draw(
         st.permutations([(s, s % n_hosts) for s in range(n_shards)]),
         label="schedule")
+    # Each host holds an arbitrary subset of the seeds, so claims are
+    # affinity-ordered — the property must hold over those schedules
+    # too, because affinity only permutes placement.
+    haves = data.draw(
+        st.lists(st.sets(st.sampled_from(
+            [f"x{s}" for s in range(n_shards)])),
+            min_size=n_hosts, max_size=n_hosts),
+        label="haves")
     root = tmp_path_factory.mktemp("ledger")
 
     reference = {shard_id(s): encode_outcome(_fake_outcome(s))
@@ -227,7 +310,8 @@ def test_any_claim_schedule_merges_identically(tmp_path_factory, data):
                            pid=100 + h, lease=10_000.0)
                for h in range(n_hosts)]
     for ledger in ledgers:
-        ledger.ensure([{"shard_id": shard_id(s), "digest": f"d{s}"}
+        ledger.ensure([{"shard_id": shard_id(s), "digest": f"d{s}",
+                        "hashes": [f"x{s}"]}
                        for s in range(n_shards)])
     # Replay the drawn schedule: each (shard, host) step has that host
     # claim whatever the ledger offers it and execute it.  The ledger,
@@ -235,7 +319,7 @@ def test_any_claim_schedule_merges_identically(tmp_path_factory, data):
     # the decision cannot matter.
     for _shard, host in schedule:
         ledger = ledgers[host]
-        sid = ledger.claim()
+        sid = ledger.claim(have=haves[host])
         if sid is None:
             continue
         index = int(sid[1:])

@@ -2,8 +2,12 @@
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
 from repro.corpus import CorpusStore
 from repro.corpus.store import coverage_from_bytes, coverage_to_bytes
@@ -100,6 +104,57 @@ def test_pull_crash_before_commit_converges(tmp_path, make_store,
     assert_stores_identical(tmp_path / "src", tmp_path / "dest")
 
 
+def test_noop_pull_skips_coverage_commit(tmp_path, make_store):
+    """Satellite: an idle mirror sync (remote coverage ⊆ local) must not
+    bump the checkpoint generation or rewrite snapshots."""
+    make_store(tmp_path / "src", 4, covered_idx=(0, 2))
+    pull(CorpusStore(tmp_path / "dest"), tmp_path / "src")
+    gen = CorpusStore(tmp_path / "dest").snapshot()["generation"]
+    assert pull(CorpusStore(tmp_path / "dest"), tmp_path / "src") == 0
+    assert CorpusStore(tmp_path / "dest").snapshot()["generation"] == gen
+
+
+def test_pull_commits_when_coverage_is_new(tmp_path, make_store):
+    """The skip is only for no-ops: new remote coverage still commits."""
+    make_store(tmp_path / "a", 2, seed=1, covered_idx=(0,))
+    make_store(tmp_path / "b", 2, seed=2, covered_idx=(7,))
+    a = CorpusStore(tmp_path / "a")
+    gen = a.snapshot()["generation"]
+    pull(a, tmp_path / "b")
+    a = CorpusStore(tmp_path / "a")
+    assert a.snapshot()["generation"] == gen + 1
+    assert a.coverage_states()["SYN_A"]["covered"][[0, 7]].all()
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(st.data())
+def test_batched_pull_converges_identically(tmp_path_factory, make_store,
+                                            assert_stores_identical, data):
+    """Tentpole property: for any batch size, with a crash injected at
+    any wire round-trip and the pull re-run, the result is byte-identical
+    to a per-entry (batch=1) pull.  Batching is transport only."""
+    n_entries = data.draw(st.integers(min_value=1, max_value=8),
+                          label="n_entries")
+    batch = data.draw(st.integers(min_value=1, max_value=5), label="batch")
+    crash_at = data.draw(st.one_of(st.none(),
+                                   st.integers(min_value=1, max_value=4)),
+                         label="crash_at")
+    root = tmp_path_factory.mktemp("batched")
+    make_store(root / "src", n_entries, seed=3, covered_idx=(1, 6))
+    pull(CorpusStore(root / "ref"), root / "src", batch=1)
+
+    dest = CorpusStore(root / "dest")
+    if crash_at is not None:
+        with inject("dist.pull.batch", countdown=crash_at, action="raise"):
+            try:
+                pull(dest, root / "src", batch=batch)
+            except InjectedFault:
+                pass    # died mid-sync with crash_at-1 batches landed
+    pull(CorpusStore(root / "dest"), root / "src", batch=batch)
+    assert_stores_identical(root / "ref", root / "dest")
+
+
 def test_local_source_describe(tmp_path, make_store, synth_config):
     make_store(tmp_path / "src", 3)
     source = LocalSource(tmp_path / "src")
@@ -130,6 +185,58 @@ def test_remote_pull_and_push(tmp_path, make_store, live_peer,
                 fuzz_state=dest.fuzz_state())
     assert push(tmp_path / "local", "127.0.0.1", port, "shared") == 3
     assert push(tmp_path / "local", "127.0.0.1", port, "shared") == 0
+    assert_stores_identical(daemon.store_path("shared"),
+                            tmp_path / "local")
+
+
+def test_remote_pull_round_trips_are_batched(tmp_path, make_store,
+                                             live_peer,
+                                             assert_stores_identical):
+    """The wire cost contract: one manifest + ceil(entries/batch)
+    fetches on a cold pull, and a warm re-pull is manifest-only (the
+    ``have`` filter leaves nothing to fetch) over the same pooled
+    connection."""
+    daemon, _server, port = live_peer
+    make_store(daemon.store_path("shared"), 7, covered_idx=(1, 2))
+    source = RemoteSource("127.0.0.1", port, "shared")
+    assert pull(CorpusStore(tmp_path / "local"), source, batch=3) == 7
+    cold = 1 + math.ceil(7 / 3)
+    assert source.client.requests == cold
+    assert pull(CorpusStore(tmp_path / "local"), source, batch=3) == 0
+    assert source.client.requests == cold + 1   # delta manifest only
+    assert source.client.reconnects == 0        # one channel throughout
+    assert_stores_identical(daemon.store_path("shared"),
+                            tmp_path / "local")
+
+
+def test_remote_push_round_trips_are_batched(tmp_path, make_store,
+                                             live_peer,
+                                             assert_stores_identical):
+    daemon, _server, port = live_peer
+    # The remote store holds a prefix of the local one (same rng seed),
+    # so only the 5-entry delta crosses the wire, in 2 batches.
+    make_store(daemon.store_path("shared"), 2, seed=3, covered_idx=(3,))
+    make_store(tmp_path / "local", 7, seed=3, covered_idx=(3,))
+    assert push(tmp_path / "local", "127.0.0.1", port, "shared",
+                batch=3) == 5
+    assert push(tmp_path / "local", "127.0.0.1", port, "shared",
+                batch=3) == 0
+    assert_stores_identical(daemon.store_path("shared"),
+                            tmp_path / "local")
+
+
+def test_batched_pull_crash_mid_batch_converges(tmp_path, make_store,
+                                                live_peer,
+                                                assert_stores_identical):
+    """The remote flavour of the convergence property: a pull killed at
+    the second wire round-trip resumes over TCP to the identical store."""
+    daemon, _server, port = live_peer
+    make_store(daemon.store_path("shared"), 5, covered_idx=(0, 4))
+    source = RemoteSource("127.0.0.1", port, "shared")
+    with inject("dist.pull.batch", countdown=2, action="raise"):
+        with pytest.raises(InjectedFault):
+            pull(CorpusStore(tmp_path / "local"), source, batch=2)
+    assert pull(CorpusStore(tmp_path / "local"), source, batch=2) == 3
     assert_stores_identical(daemon.store_path("shared"),
                             tmp_path / "local")
 

@@ -172,6 +172,29 @@ def test_housekeeper_schedules_distill(tmp_path, model_source, wait_for):
     assert daemon.drain(timeout=30)
 
 
+def test_housekeeper_gossips_without_compaction(tmp_path, model_source,
+                                                wait_for, monkeypatch):
+    """Peer gossip — and the auto-discovery it feeds — must not require
+    opting into compaction: a daemon with no ``compact_every`` still
+    runs its housekeeper, just without the compaction sweep."""
+    import threading
+
+    import repro.farm.daemon as daemon_mod
+    monkeypatch.setattr(daemon_mod, "_GOSSIP_INTERVAL", 0.05)
+    daemon = make_daemon(tmp_path, model_source)
+    polled = threading.Event()
+    monkeypatch.setattr(daemon, "poll_peers", polled.set)
+    sweeps = []
+    monkeypatch.setattr(daemon, "_compact_sweep",
+                        lambda: sweeps.append(1))
+    daemon.start()
+    try:
+        assert wait_for(polled.is_set)
+        assert not sweeps           # compaction stayed opt-in
+    finally:
+        assert daemon.drain(timeout=30)
+
+
 def test_sweep_skips_stores_without_dataset(tmp_path, model_source):
     """A store with no config (nothing committed) cannot be distilled;
     the sweep must skip it rather than submit a doomed job."""

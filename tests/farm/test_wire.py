@@ -1,0 +1,206 @@
+"""Wire framing and pooled channels: JSON fallback, binary frames,
+per-connection negotiation, and reconnect-on-stale-socket."""
+
+from __future__ import annotations
+
+import base64
+import io
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.errors import FarmError
+from repro.farm import FarmClient, PeerClient
+from repro.farm.wire import Blob, as_bytes, dump_message, read_message
+
+
+def _roundtrip(message, binary):
+    data = dump_message(message, binary=binary)
+    got, n = read_message(io.BytesIO(data))
+    assert n == len(data)
+    return got
+
+
+# -- framing ------------------------------------------------------------------
+def test_json_mode_is_the_legacy_base64_format():
+    """JSON fallback must stay byte-compatible with the pre-framing
+    wire: blobs as inline base64, one JSON object, one line."""
+    data = dump_message({"cmd": "x", "data": Blob(b"\x00\x01raw")})
+    assert data.endswith(b"\n") and data.count(b"\n") == 1
+    line = json.loads(data.decode("utf-8"))
+    assert line["data"] == base64.b64encode(b"\x00\x01raw").decode("ascii")
+    assert "_frames" not in line
+
+
+def test_binary_and_json_modes_resolve_identically():
+    message = {"a": Blob(b"12345"), "n": {"b": [Blob(b"xy"), 7]},
+               "s": "text", "z": None}
+    via_json = _roundtrip(message, binary=False)
+    via_frames = _roundtrip(message, binary=True)
+    for got in (via_json, via_frames):
+        assert as_bytes(got["a"]) == b"12345"
+        assert as_bytes(got["n"]["b"][0]) == b"xy"
+        assert got["n"]["b"][1] == 7
+        assert got["s"] == "text" and got["z"] is None
+    # Framed blobs come back as real bytes, ready for np.load et al.
+    assert isinstance(via_frames["a"], bytes)
+
+
+def test_binary_mode_skips_base64_inflation():
+    payload = {"data": Blob(bytes(range(256)) * 16)}   # 4 KiB
+    framed = dump_message(payload, binary=True)
+    inline = dump_message(payload, binary=False)
+    assert len(framed) < len(inline) * 0.8      # ~33% base64 overhead gone
+
+
+def test_truncated_frame_is_an_error_not_eof():
+    data = dump_message({"d": Blob(b"abcdef")}, binary=True)
+    with pytest.raises(FarmError, match="truncated"):
+        read_message(io.BytesIO(data[:-3]))
+
+
+def test_clean_eof_is_a_closed_channel():
+    assert read_message(io.BytesIO(b"")) == (None, 0)
+
+
+def test_non_object_message_rejected():
+    with pytest.raises(FarmError, match="expected an object"):
+        read_message(io.BytesIO(b"[1, 2]\n"))
+
+
+# -- pooled channels ----------------------------------------------------------
+def _one_shot_server():
+    """A server that answers exactly one request per connection, then
+    closes it — the shape of a peer whose idle connections die between
+    requests.  Returns ``(port, served: list, stop)``."""
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 0))
+    sock.listen(8)
+    served = []
+
+    def serve():
+        while True:
+            try:
+                conn, _ = sock.accept()
+            except OSError:
+                return
+            with conn, conn.makefile("rb") as rfile:
+                request, _ = read_message(rfile)
+                if request is None:
+                    continue
+                served.append(request)
+                conn.sendall(dump_message({"ok": True,
+                                           "echo": request.get("cmd")}))
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    return sock.getsockname()[1], served, sock.close
+
+
+def test_stale_pooled_connection_reconnects_transparently():
+    """Satellite regression: a peer that drops the pooled connection
+    between requests (restart, idle timeout) must cost one transparent
+    reconnect, not a FarmError."""
+    port, served, stop = _one_shot_server()
+    try:
+        client = PeerClient("127.0.0.1", port, timeout=5.0)
+        assert client.ping()["echo"] == "ping"
+        # The server closed the channel after answering; the next
+        # request hits a clean EOF on the reused socket and must retry
+        # on a fresh connection.
+        assert client.ping()["echo"] == "ping"
+        assert client.reconnects == 1
+        assert len(served) == 2
+        assert client.requests == 2     # failed exchanges don't count
+    finally:
+        stop()
+
+
+def test_fresh_connection_failure_still_raises(tmp_path):
+    """Reconnect-once is only for reused sockets: a peer that fails the
+    very first exchange surfaces as FarmError, same as before pooling."""
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 0))
+    sock.listen(1)
+    port = sock.getsockname()[1]
+
+    def close_without_answering():
+        conn, _ = sock.accept()
+        conn.recv(65536)
+        conn.close()
+
+    thread = threading.Thread(target=close_without_answering, daemon=True)
+    thread.start()
+    try:
+        client = PeerClient("127.0.0.1", port, timeout=5.0)
+        with pytest.raises(FarmError, match="closed the connection"):
+            client.ping()
+        assert client.reconnects == 0
+        thread.join(timeout=5)
+    finally:
+        sock.close()
+
+
+def test_farm_client_survives_daemon_restart(tmp_path, model_source):
+    """FarmClient re-reads the endpoint file on reconnect, so a daemon
+    restart — new pid, new port — is invisible to a pooled client."""
+    from repro.farm import FarmDaemon, FarmServer
+
+    def start(root):
+        daemon = FarmDaemon(root, workers=1, model_source=model_source)
+        server = FarmServer(daemon)
+        thread = threading.Thread(target=server.serve_forever,
+                                  kwargs={"poll_interval": 0.05},
+                                  daemon=True)
+        thread.start()
+        return daemon, server, thread
+
+    root = str(tmp_path / "farm")
+    daemon, server, thread = start(root)
+    client = FarmClient(root, timeout=5.0)
+    try:
+        assert client.ping()["ok"]
+        server.shutdown()
+        thread.join()
+        server.close()
+        daemon.drain(timeout=30.0)
+        # An in-process "restart" leaves the old handler thread alive on
+        # the accepted socket; a real daemon death severs it.  Simulate
+        # the severing so the pooled socket actually goes stale.
+        client._sock.shutdown(socket.SHUT_RDWR)
+        daemon, server, thread = start(root)
+        assert client.ping()["ok"]      # re-reads daemon.json: new port
+        assert client.reconnects == 1
+    finally:
+        server.shutdown()
+        thread.join()
+        server.close()
+        daemon.drain(timeout=30.0)
+
+
+def test_channel_negotiates_binary_after_first_reply(tmp_path,
+                                                     model_source):
+    """First request goes out JSON (compatibility); once the server
+    echoes the capability flag, later requests on the channel frame
+    their payloads."""
+    from repro.farm import FarmDaemon, FarmServer
+    daemon = FarmDaemon(tmp_path / "farm", workers=1,
+                        model_source=model_source)
+    server = FarmServer(daemon)
+    thread = threading.Thread(target=server.serve_forever,
+                              kwargs={"poll_interval": 0.05}, daemon=True)
+    thread.start()
+    try:
+        client = FarmClient(str(tmp_path / "farm"), timeout=5.0)
+        assert client._binary is False
+        client.ping()
+        assert client._binary is True   # server echoed "bin"
+        client.ping()                   # second exchange framed: no error
+        assert client.reconnects == 0
+    finally:
+        server.shutdown()
+        thread.join()
+        server.close()
+        daemon.drain(timeout=30.0)

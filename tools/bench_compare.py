@@ -39,8 +39,13 @@ def load_records(path):
 
 #: Throughput metrics compared when both sides carry them.  The farm
 #: benchmarks report ``jobs_per_sec`` (daemon dispatch throughput) next
-#: to the engine/fuzz suites' ``seeds_per_sec``.
-THROUGHPUT_METRICS = ("seeds_per_sec", "jobs_per_sec")
+#: to the engine/fuzz suites' ``seeds_per_sec``; the federation smoke
+#: reports ``speedup`` (hosts=2 throughput over hosts=1 — the "does
+#: federation pay for itself" ratio), gated like any other throughput.
+THROUGHPUT_METRICS = ("seeds_per_sec", "jobs_per_sec", "speedup")
+
+_METRIC_UNITS = {"jobs_per_sec": "jobs/s", "speedup": "x",
+                 "seeds_per_sec": "seeds/s"}
 
 
 def compare(baseline, current, max_regression):
@@ -103,7 +108,7 @@ def main(argv=None):
     failed = []
     for name, metric, base, cur, ratio, bad in rows:
         verdict = "FAIL" if bad else "ok"
-        unit = "jobs/s" if metric == "jobs_per_sec" else "seeds/s"
+        unit = _METRIC_UNITS.get(metric, "seeds/s")
         print(f"{name:<{width}}  {base:>8.2f} -> {cur:>8.2f} {unit}  "
               f"(x{ratio:.2f})  {verdict}")
         if bad:

@@ -19,10 +19,14 @@ the middle:
 4. host B restarts clean; its journaled job resumes, replays the done
    ledger without recomputing, and must converge to the same bytes;
 5. a corpus pull over TCP (``RemoteSource``) from host A must be
-   idempotent: the second pull adds nothing;
+   idempotent: the second pull adds nothing — and cheap: the cold pull
+   must cost at most ``1 + ceil(entries/batch)`` wire round-trips (the
+   batched ``store-entries`` verb), the warm re-pull exactly one (the
+   ``have``-filtered delta manifest), and the no-op re-pull must not
+   bump the mirror's checkpoint generation;
 6. the same federated campaign is timed at hosts=1 and hosts=2 and the
-   seeds/sec written to ``BENCH_dist.json`` (compared in CI by
-   ``tools/bench_compare.py``).
+   seeds/sec — plus the ``hosts=2 / hosts=1`` speedup ratio — written
+   to ``BENCH_dist.json`` (gated in CI by ``tools/bench_compare.py``).
 
 Exit code 0 on success, non-zero with a summary on any failure.
 
@@ -181,21 +185,49 @@ def main():
         compare_stores(solo_path, os.path.join(root_b, "stores", "fed"),
                        "restarted host B vs solo")
 
-        # -- sync phase: TCP pull from host A is idempotent -------------
-        from repro.dist import RemoteSource, pull
+        # -- sync phase: TCP pull is idempotent, batched, and delta-aware
+        from repro.dist import DEFAULT_BATCH, RemoteSource, pull
         port_a = read_endpoint(root_a)["port"]
         mirror = CorpusStore(os.path.join(tmp, "mirror"))
         source = RemoteSource("127.0.0.1", port_a, "fed")
         added = pull(mirror, source)
+        cold_trips = source.client.requests
+        generation = CorpusStore(mirror.path).snapshot()["generation"]
         again = pull(mirror, source)
+        warm_trips = source.client.requests - cold_trips
         if added != len(mirror) or again != 0:
             raise SystemExit(f"TCP pull not idempotent: first={added} "
                              f"second={again} entries={len(mirror)}")
+        trip_budget = 1 + -(-added // DEFAULT_BATCH)  # manifest + batches
+        if cold_trips > trip_budget:
+            raise SystemExit(
+                f"cold pull cost {cold_trips} round-trips for {added} "
+                f"entries; the batched wire protocol budgets "
+                f"{trip_budget} (1 manifest + ceil(n/{DEFAULT_BATCH}))")
+        if warm_trips != 1:
+            raise SystemExit(
+                f"warm re-pull cost {warm_trips} round-trips; the "
+                f"have-filtered delta manifest should be the only one")
+        if CorpusStore(mirror.path).snapshot()["generation"] != generation:
+            raise SystemExit(
+                "no-op mirror re-sync bumped the checkpoint generation "
+                "(the OR-merge was a subset; nothing should commit)")
+        print(f"TCP sync: {added} entries in {cold_trips} round-trips "
+              f"(budget {trip_budget}), warm re-sync {warm_trips}; "
+              f"{source.client.bytes_received} bytes down / "
+              f"{source.client.bytes_sent} up on one pooled connection")
         compare_stores(solo_path, mirror.path, "TCP mirror vs solo",
                        fuzz_state=False)    # pulls never move fuzz state
+        benchmarks = [{
+            "name": "dist-sync[pull]",
+            "entries": added, "batch": DEFAULT_BATCH,
+            "round_trips": cold_trips, "warm_round_trips": warm_trips,
+            "bytes_received": source.client.bytes_received,
+            "bytes_sent": source.client.bytes_sent,
+        }]
 
         # -- timing phase: hosts=1 vs hosts=2 ---------------------------
-        benchmarks = []
+        rates = {}
         for hosts, clients in ((1, [client_a]),
                                (2, [client_a, client_b])):
             bench_spec = federate_spec(f"bench{hosts}",
@@ -203,23 +235,33 @@ def main():
             t0 = time.monotonic()
             jobs = [c.submit(bench_spec) for c in clients]
             for client, job in zip(clients, jobs):
-                record = client.wait(job["job_id"], timeout=420)
+                # Tight poll over the pooled channel: status checks are
+                # cheap now, and a loose poll would charge its tail
+                # latency to the measured wall-clock.
+                record = client.wait(job["job_id"], timeout=420,
+                                     poll=0.02)
                 if record["status"] != "done":
                     raise SystemExit(f"hosts={hosts} bench job failed: "
                                      f"{record.get('error')}")
             seconds = time.monotonic() - t0
+            rates[hosts] = ROUNDS * WAVE / seconds
             benchmarks.append({
                 "name": f"dist-federation[hosts={hosts}]",
                 "seconds": seconds,
                 "hosts": hosts, "rounds": ROUNDS, "wave_size": WAVE,
-                "seeds_per_sec": ROUNDS * WAVE / seconds,
+                "seeds_per_sec": rates[hosts],
             })
             print(f"hosts={hosts}: {seconds:.2f}s "
-                  f"({benchmarks[-1]['seeds_per_sec']:.2f} seeds/sec)")
+                  f"({rates[hosts]:.2f} seeds/sec)")
             compare_stores(
                 solo_path,
                 os.path.join(root_a, "stores", f"bench{hosts}"),
                 f"hosts={hosts} bench vs solo")
+        speedup = rates[2] / rates[1]
+        benchmarks.append({"name": "dist-federation[speedup]",
+                           "hosts": 2, "speedup": speedup})
+        print(f"federation speedup: {speedup:.2f}x "
+              f"(hosts=2 over hosts=1)")
 
         with open(BENCH_PATH, "w", encoding="utf-8") as handle:
             json.dump({"schema": 1, "scale": "smoke", "seed": SEED,
